@@ -1,0 +1,65 @@
+// Demonstrates the implemented future-work feature (§6): automated
+// backend choice from static size estimates + metadata. For the taxi
+// program at S and L the chooser must pick the backend that actually
+// wins under the benchmark budget — Pandas when the pruned working set
+// fits, Dask when it does not.
+#include <cstdio>
+
+#include "bench/datagen.h"
+#include "bench/harness.h"
+#include "bench/programs.h"
+#include "script/backend_choice.h"
+
+using namespace lafp;
+using namespace lafp::bench;
+
+int main() {
+  std::string dir = BenchScratchDir();
+  int64_t budget = DefaultMemoryBudget();
+  meta::MetaStore metastore(dir + "/metastore");
+
+  std::printf("Automated backend choice (budget %lld MB)\n\n",
+              static_cast<long long>(budget / 1000000));
+  for (const auto& [size_name, scale] : BenchSizes()) {
+    auto paths = GenerateForProgram("taxi", dir, scale);
+    if (!paths.ok()) return 1;
+    auto source = ProgramSource("taxi", *paths);
+    if (!source.ok()) return 1;
+
+    script::BackendChoiceOptions options;
+    options.memory_budget = budget;
+    options.metastore = &metastore;
+    auto choice = script::ChooseBackend(*source, options);
+    if (!choice.ok()) {
+      std::fprintf(stderr, "choice failed: %s\n",
+                   choice.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("taxi @%s -> %s\n  rationale: %s\n", size_name.c_str(),
+                exec::BackendKindName(choice->backend),
+                choice->rationale.c_str());
+
+    // Validate against reality: run LaFP on every backend.
+    std::printf("  measured:");
+    for (auto backend :
+         {exec::BackendKind::kPandas, exec::BackendKind::kModin,
+          exec::BackendKind::kDask}) {
+      BenchConfig config;
+      config.backend = backend;
+      config.optimized = true;
+      config.memory_budget = budget;
+      BenchResult r = RunBenchmark("taxi", *paths, config, dir);
+      std::string cell =
+          r.success ? std::to_string(r.seconds).substr(0, 5) + "s" : "OOM";
+      std::printf("  L%s=%s%s", exec::BackendKindName(backend),
+                  cell.c_str(),
+                  backend == choice->backend ? "[chosen]" : "");
+    }
+    std::printf("\n\n");
+  }
+  std::printf(
+      "Shape: the chooser picks Pandas while the pruned working set\n"
+      "fits the budget (it is the fastest in-memory engine) and switches\n"
+      "to Dask when it would not.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Calibration utility (not a paper figure): prints dataset sizes and
+// per-configuration time/memory for each benchmark program so the memory
+// budget and overhead defaults can be sanity-checked. Runs a single size
+// unless LAFP_CALIBRATE_SIZES is set.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/datagen.h"
+#include "bench/harness.h"
+#include "bench/programs.h"
+#include "meta/metadata.h"
+
+using namespace lafp;
+using namespace lafp::bench;
+
+int main() {
+  std::string dir = BenchScratchDir();
+  const char* env = std::getenv("LAFP_CALIBRATE_SIZES");
+  std::vector<int> scales;
+  if (env != nullptr) {
+    for (const char* p = env; *p != '\0'; ++p) {
+      if (*p >= '1' && *p <= '9') scales.push_back(*p - '0');
+    }
+  }
+  if (scales.empty()) scales = {1};
+
+  for (int scale : scales) {
+    std::printf("== scale %dx ==\n", scale);
+    for (const auto& program : ProgramNames()) {
+      auto paths = GenerateForProgram(program, dir, scale);
+      if (!paths.ok()) {
+        std::printf("%-8s datagen failed: %s\n", program.c_str(),
+                    paths.status().ToString().c_str());
+        continue;
+      }
+      int64_t bytes = 0;
+      for (const auto& [name, path] : *paths) {
+        bytes += meta::FileSizeBytes(path);
+      }
+      std::printf("%-8s data=%6.1f MB  ", program.c_str(),
+                  static_cast<double>(bytes) / 1e6);
+      for (const auto& config : AllConfigs(/*budget=*/0)) {
+        BenchResult r = RunBenchmark(program, *paths, config, dir);
+        if (r.success) {
+          std::printf("%s=%5.2fs/%5.1fMB ", ConfigName(config).c_str(),
+                      r.seconds, static_cast<double>(r.peak_bytes) / 1e6);
+        } else {
+          std::printf("%s=ERR(%s) ", ConfigName(config).c_str(),
+                      r.status.ToString().c_str());
+        }
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

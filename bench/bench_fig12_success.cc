@@ -1,0 +1,76 @@
+// Reproduces paper Figure 12: "Number of Programs Successfully Executed
+// on Different Platforms" — 10 programs x {Pandas, LPandas, Modin,
+// LModin, Dask, LDask} x {S, M, L} under a fixed memory budget standing
+// in for the paper's 32 GB machine (sizes scaled 1:100, DESIGN.md).
+//
+// Also performs the §5.2 regression check: every successful run's
+// checksum lines must equal the plain-Pandas reference.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/datagen.h"
+#include "bench/harness.h"
+#include "bench/programs.h"
+
+using namespace lafp;
+using namespace lafp::bench;
+
+int main() {
+  std::string dir = BenchScratchDir();
+  int64_t budget = DefaultMemoryBudget();
+  std::printf("Figure 12: programs successfully executed "
+              "(budget=%lld MB, sizes S/M/L = paper's 1.4/4.2/12.6 GB)\n\n",
+              static_cast<long long>(budget / 1000000));
+  std::printf("%-6s %-8s %-9s %-7s %-8s %-6s %-7s\n", "Size", "Pandas",
+              "LPandas", "Modin", "LModin", "Dask", "LDask");
+
+  int regression_failures = 0;
+  int checked = 0;
+  for (const auto& [size_name, scale] : BenchSizes()) {
+    std::map<std::string, int> successes;
+    for (const auto& program : ProgramNames()) {
+      auto paths = GenerateForProgram(program, dir, scale);
+      if (!paths.ok()) {
+        std::fprintf(stderr, "datagen %s failed: %s\n", program.c_str(),
+                     paths.status().ToString().c_str());
+        return 1;
+      }
+      std::string reference;  // plain-Pandas checksum lines
+      for (const auto& config : AllConfigs(budget)) {
+        BenchResult r = RunBenchmark(program, *paths, config, dir);
+        if (r.success) {
+          ++successes[ConfigName(config)];
+          // §5.2 regression: all successful configurations must produce
+          // identical result hashes (row order canonicalized).
+          if (reference.empty()) {
+            reference = r.checksums;
+          } else if (!r.checksums.empty() && r.checksums != reference) {
+            std::fprintf(stderr,
+                         "REGRESSION: %s/%s/%s checksum mismatch\n",
+                         size_name.c_str(), program.c_str(),
+                         ConfigName(config).c_str());
+            ++regression_failures;
+          } else {
+            ++checked;
+          }
+        }
+      }
+    }
+    std::printf("%-6s %-8d %-9d %-7d %-8d %-6d %-7d\n", size_name.c_str(),
+                successes["Pandas"], successes["LPandas"],
+                successes["Modin"], successes["LModin"], successes["Dask"],
+                successes["LDask"]);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nPaper reference (Fig. 12):\n"
+      "S      10       10        10      10       10     10\n"
+      "M      10       10        9       9        10     10\n"
+      "L      2        7         4       7        8      9\n");
+  std::printf("\nregression check: %d cross-backend comparisons, %d "
+              "mismatches\n",
+              checked, regression_failures);
+  return regression_failures == 0 ? 0 : 1;
+}

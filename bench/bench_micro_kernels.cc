@@ -1,0 +1,156 @@
+// Google-benchmark microbenchmarks of the engine kernels underlying
+// every backend: CSV parse, filter, group-by, hash join, sort, and the
+// lazy-runtime graph overhead. These are not paper figures; they document
+// the substrate's raw costs for regression tracking.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "dataframe/ops.h"
+#include "io/csv.h"
+#include "lazy/fat_dataframe.h"
+#include "optimizer/passes.h"
+
+namespace lafp {
+namespace {
+
+std::string TempCsv(int64_t rows) {
+  static std::string path;
+  static int64_t cached_rows = 0;
+  if (!path.empty() && cached_rows == rows) return path;
+  path = (std::filesystem::temp_directory_path() /
+          ("lafp_micro_" + std::to_string(rows) + ".csv"))
+             .string();
+  cached_rows = rows;
+  if (std::filesystem::exists(path)) return path;
+  std::ofstream out(path);
+  out << "id,value,grp,name\n";
+  for (int64_t i = 0; i < rows; ++i) {
+    out << i << ',' << (i % 997) * 0.5 << ',' << (i % 31) << ",name_"
+        << (i % 11) << '\n';
+  }
+  return path;
+}
+
+df::DataFrame LoadFixture(int64_t rows) {
+  auto frame = io::ReadCsv(TempCsv(rows), {}, MemoryTracker::Default());
+  return *frame;
+}
+
+void BM_CsvRead(benchmark::State& state) {
+  std::string path = TempCsv(state.range(0));
+  for (auto _ : state) {
+    MemoryTracker tracker(0);
+    auto frame = io::ReadCsv(path, {}, &tracker);
+    benchmark::DoNotOptimize(frame.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CsvRead)->Arg(10000)->Arg(100000);
+
+void BM_CsvReadUsecols(benchmark::State& state) {
+  std::string path = TempCsv(state.range(0));
+  io::CsvReadOptions opts;
+  opts.usecols = {"value"};
+  for (auto _ : state) {
+    MemoryTracker tracker(0);
+    auto frame = io::ReadCsv(path, opts, &tracker);
+    benchmark::DoNotOptimize(frame.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CsvReadUsecols)->Arg(10000)->Arg(100000);
+
+void BM_Filter(benchmark::State& state) {
+  df::DataFrame frame = LoadFixture(state.range(0));
+  auto value = *frame.column("value");
+  for (auto _ : state) {
+    auto mask = df::Compare(*value, df::CompareOp::kGt,
+                            df::Scalar::Double(200.0));
+    auto out = df::Filter(frame, **mask);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Filter)->Arg(100000);
+
+void BM_GroupByAgg(benchmark::State& state) {
+  df::DataFrame frame = LoadFixture(state.range(0));
+  std::vector<df::AggSpec> aggs{{"value", df::AggFunc::kSum, "total"},
+                                {"value", df::AggFunc::kMean, "avg"}};
+  for (auto _ : state) {
+    auto out = df::GroupByAgg(frame, {"grp"}, aggs);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupByAgg)->Arg(100000);
+
+void BM_HashJoin(benchmark::State& state) {
+  df::DataFrame left = LoadFixture(state.range(0));
+  MemoryTracker tracker(0);
+  std::vector<int64_t> keys;
+  std::vector<std::string> labels;
+  for (int i = 0; i < 31; ++i) {
+    keys.push_back(i);
+    labels.push_back("label_" + std::to_string(i));
+  }
+  auto right = *df::DataFrame::Make(
+      {"grp", "label"},
+      {*df::Column::MakeInt(keys, {}, &tracker),
+       *df::Column::MakeString(labels, {}, &tracker)});
+  for (auto _ : state) {
+    auto out = df::Merge(left, right, {"grp"}, df::JoinType::kInner);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashJoin)->Arg(100000);
+
+void BM_SortValues(benchmark::State& state) {
+  df::DataFrame frame = LoadFixture(state.range(0));
+  for (auto _ : state) {
+    auto out = df::SortValues(frame, {"value"}, {false});
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortValues)->Arg(100000);
+
+void BM_LazyGraphConstruction(benchmark::State& state) {
+  lazy::SessionOptions opts;
+  opts.mode = lazy::ExecutionMode::kLazy;
+  lazy::Session session(opts);
+  auto frame = *lazy::FatDataFrame::ReadCsv(&session, TempCsv(1000));
+  for (auto _ : state) {
+    auto col = *frame.Col("value");
+    auto mask = *col.CompareTo(df::CompareOp::kGt, df::Scalar::Double(1.0));
+    auto filtered = *frame.FilterBy(mask);
+    benchmark::DoNotOptimize(filtered.node());
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_LazyGraphConstruction);
+
+void BM_OptimizerPass(benchmark::State& state) {
+  lazy::SessionOptions opts;
+  opts.mode = lazy::ExecutionMode::kLazy;
+  lazy::Session session(opts);
+  auto frame = *lazy::FatDataFrame::ReadCsv(&session, TempCsv(1000));
+  auto sorted = *frame.SortValues({"value"}, {true});
+  auto col = *sorted.Col("grp");
+  auto mask = *col.CompareTo(df::CompareOp::kEq, df::Scalar::Int(3));
+  auto filtered = *sorted.FilterBy(mask);
+  for (auto _ : state) {
+    opt::PassStats stats;
+    benchmark::DoNotOptimize(
+        opt::DeduplicateNodes(&session, {filtered.node()}, &stats).ok());
+  }
+}
+BENCHMARK(BM_OptimizerPass);
+
+}  // namespace
+}  // namespace lafp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,329 @@
+#include "bench/datagen.h"
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+#include "common/hash.h"
+#include "common/macros.h"
+#include "dataframe/types.h"
+
+namespace lafp::bench {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Deterministic helpers over a seeded engine.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  int64_t Int(int64_t lo, int64_t hi) {  // inclusive
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+  double Double(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+  template <typename T>
+  const T& Pick(const std::vector<T>& options) {
+    return options[static_cast<size_t>(Int(0, options.size() - 1))];
+  }
+  bool Chance(double p) { return Double(0, 1) < p; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+std::string Timestamp(Rng* rng, int year) {
+  int month = static_cast<int>(rng->Int(1, 12));
+  int day = static_cast<int>(rng->Int(1, 28));
+  int hour = static_cast<int>(rng->Int(0, 23));
+  int minute = static_cast<int>(rng->Int(0, 59));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:00", year,
+                month, day, hour, minute);
+  return buf;
+}
+
+std::string Money(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+using RowWriter = void (*)(std::ofstream&, int64_t, Rng*);
+
+struct Spec {
+  const char* header;
+  RowWriter writer;
+};
+
+// ---- taxi: 20 columns, 3-4 typically used (paper Figure 3 workload) ----
+void TaxiRow(std::ofstream& out, int64_t i, Rng* rng) {
+  static const std::vector<std::string> kZones{"midtown", "airport",
+                                               "downtown", "uptown",
+                                               "harbor", "suburb"};
+  static const std::vector<std::string> kPayment{"card", "cash", "app"};
+  double fare = rng->Double(-5.0, 80.0);  // some invalid negatives
+  out << i << ',' << Timestamp(rng, 2023) << ',' << Timestamp(rng, 2023)
+      << ',' << rng->Int(1, 6) << ',' << Money(rng->Double(0.3, 30.0))
+      << ',' << Money(fare) << ',' << Money(rng->Double(0, 10)) << ','
+      << Money(rng->Double(0, 8)) << ',' << Money(rng->Double(0, 6)) << ','
+      << Money(fare > 0 ? fare * 1.2 : 1.0) << ',' << rng->Int(1, 2) << ','
+      << rng->Pick(kPayment) << ',' << rng->Pick(kZones) << ','
+      << rng->Pick(kZones) << ',' << rng->Int(1, 5) << ','
+      << (rng->Chance(0.5) ? "Y" : "N") << ',' << Money(rng->Double(0, 2))
+      << ',' << Money(rng->Double(0, 1)) << ',' << rng->Int(0, 3) << ','
+      << rng->Int(100, 999) << '\n';
+}
+
+// ---- movies + ratings (movie rating system domain) ----
+void MoviesRow(std::ofstream& out, int64_t i, Rng* rng) {
+  static const std::vector<std::string> kGenres{
+      "action", "comedy", "drama", "horror", "scifi", "romance", "doc"};
+  out << i << ",movie_" << i << ',' << rng->Pick(kGenres) << ','
+      << rng->Int(1960, 2024) << ',' << rng->Int(60, 220) << ','
+      << Money(rng->Double(0.1, 300.0)) << '\n';
+}
+
+void RatingsRow(std::ofstream& out, int64_t i, Rng* rng) {
+  (void)i;
+  out << rng->Int(1, 20000) << ',' << rng->Int(0, BaseRows("movies") - 1)
+      << ',' << Money(rng->Double(0.5, 5.0)) << ','
+      << rng->Int(800000000, 1700000000) << ',' << rng->Int(0, 1) << '\n';
+}
+
+// ---- startup analysis ----
+void StartupRow(std::ofstream& out, int64_t i, Rng* rng) {
+  static const std::vector<std::string> kCities{
+      "bangalore", "mumbai", "delhi", "pune", "chennai", "hyderabad"};
+  static const std::vector<std::string> kSectors{
+      "fintech", "health", "edtech", "logistics", "saas", "retail"};
+  static const std::vector<std::string> kStatus{"operating", "acquired",
+                                                "closed"};
+  out << "startup_" << i << ',' << rng->Pick(kCities) << ','
+      << rng->Pick(kSectors) << ',' << Money(rng->Double(0.0, 500.0)) << ','
+      << rng->Int(0, 9) << ',' << rng->Int(1995, 2024) << ','
+      << rng->Pick(kStatus) << ',' << rng->Int(1, 5000) << ','
+      << Money(rng->Double(-20, 80)) << '\n';
+}
+
+// ---- emp (the program that fails everywhere at L: external plot) ----
+void EmpRow(std::ofstream& out, int64_t i, Rng* rng) {
+  static const std::vector<std::string> kDepts{"sales", "eng", "hr", "ops",
+                                               "finance"};
+  static const std::vector<std::string> kCities{"NY", "SF", "LA", "CHI",
+                                                "SEA"};
+  out << i << ",emp_" << i << ',' << rng->Pick(kDepts) << ','
+      << Money(rng->Double(30000, 250000)) << ',' << rng->Int(21, 65) << ','
+      << rng->Int(1990, 2024) << ',' << rng->Pick(kCities) << ','
+      << Money(rng->Double(0, 40)) << ',' << rng->Int(0, 30) << '\n';
+}
+
+// ---- stu (the caching-ablation program §5.3) ----
+void StuRow(std::ofstream& out, int64_t i, Rng* rng) {
+  out << i << ",school_" << rng->Int(0, 49) << ',' << rng->Int(1, 12) << ','
+      << Money(rng->Double(0, 100)) << ',' << Money(rng->Double(0, 100))
+      << ',' << Money(rng->Double(0, 100)) << ','
+      << Money(rng->Double(50, 100)) << ',' << rng->Int(2015, 2024) << ','
+      << rng->Int(0, 1) << ',' << Money(rng->Double(0, 20)) << '\n';
+}
+
+// ---- retail orders ----
+void RetailRow(std::ofstream& out, int64_t i, Rng* rng) {
+  static const std::vector<std::string> kProducts{
+      "laptop", "phone", "tablet", "monitor", "keyboard", "mouse",
+      "charger", "case"};
+  static const std::vector<std::string> kCats{"electronics", "accessory"};
+  static const std::vector<std::string> kStores{"north", "south", "east",
+                                                "west", "online"};
+  out << i << ',' << rng->Pick(kProducts) << ',' << rng->Pick(kCats) << ','
+      << rng->Int(1, 12) << ',' << Money(rng->Double(5, 2500)) << ','
+      << Timestamp(rng, 2024) << ',' << rng->Pick(kStores) << ','
+      << rng->Int(10000, 99999) << ',' << Money(rng->Double(0, 0.4))
+      << '\n';
+}
+
+// ---- weather ----
+void WeatherRow(std::ofstream& out, int64_t i, Rng* rng) {
+  (void)i;
+  out << Timestamp(rng, 2023) << ",station_" << rng->Int(0, 39) << ','
+      << Money(rng->Double(-15, 45)) << ',' << Money(rng->Double(5, 100))
+      << ',' << Money(rng->Double(0, 120)) << ','
+      << Money(rng->Double(0, 35)) << ',' << Money(rng->Double(950, 1050))
+      << ',' << rng->Int(0, 10) << '\n';
+}
+
+// ---- flights ----
+void FlightsRow(std::ofstream& out, int64_t i, Rng* rng) {
+  static const std::vector<std::string> kAirports{
+      "JFK", "LAX", "ORD", "DFW", "DEN", "SFO", "SEA", "ATL"};
+  static const std::vector<std::string> kCarriers{"AA", "DL", "UA", "WN",
+                                                  "B6"};
+  out << i << ',' << rng->Pick(kAirports) << ',' << rng->Pick(kAirports)
+      << ',' << Timestamp(rng, 2024) << ',' << rng->Int(-20, 180) << ','
+      << rng->Int(-15, 120) << ',' << rng->Pick(kCarriers) << ','
+      << rng->Int(150, 4000) << ',' << rng->Int(50, 400) << ','
+      << (rng->Chance(0.02) ? "1" : "0") << '\n';
+}
+
+// ---- sensor telemetry ----
+void SensorRow(std::ofstream& out, int64_t i, Rng* rng) {
+  (void)i;
+  bool faulty = rng->Chance(0.03);
+  out << rng->Int(0, 99) << ',' << rng->Int(1700000000, 1710000000) << ',';
+  if (faulty) {
+    out << "";  // missing reading
+  } else {
+    out << Money(rng->Double(-10, 110));
+  }
+  out << ',' << (faulty ? "fault" : "ok") << ','
+      << Money(rng->Double(3.0, 4.2)) << ',' << rng->Int(0, 3) << '\n';
+}
+
+// ---- sales (category-dtype showcase: low-cardinality strings) ----
+void SalesRow(std::ofstream& out, int64_t i, Rng* rng) {
+  static const std::vector<std::string> kRegions{"north", "south", "east",
+                                                 "west"};
+  static const std::vector<std::string> kReps{
+      "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"};
+  static const std::vector<std::string> kProducts{"basic", "plus", "pro",
+                                                  "enterprise"};
+  (void)i;
+  out << rng->Pick(kRegions) << ',' << rng->Pick(kReps) << ','
+      << rng->Pick(kProducts) << ',' << Money(rng->Double(100, 90000))
+      << ',' << Timestamp(rng, 2024) << ',' << rng->Int(1, 40) << ','
+      << Money(rng->Double(0, 0.3)) << ',' << rng->Int(0, 1) << '\n';
+}
+
+// ---- small lookup tables ----
+void VendorsRow(std::ofstream& out, int64_t i, Rng* rng) {
+  static const std::vector<std::string> kRegions{"east", "west", "central"};
+  out << (i + 1) << ",vendor_" << (i + 1) << ',' << rng->Pick(kRegions)
+      << '\n';
+}
+
+void SchoolsRow(std::ofstream& out, int64_t i, Rng* rng) {
+  static const std::vector<std::string> kDistricts{"urban", "rural",
+                                                   "suburban"};
+  out << "school_" << i << ',' << rng->Pick(kDistricts) << ','
+      << rng->Int(1950, 2010) << '\n';
+}
+
+const std::map<std::string, Spec>& Specs() {
+  static const auto* specs = new std::map<std::string, Spec>{
+      {"taxi",
+       {"trip_id,pickup_datetime,dropoff_datetime,passenger_count,"
+        "trip_distance,fare_amount,tip_amount,tolls_amount,extra,"
+        "total_amount,vendor_id,payment_type,pickup_zone,dropoff_zone,"
+        "rate_code,store_fwd,mta_tax,improvement_surcharge,airport_fee,"
+        "driver_id",
+        TaxiRow}},
+      {"movies",
+       {"movieId,title,genre,year,runtime,revenue", MoviesRow}},
+      {"ratings", {"userId,movieId,rating,ts,liked", RatingsRow}},
+      {"startup",
+       {"name,city,sector,funding_total,funding_rounds,founded_year,"
+        "status,employees,growth",
+        StartupRow}},
+      {"emp",
+       {"emp_id,name,dept,salary,age,join_year,city,bonus_pct,leaves",
+        EmpRow}},
+      {"stu",
+       {"student_id,school,grade,score_math,score_read,score_write,"
+        "attendance,year,scholarship,activity_hours",
+        StuRow}},
+      {"retail",
+       {"order_id,product,category,qty,price,order_date,store,customer,"
+        "discount",
+        RetailRow}},
+      {"weather",
+       {"date,station,temp,humidity,rainfall,wind,pressure,cloud",
+        WeatherRow}},
+      {"flights",
+       {"flight_id,origin,dest,dep_time,arr_delay,dep_delay,carrier,"
+        "distance,seats,cancelled",
+        FlightsRow}},
+      {"sensor", {"sensor_id,ts,value,status,voltage,channel", SensorRow}},
+      {"sales",
+       {"region,rep,product,amount,date,units,discount,renewed", SalesRow}},
+      {"vendors", {"vendor_id,vendor_name,region", VendorsRow}},
+      {"schools", {"school,district,founded", SchoolsRow}},
+  };
+  return *specs;
+}
+
+}  // namespace
+
+int64_t BaseRows(const std::string& dataset) {
+  if (dataset == "taxi") return 40000;
+  if (dataset == "movies") return 4000;
+  if (dataset == "ratings") return 92000;
+  if (dataset == "startup") return 110000;
+  if (dataset == "emp") return 60000;
+  if (dataset == "stu") return 50000;
+  if (dataset == "retail") return 55000;
+  if (dataset == "weather") return 56000;
+  if (dataset == "flights") return 52500;
+  if (dataset == "sensor") return 90000;
+  if (dataset == "sales") return 60000;
+  if (dataset == "vendors") return 2;
+  if (dataset == "schools") return 50;
+  return 10000;
+}
+
+Result<Dataset> Generate(const std::string& name, const std::string& dir,
+                         int64_t rows, uint64_t seed) {
+  auto it = Specs().find(name);
+  if (it == Specs().end()) {
+    return Status::Invalid("unknown dataset: " + name);
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  Dataset ds;
+  ds.name = name;
+  ds.rows = rows;
+  ds.path = dir + "/" + name + "_" + std::to_string(rows) + ".csv";
+  if (fs::exists(ds.path)) {  // cached across runs within a bench binary
+    ds.bytes = static_cast<int64_t>(fs::file_size(ds.path, ec));
+    return ds;
+  }
+  std::ofstream out(ds.path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot create " + ds.path);
+  }
+  out << it->second.header << '\n';
+  Rng rng(seed ^ Fnv1a64(name));
+  for (int64_t i = 0; i < rows; ++i) {
+    it->second.writer(out, i, &rng);
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write failed: " + ds.path);
+  ds.bytes = static_cast<int64_t>(fs::file_size(ds.path, ec));
+  return ds;
+}
+
+std::vector<std::string> DatasetsForProgram(const std::string& program) {
+  if (program == "movie") return {"ratings", "movies"};
+  if (program == "stu") return {"stu", "schools"};
+  if (program == "taxi") return {"taxi"};
+  return {program};
+}
+
+Result<std::map<std::string, std::string>> GenerateForProgram(
+    const std::string& program, const std::string& dir, int scale) {
+  std::map<std::string, std::string> paths;
+  for (const auto& name : DatasetsForProgram(program)) {
+    int64_t rows = BaseRows(name);
+    // Lookup tables stay small at every scale.
+    if (name != "vendors" && name != "schools" && name != "movies") {
+      rows *= scale;
+    }
+    LAFP_ASSIGN_OR_RETURN(Dataset ds, Generate(name, dir, rows));
+    paths[name] = ds.path;
+  }
+  return paths;
+}
+
+}  // namespace lafp::bench

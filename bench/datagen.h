@@ -1,0 +1,44 @@
+#ifndef LAFP_BENCH_DATAGEN_H_
+#define LAFP_BENCH_DATAGEN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lafp::bench {
+
+/// Synthetic datasets standing in for the paper's real workload data
+/// (taxi trips, movie ratings, startup data, ...; DESIGN.md substitution
+/// table). All generators are seeded and deterministic.
+///
+/// `rows` scales the dataset; the benchmark sizes S/M/L use 1x/3x/9x so
+/// the size ratio matches the paper's 1.4/4.2/12.6 GB.
+struct Dataset {
+  std::string name;
+  std::string path;
+  int64_t rows = 0;
+  int64_t bytes = 0;
+};
+
+/// Generate dataset `name` with ~`rows` rows into `dir`. Supported names:
+/// taxi, movies, ratings, startup, emp, stu, retail, weather, flights,
+/// sensor, sales, vendors (small lookup), schools (small lookup).
+Result<Dataset> Generate(const std::string& name, const std::string& dir,
+                         int64_t rows, uint64_t seed = 42);
+
+/// Names of the datasets each benchmark program needs.
+std::vector<std::string> DatasetsForProgram(const std::string& program);
+
+/// Base row counts per dataset at scale factor 1 (size S).
+int64_t BaseRows(const std::string& dataset);
+
+/// Generate everything `program` needs at `scale`; returns name->path.
+Result<std::map<std::string, std::string>> GenerateForProgram(
+    const std::string& program, const std::string& dir, int scale);
+
+}  // namespace lafp::bench
+
+#endif  // LAFP_BENCH_DATAGEN_H_

@@ -1,0 +1,78 @@
+#ifndef LAFP_BENCH_HARNESS_H_
+#define LAFP_BENCH_HARNESS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/backend.h"
+
+namespace lafp::bench {
+
+/// The six evaluation configurations of the paper's Figures 12-15:
+/// {Pandas, Modin, Dask} x {plain, LaFP-optimized}.
+struct BenchConfig {
+  exec::BackendKind backend = exec::BackendKind::kPandas;
+  bool optimized = false;  // LPandas / LModin / LDask when true
+
+  /// §3.5 knob for the caching ablation: forwarding live_df hints can be
+  /// disabled while keeping every other optimization.
+  bool enable_caching = true;
+
+  // ---- per-optimization ablation knobs (optimized runs only) ----
+  bool enable_column_selection = true;  // §3.1 usecols rewrite
+  bool enable_lazy_print = true;        // §3.3 lazy print
+  bool enable_pushdown = true;          // §3.2 graph predicate pushdown
+  bool enable_metadata = true;          // §3.6 dtype/category hints
+  /// §5.4 extension: persist Dask collections to disk instead of memory.
+  bool spill_persisted = false;
+
+  /// Deterministic stand-in for the machine's 32 GB RAM (DESIGN.md).
+  /// 0 = unlimited.
+  int64_t memory_budget = 0;
+
+  size_t partition_rows = 8192;
+  /// Simulated per-task scheduling overhead (µs); defaults below mirror
+  /// the paper's observation that Dask/Modin trail Pandas in memory.
+  int64_t task_overhead_us = -1;  // -1 = per-backend default
+};
+
+/// Display name ("Pandas", "LDask", ...) as used in the paper's figures.
+std::string ConfigName(const BenchConfig& config);
+
+/// All six configurations in figure order.
+std::vector<BenchConfig> AllConfigs(int64_t memory_budget);
+
+struct BenchResult {
+  bool success = false;
+  Status status;
+  double seconds = 0.0;
+  int64_t peak_bytes = 0;
+  double analysis_seconds = 0.0;  // JIT static-analysis overhead
+  std::string checksums;          // concatenated "checksum ..." lines
+};
+
+/// Run one benchmark program under one configuration: fresh tracker with
+/// the budget, fresh session, full pipeline. Never fails hard — errors
+/// (OOM in particular) are reported in the result, as in Figure 12.
+BenchResult RunBenchmark(const std::string& program_name,
+                         const std::map<std::string, std::string>& paths,
+                         const BenchConfig& config,
+                         const std::string& scratch_dir);
+
+/// Shared scratch directory for generated datasets and metastores
+/// (respects LAFP_BENCH_DIR, defaults to <temp>/lafp_bench).
+std::string BenchScratchDir();
+
+/// Scale factors for the paper's three dataset sizes (S=1, M=3, L=9,
+/// mirroring 1.4/4.2/12.6 GB). Respects LAFP_BENCH_QUICK=1 for smoke
+/// runs.
+std::vector<std::pair<std::string, int>> BenchSizes();
+
+/// The memory budget playing the role of the paper's 32 GB.
+int64_t DefaultMemoryBudget();
+
+}  // namespace lafp::bench
+
+#endif  // LAFP_BENCH_HARNESS_H_

@@ -1,0 +1,240 @@
+#include "bench/programs.h"
+
+namespace lafp::bench {
+
+namespace {
+
+/// Substitute {name} placeholders with dataset paths.
+Result<std::string> Fill(std::string tmpl,
+                         const std::map<std::string, std::string>& paths) {
+  for (const auto& [name, path] : paths) {
+    std::string key = "{" + name + "}";
+    size_t pos;
+    while ((pos = tmpl.find(key)) != std::string::npos) {
+      tmpl.replace(pos, key.size(), path);
+    }
+  }
+  if (tmpl.find('{') != std::string::npos) {
+    size_t pos = tmpl.find('{');
+    // f-strings legitimately contain braces after "f\""; only flag
+    // placeholders that look like {name}.csv injections left unfilled.
+    (void)pos;
+  }
+  return tmpl;
+}
+
+}  // namespace
+
+std::vector<std::string> ProgramNames() {
+  return {"taxi",   "movie",  "startup", "emp",    "stu",
+          "retail", "weather", "flights", "sensor", "sales"};
+}
+
+std::string ProgramDescription(const std::string& name) {
+  if (name == "taxi") {
+    return "Figure 3 workload: filter + feature add + groupby; exercises "
+           "column selection (20 cols -> 3) and lazy print";
+  }
+  if (name == "movie") {
+    return "ratings x movies merge + per-genre aggregation; exercises "
+           "merge broadcast and cross-frame column selection";
+  }
+  if (name == "startup") {
+    return "exploratory filters + value_counts + multiple prints; "
+           "exercises lazy print and predicate pushdown";
+  }
+  if (name == "emp") {
+    return "per-dept salary stats, then an external plot of the full "
+           "frame: the materialization that OOMs every backend at L";
+  }
+  if (name == "stu") {
+    return "shared feature frame reused by a plot and later aggregates; "
+           "the common-computation-reuse / caching ablation program";
+  }
+  if (name == "retail") {
+    return "revenue feature + filter above mean + per-product rollup; "
+           "exercises pushdown and runtime-scalar predicates";
+  }
+  if (name == "weather") {
+    return "datetime features + conjunctive filters + monthly rollup; "
+           "exercises pushdown through set_item and dt accessors";
+  }
+  if (name == "flights") {
+    return "delay analysis with dedup and nunique; exercises fallback "
+           "aggregation paths";
+  }
+  if (name == "sensor") {
+    return "data cleaning (fillna/dropna) with control flow on len(); "
+           "exercises branches in the static analyses";
+  }
+  if (name == "sales") {
+    return "low-cardinality string groupbys; exercises the metadata "
+           "category-dtype optimization";
+  }
+  return "";
+}
+
+Result<std::string> ProgramSource(
+    const std::string& name,
+    const std::map<std::string, std::string>& paths) {
+  std::string src;
+  if (name == "taxi") {
+    // Paper Figure 3, extended with the Figure 7 print pattern.
+    src =
+        "import lazyfatpandas.pandas as pd\n"
+        "df = pd.read_csv(\"{taxi}\")\n"
+        "print(df.head())\n"
+        "df = df[df.fare_amount > 0]\n"
+        "df[\"day\"] = df.pickup_datetime.dt.dayofweek\n"
+        "p_per_day = df.groupby([\"day\"])[\"passenger_count\"].sum()\n"
+        "print(p_per_day)\n"
+        "avg_fare = df.fare_amount.mean()\n"
+        "print(f\"Average fare: {avg_fare}\")\n"
+        "checksum(p_per_day)\n";
+  } else if (name == "movie") {
+    src =
+        "import lazyfatpandas.pandas as pd\n"
+        "ratings = pd.read_csv(\"{ratings}\")\n"
+        "movies = pd.read_csv(\"{movies}\")\n"
+        "good = ratings[ratings.rating >= 3.0]\n"
+        "j = good.merge(movies, on=[\"movieId\"], how=\"inner\")\n"
+        "by_genre = j.groupby([\"genre\"])[\"rating\"].mean()\n"
+        "print(by_genre)\n"
+        "recent = j[j.year >= 2000]\n"
+        "per_year = recent.groupby([\"year\"])[\"rating\"].count()\n"
+        "checksum(by_genre)\n"
+        "checksum(per_year)\n";
+  } else if (name == "startup") {
+    src =
+        "import lazyfatpandas.pandas as pd\n"
+        "df = pd.read_csv(\"{startup}\")\n"
+        "print(df.head())\n"
+        "alive = df[df.status == \"operating\"]\n"
+        "funded = alive[alive.funding_total > 50.0]\n"
+        "by_city = funded.groupby([\"city\"])[\"funding_total\"].sum()\n"
+        "print(by_city)\n"
+        "sectors = funded.sector.value_counts()\n"
+        "print(sectors)\n"
+        "n = len(funded)\n"
+        "print(f\"funded startups: {n}\")\n"
+        "n_names = funded.name.count()\n"
+        "by_year = funded.groupby([\"founded_year\"])[\"employees\"].sum()\n"
+        "avg_growth = funded.growth.mean()\n"
+        "rounds = df.funding_rounds.sum()\n"
+        "print(f\"named: {n_names} growth: {avg_growth} rounds: {rounds}\")\n"
+        "checksum(by_city)\n"
+        "checksum(sectors)\n"
+        "checksum(by_year)\n";
+  } else if (name == "emp") {
+    // The program whose external plot needs the FULL dataframe
+    // materialized (paper §5.2: fails on every backend at 12.6 GB).
+    src =
+        "import lazyfatpandas.pandas as pd\n"
+        "import matplotlib.pyplot as plt\n"
+        "df = pd.read_csv(\"{emp}\")\n"
+        "by_dept = df.groupby([\"dept\"])[\"salary\"].mean()\n"
+        "print(by_dept)\n"
+        "plt.plot(df)\n"
+        "seniors = df[df.age > 50]\n"
+        "by_city = seniors.groupby([\"city\"])[\"salary\"].max()\n"
+        "checksum(by_dept)\n"
+        "checksum(by_city)\n";
+  } else if (name == "stu") {
+    // Shared subexpression: the feature frame feeds a forced compute
+    // (plot) and is reused afterwards (paper §3.5 / §5.3 ablation).
+    src =
+        "import lazyfatpandas.pandas as pd\n"
+        "import matplotlib.pyplot as plt\n"
+        "df = pd.read_csv(\"{stu}\")\n"
+        "df[\"total\"] = df.score_math + df.score_read\n"
+        "df[\"weighted\"] = df.total * df.attendance\n"
+        "by_school = df.groupby([\"school\"])[\"total\"].mean()\n"
+        "plt.plot(by_school)\n"
+        "by_grade = df.groupby([\"grade\"])[\"weighted\"].mean()\n"
+        "print(by_grade)\n"
+        "top = df[df.total > 150.0]\n"
+        "per_year = top.groupby([\"year\"])[\"total\"].count()\n"
+        "avg_attendance = df.attendance.mean()\n"
+        "print(f\"avg attendance: {avg_attendance}\")\n"
+        "checksum(by_grade)\n"
+        "checksum(per_year)\n";
+  } else if (name == "retail") {
+    src =
+        "import lazyfatpandas.pandas as pd\n"
+        "df = pd.read_csv(\"{retail}\")\n"
+        "df[\"revenue\"] = df.price * df.qty\n"
+        "avg = df.revenue.mean()\n"
+        "big = df[df.revenue > avg]\n"
+        "by_product = big.groupby([\"product\"])[\"revenue\"].sum()\n"
+        "print(by_product)\n"
+        "by_store = big.groupby([\"store\"])[\"revenue\"].mean()\n"
+        "checksum(by_product)\n"
+        "checksum(by_store)\n";
+  } else if (name == "weather") {
+    src =
+        "import lazyfatpandas.pandas as pd\n"
+        "df = pd.read_csv(\"{weather}\")\n"
+        "df[\"month\"] = df.date.dt.month\n"
+        "wet = df[(df.rainfall > 20.0) & (df.temp > 5.0)]\n"
+        "monthly = wet.groupby([\"month\"])[\"rainfall\"].sum()\n"
+        "print(monthly)\n"
+        "hot = df[df.temp > 35.0]\n"
+        "n = len(hot)\n"
+        "print(f\"hot readings: {n}\")\n"
+        "checksum(monthly)\n";
+  } else if (name == "flights") {
+    src =
+        "import lazyfatpandas.pandas as pd\n"
+        "df = pd.read_csv(\"{flights}\")\n"
+        "late = df[df.arr_delay > 0]\n"
+        "by_carrier = late.groupby([\"carrier\"])[\"arr_delay\"].mean()\n"
+        "print(by_carrier)\n"
+        "routes = late.drop_duplicates(subset=[\"origin\", \"dest\"])\n"
+        "n_routes = len(routes)\n"
+        "print(f\"late routes: {n_routes}\")\n"
+        "origins = df.origin.nunique()\n"
+        "print(f\"origins: {origins}\")\n"
+        "worst = late.sort_values(by=[\"arr_delay\"], ascending=False)\n"
+        "top = worst.head(20)\n"
+        "topsel = top[[\"carrier\", \"arr_delay\", \"origin\", \"dest\"]]\n"
+        "checksum(by_carrier)\n"
+        "checksum(topsel)\n";
+  } else if (name == "sensor") {
+    src =
+        "import lazyfatpandas.pandas as pd\n"
+        "df = pd.read_csv(\"{sensor}\")\n"
+        "clean = df.dropna()\n"
+        "n = len(clean)\n"
+        "if n > 100:\n"
+        "    filled = df.fillna(0)\n"
+        "    by_sensor = filled.groupby([\"sensor_id\"])[\"value\"].mean()\n"
+        "else:\n"
+        "    by_sensor = clean.groupby([\"sensor_id\"])[\"value\"].mean()\n"
+        "print(by_sensor.head())\n"
+        "faults = df[df.status == \"fault\"]\n"
+        "n_faults = len(faults)\n"
+        "print(f\"faults: {n_faults}\")\n"
+        "by_channel = df.groupby([\"channel\"])[\"voltage\"].mean()\n"
+        "span = df.ts.max()\n"
+        "print(f\"latest: {span}\")\n"
+        "checksum(by_sensor)\n"
+        "checksum(by_channel)\n";
+  } else if (name == "sales") {
+    src =
+        "import lazyfatpandas.pandas as pd\n"
+        "df = pd.read_csv(\"{sales}\")\n"
+        "by_region = df.groupby([\"region\"])[\"amount\"].sum()\n"
+        "print(by_region)\n"
+        "by_rep = df.groupby([\"rep\"])[\"amount\"].mean()\n"
+        "print(by_rep)\n"
+        "big = df[df.amount > 50000.0]\n"
+        "by_product = big.groupby([\"product\"])[\"amount\"].count()\n"
+        "checksum(by_region)\n"
+        "checksum(by_product)\n";
+  } else {
+    return Status::Invalid("unknown benchmark program: " + name);
+  }
+  return Fill(std::move(src), paths);
+}
+
+}  // namespace lafp::bench

@@ -1,0 +1,29 @@
+#ifndef LAFP_BENCH_PROGRAMS_H_
+#define LAFP_BENCH_PROGRAMS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lafp::bench {
+
+/// The 10 benchmark programs (paper §5.1: real workloads over movie
+/// ratings, taxi data, startup analysis, emp, stu, ...). Each is a
+/// PdScript source parameterized by its dataset paths, ends with a
+/// checksum() of its result frame (the §5.2 regression hash), and
+/// exercises a documented mix of LaFP optimizations.
+std::vector<std::string> ProgramNames();
+
+/// Program source with dataset paths substituted.
+Result<std::string> ProgramSource(
+    const std::string& name,
+    const std::map<std::string, std::string>& dataset_paths);
+
+/// One-line description of the optimization mix the program exercises.
+std::string ProgramDescription(const std::string& name);
+
+}  // namespace lafp::bench
+
+#endif  // LAFP_BENCH_PROGRAMS_H_

@@ -1,0 +1,88 @@
+// Runs one analytical program under all six configurations the paper
+// evaluates ({Pandas, Modin, Dask} x {plain, LaFP}) under a memory budget
+// and prints a miniature of Figures 13/15: time, peak tracked memory, and
+// success. Shows the choose-your-backend value proposition of §2.6.
+//
+//   ./build/examples/backend_comparison
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/timer.h"
+#include "optimizer/passes.h"
+#include "script/analyze.h"
+
+using namespace lafp;
+
+int main() {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "orders_example.csv")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "order,product,qty,price,region,note_a,note_b,note_c\n";
+    for (int i = 0; i < 200000; ++i) {
+      out << i << ",p" << (i % 50) << "," << (i % 9 + 1) << ","
+          << (i % 500) * 0.75 << ","
+          << (i % 4 == 0 ? "north" : (i % 4 == 1 ? "south"
+                                                 : (i % 4 == 2 ? "east"
+                                                               : "west")))
+          << ",lorem,ipsum,dolor\n";
+    }
+  }
+  std::string program =
+      "import lazyfatpandas.pandas as pd\n"
+      "df = pd.read_csv(\"" + path + "\")\n"
+      "df[\"revenue\"] = df.price * df.qty\n"
+      "big = df[df.revenue > 1000.0]\n"
+      "by_region = big.groupby([\"region\"])[\"revenue\"].sum()\n"
+      "print(by_region)\n";
+
+  constexpr int64_t kBudget = 48LL * 1000 * 1000;  // deliberately tight
+  std::printf("one program, six configurations (budget %lld MB)\n\n",
+              static_cast<long long>(kBudget / 1000000));
+  std::printf("%-10s %10s %12s %8s\n", "config", "time (s)", "peak (MB)",
+              "status");
+
+  for (auto backend :
+       {exec::BackendKind::kPandas, exec::BackendKind::kModin,
+        exec::BackendKind::kDask}) {
+    for (bool optimized : {false, true}) {
+      MemoryTracker tracker(kBudget);
+      lazy::SessionOptions options;
+      options.backend = backend;
+      options.tracker = &tracker;
+      options.backend_config.partition_rows = 16384;
+      std::stringstream sink;
+      options.output = &sink;  // keep the table clean
+      if (optimized) {
+        options.mode = lazy::ExecutionMode::kLazy;
+        options.lazy_print = true;
+      } else if (backend == exec::BackendKind::kDask) {
+        options.mode = lazy::ExecutionMode::kLazy;
+        options.lazy_print = false;
+      } else {
+        options.mode = lazy::ExecutionMode::kEager;
+      }
+      lazy::Session session(options);
+      if (optimized) opt::InstallDefaultOptimizer(&session);
+
+      script::RunOptions run;
+      run.analyze = optimized;
+      Timer timer;
+      Status st = script::RunProgram(program, &session, run);
+      std::string name = std::string(optimized ? "L" : "") +
+                         exec::BackendKindName(backend);
+      std::printf("%-10s %10.3f %12.1f %8s\n", name.c_str(),
+                  timer.ElapsedSeconds(), tracker.peak() / 1e6,
+                  st.ok() ? "ok" : StatusCodeToString(st.code()));
+    }
+  }
+  std::printf(
+      "\nReading: the eager engines hold everything (and OOM first as\n"
+      "data grows); LaFP's column selection shrinks them; Dask streams\n"
+      "within the budget, and LDask adds the paper's rewrites on top.\n");
+  std::filesystem::remove(path);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// The paper end-to-end: a plain-pandas program (Figure 3) is JIT-analyzed
+// (pd.analyze()), rewritten (Figure 4: usecols column selection, lazy
+// print, flush) and executed on the LaFP lazy runtime.
+//
+//   ./build/examples/taxi_analysis
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "optimizer/passes.h"
+#include "script/analyze.h"
+
+using namespace lafp;
+
+int main() {
+  // A 20-column taxi file of which the program uses only 3 — the setting
+  // of the paper's §3.1 walkthrough.
+  std::string path =
+      (std::filesystem::temp_directory_path() / "taxi_example.csv")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "trip_id,pickup_datetime,dropoff_datetime,passenger_count,"
+           "trip_distance,fare_amount,tip,tolls,extra,total,vendor,"
+           "payment,pzone,dzone,rate,fwd,tax,surcharge,airport,driver\n";
+    for (int i = 0; i < 5000; ++i) {
+      out << i << ",2023-07-" << (i % 28 + 1 < 10 ? "0" : "")
+          << (i % 28 + 1) << " 10:00:00,2023-07-01 11:00:00,"
+          << (i % 5 + 1) << ",3.2," << (i % 40) - 4
+          << ".5,1,0,0.5,20,1,card,a,b,1,N,0.5,0.3,0,77\n";
+    }
+  }
+
+  std::string program =
+      "import lazyfatpandas.pandas as pd\n"
+      "pd.analyze()\n"
+      "df = pd.read_csv(\"" + path + "\")\n"
+      "df = df[df.fare_amount > 0]\n"
+      "df[\"day\"] = df.pickup_datetime.dt.dayofweek\n"
+      "p_per_day = df.groupby([\"day\"])[\"passenger_count\"].sum()\n"
+      "print(p_per_day)\n"
+      "avg_fare = df.fare_amount.mean()\n"
+      "print(f\"Average fare: {avg_fare}\")\n";
+
+  std::printf("---- original program (paper Figure 3) ----\n%s\n",
+              program.c_str());
+
+  // pd.analyze(): parse -> SCIRPy -> CFG -> live attribute analysis ->
+  // rewrite -> regenerate.
+  auto analyzed = script::Analyze(program);
+  if (!analyzed.ok()) {
+    std::cerr << analyzed.status().ToString() << "\n";
+    return 1;
+  }
+  std::printf("---- rewritten program (paper Figure 4) ----\n%s\n",
+              analyzed->regenerated_source.c_str());
+  std::printf("analysis took %.4f s; %d read(s) pruned\n\n",
+              analyzed->analysis_seconds, analyzed->stats.reads_pruned);
+
+  // Execute the rewritten program on the LaFP lazy runtime with the graph
+  // optimizer installed.
+  lazy::SessionOptions options;
+  options.backend = exec::BackendKind::kPandas;
+  options.mode = lazy::ExecutionMode::kLazy;
+  lazy::Session session(options);
+  opt::InstallDefaultOptimizer(&session);
+
+  std::printf("---- program output ----\n");
+  script::RunOptions run;
+  run.analyze = true;
+  Status st = script::RunProgram(program, &session, run);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+
+  std::filesystem::remove(path);
+  return 0;
+}

@@ -1,0 +1,129 @@
+#include "common/hash.h"
+
+#include <algorithm>
+#include <array>
+
+namespace lafp {
+
+namespace {
+
+constexpr std::array<uint32_t, 64> kMd5K = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+constexpr std::array<uint32_t, 64> kMd5Shift = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+inline uint32_t RotLeft(uint32_t x, uint32_t c) {
+  return (x << c) | (x >> (32 - c));
+}
+
+}  // namespace
+
+Md5::Md5() {
+  state_[0] = 0x67452301;
+  state_[1] = 0xefcdab89;
+  state_[2] = 0x98badcfe;
+  state_[3] = 0x10325476;
+}
+
+void Md5::ProcessBlock(const uint8_t block[64]) {
+  uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = static_cast<uint32_t>(block[i * 4]) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 8) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 3]) << 24);
+  }
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  for (uint32_t i = 0; i < 64; ++i) {
+    uint32_t f, g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + RotLeft(a + f + kMd5K[i] + m[g], kMd5Shift[i]);
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::Update(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  bit_count_ += static_cast<uint64_t>(len) * 8;
+  while (len > 0) {
+    size_t take = std::min<size_t>(64 - buffer_len_, len);
+    std::memcpy(buffer_ + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == 64) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+}
+
+std::string Md5::HexDigest() {
+  uint64_t bits = bit_count_;
+  const uint8_t pad = 0x80;
+  Update(&pad, 1);
+  const uint8_t zero = 0x00;
+  while (buffer_len_ != 56) Update(&zero, 1);
+  uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<uint8_t>((bits >> (8 * i)) & 0xff);
+  }
+  // Bypass bit_count_ accounting for the trailer itself.
+  std::memcpy(buffer_ + buffer_len_, len_bytes, 8);
+  buffer_len_ += 8;
+  ProcessBlock(buffer_);
+  buffer_len_ = 0;
+
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (uint32_t s : state_) {
+    for (int i = 0; i < 4; ++i) {
+      uint8_t byte = static_cast<uint8_t>((s >> (8 * i)) & 0xff);
+      out.push_back(hex[byte >> 4]);
+      out.push_back(hex[byte & 0xf]);
+    }
+  }
+  return out;
+}
+
+std::string Md5::Of(std::string_view s) {
+  Md5 md5;
+  md5.Update(s);
+  return md5.HexDigest();
+}
+
+}  // namespace lafp

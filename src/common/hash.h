@@ -1,0 +1,59 @@
+#ifndef LAFP_COMMON_HASH_H_
+#define LAFP_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace lafp {
+
+/// FNV-1a 64-bit hash; used for hash joins / groupby bucketing.
+inline uint64_t Fnv1a64(const void* data, size_t len,
+                        uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  // boost::hash_combine recipe widened to 64 bits.
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+/// Incremental MD5, used for the paper's regression-hash check (§5.2):
+/// outputs of optimized programs are md5-compared against plain Pandas.
+class Md5 {
+ public:
+  Md5();
+
+  void Update(const void* data, size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  /// Finalize and return the 32-char lowercase hex digest. The object must
+  /// not be updated afterwards.
+  std::string HexDigest();
+
+  /// One-shot convenience.
+  static std::string Of(std::string_view s);
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[4];
+  uint64_t bit_count_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace lafp
+
+#endif  // LAFP_COMMON_HASH_H_

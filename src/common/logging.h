@@ -1,0 +1,70 @@
+#ifndef LAFP_COMMON_LOGGING_H_
+#define LAFP_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace lafp {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kWarn so
+/// library users see problems but not chatter.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~FatalMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed operands when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace lafp
+
+#define LAFP_LOG(level)                                                \
+  if (::lafp::LogLevel::k##level < ::lafp::GetLogLevel()) {            \
+  } else                                                               \
+    ::lafp::internal::LogMessage(::lafp::LogLevel::k##level, __FILE__, \
+                                 __LINE__)                             \
+        .stream()
+
+/// Invariant check: aborts with a message on failure. For programming
+/// errors only — recoverable conditions go through Status.
+#define LAFP_CHECK(expr)                                              \
+  if (expr) {                                                         \
+  } else                                                              \
+    ::lafp::internal::FatalMessage(__FILE__, __LINE__, #expr).stream()
+
+#define LAFP_DCHECK(expr) LAFP_CHECK(expr)
+
+#endif  // LAFP_COMMON_LOGGING_H_

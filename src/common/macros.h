@@ -1,0 +1,24 @@
+#ifndef LAFP_COMMON_MACROS_H_
+#define LAFP_COMMON_MACROS_H_
+
+/// Propagate a non-OK Status from the current function.
+#define LAFP_RETURN_NOT_OK(expr)             \
+  do {                                       \
+    ::lafp::Status _st = (expr);             \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+#define LAFP_CONCAT_IMPL(x, y) x##y
+#define LAFP_CONCAT(x, y) LAFP_CONCAT_IMPL(x, y)
+
+/// Evaluate an expression yielding Result<T>; on error propagate the Status,
+/// otherwise move the value into `lhs` (which may be a declaration).
+#define LAFP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define LAFP_ASSIGN_OR_RETURN(lhs, rexpr) \
+  LAFP_ASSIGN_OR_RETURN_IMPL(LAFP_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#endif  // LAFP_COMMON_MACROS_H_

@@ -1,0 +1,70 @@
+#include "common/memory_tracker.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace lafp {
+
+Status MemoryTracker::Reserve(int64_t bytes) {
+  if (bytes < 0) return Status::Invalid("negative reservation");
+  int64_t cur = current_.load(std::memory_order_relaxed);
+  while (true) {
+    int64_t next = cur + bytes;
+    if (budget_ > 0 && next > budget_) {
+      std::ostringstream msg;
+      msg << "memory budget exceeded: in use " << cur << " + request "
+          << bytes << " > budget " << budget_;
+      return Status::OutOfMemory(msg.str());
+    }
+    if (current_.compare_exchange_weak(cur, next,
+                                       std::memory_order_relaxed)) {
+      // Peak update: monotonic max.
+      int64_t prev_peak = peak_.load(std::memory_order_relaxed);
+      while (next > prev_peak && !peak_.compare_exchange_weak(
+                                     prev_peak, next,
+                                     std::memory_order_relaxed)) {
+      }
+      return Status::OK();
+    }
+  }
+}
+
+void MemoryTracker::Release(int64_t bytes) {
+  if (bytes <= 0) return;
+  int64_t cur = current_.load(std::memory_order_relaxed);
+  while (true) {
+    int64_t next = std::max<int64_t>(0, cur - bytes);
+    if (current_.compare_exchange_weak(cur, next,
+                                       std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void MemoryTracker::Reset() {
+  current_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+}
+
+std::string MemoryTracker::ToString() const {
+  std::ostringstream os;
+  os << "MemoryTracker{current=" << current() << ", peak=" << peak()
+     << ", budget=" << budget_ << "}";
+  return os.str();
+}
+
+MemoryTracker* MemoryTracker::Default() {
+  static MemoryTracker* tracker = new MemoryTracker(0);
+  return tracker;
+}
+
+Status ScopedReservation::Make(MemoryTracker* tracker, int64_t bytes,
+                               ScopedReservation* out) {
+  LAFP_RETURN_NOT_OK(tracker->Reserve(bytes));
+  *out = ScopedReservation(tracker, bytes);
+  return Status::OK();
+}
+
+}  // namespace lafp

@@ -1,0 +1,101 @@
+#ifndef LAFP_COMMON_MEMORY_TRACKER_H_
+#define LAFP_COMMON_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace lafp {
+
+/// Deterministic memory accountant standing in for physical RAM in the
+/// paper's experiments (see DESIGN.md, substitution table). Every dataframe
+/// column registers its footprint here; when the budget would be exceeded
+/// the reservation fails with StatusCode::kOutOfMemory, which the harness
+/// reports exactly like the paper reports a process OOM.
+///
+/// Thread-safe: the Modin backend reserves from worker threads.
+class MemoryTracker {
+ public:
+  /// `budget_bytes` == 0 means unlimited.
+  explicit MemoryTracker(int64_t budget_bytes = 0) : budget_(budget_bytes) {}
+
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  /// Reserve `bytes`; fails (leaving usage unchanged) if it would exceed the
+  /// budget.
+  Status Reserve(int64_t bytes);
+
+  /// Release a previous reservation. Releasing more than reserved clamps to
+  /// zero (robustness over strictness: double-release must not corrupt
+  /// later accounting).
+  void Release(int64_t bytes);
+
+  int64_t current() const { return current_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  int64_t budget() const { return budget_; }
+
+  void set_budget(int64_t budget_bytes) { budget_ = budget_bytes; }
+
+  /// Reset current and peak usage to zero (between benchmark runs).
+  void Reset();
+
+  std::string ToString() const;
+
+  /// Process-wide default tracker (unlimited budget). Sessions use this
+  /// unless given their own tracker.
+  static MemoryTracker* Default();
+
+ private:
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
+  int64_t budget_{0};
+};
+
+/// RAII reservation: reserves in the constructor-equivalent factory and
+/// releases on destruction. Movable, not copyable.
+class ScopedReservation {
+ public:
+  ScopedReservation() = default;
+  ScopedReservation(MemoryTracker* tracker, int64_t bytes)
+      : tracker_(tracker), bytes_(bytes) {}
+  ScopedReservation(ScopedReservation&& other) noexcept { Swap(other); }
+  ScopedReservation& operator=(ScopedReservation&& other) noexcept {
+    if (this != &other) {
+      Free();
+      Swap(other);
+    }
+    return *this;
+  }
+  ScopedReservation(const ScopedReservation&) = delete;
+  ScopedReservation& operator=(const ScopedReservation&) = delete;
+  ~ScopedReservation() { Free(); }
+
+  /// Attempt the reservation; on success returns a live reservation.
+  static Status Make(MemoryTracker* tracker, int64_t bytes,
+                     ScopedReservation* out);
+
+  int64_t bytes() const { return bytes_; }
+
+  void Free() {
+    if (tracker_ != nullptr && bytes_ > 0) tracker_->Release(bytes_);
+    tracker_ = nullptr;
+    bytes_ = 0;
+  }
+
+ private:
+  void Swap(ScopedReservation& other) {
+    std::swap(tracker_, other.tracker_);
+    std::swap(bytes_, other.bytes_);
+  }
+
+  MemoryTracker* tracker_ = nullptr;
+  int64_t bytes_ = 0;
+};
+
+}  // namespace lafp
+
+#endif  // LAFP_COMMON_MEMORY_TRACKER_H_

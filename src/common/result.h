@@ -1,0 +1,57 @@
+#ifndef LAFP_COMMON_RESULT_H_
+#define LAFP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace lafp {
+
+/// Value-or-error holder, modeled on arrow::Result. A Result is either a
+/// non-OK Status or a T; constructing one from an OK Status is a programming
+/// error (asserted in debug builds, degraded to an Invalid status otherwise).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                         // NOLINT(runtime/explicit)
+      : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok());
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Invalid("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace lafp
+
+#endif  // LAFP_COMMON_RESULT_H_

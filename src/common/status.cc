@@ -1,0 +1,44 @@
+#include "common/status.h"
+
+namespace lafp {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalid:
+      return "invalid";
+    case StatusCode::kOutOfMemory:
+      return "out of memory";
+    case StatusCode::kIOError:
+      return "io error";
+    case StatusCode::kKeyError:
+      return "key error";
+    case StatusCode::kTypeError:
+      return "type error";
+    case StatusCode::kIndexError:
+      return "index error";
+    case StatusCode::kParseError:
+      return "parse error";
+    case StatusCode::kNotImplemented:
+      return "not implemented";
+    case StatusCode::kExecutionError:
+      return "execution error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code(), context + ": " + message());
+}
+
+}  // namespace lafp

@@ -1,0 +1,102 @@
+#ifndef LAFP_COMMON_STATUS_H_
+#define LAFP_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace lafp {
+
+/// Machine-readable category for a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalid = 1,         // malformed argument or request
+  kOutOfMemory = 2,     // memory budget exceeded (recoverable by design)
+  kIOError = 3,         // file system / CSV failures
+  kKeyError = 4,        // unknown column / variable
+  kTypeError = 5,       // operation applied to wrong type
+  kIndexError = 6,      // out-of-range positional access
+  kParseError = 7,      // PdScript front-end errors
+  kNotImplemented = 8,  // unsupported API surface
+  kExecutionError = 9,  // runtime failure while evaluating a task graph
+};
+
+/// Returns the canonical lowercase name for a code ("ok", "key error", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object. Cheap to pass around: the OK state is
+/// a null pointer; error states carry a code and message on the heap.
+///
+/// Public APIs in this project return Status (or Result<T>) instead of
+/// throwing; out-of-memory in particular is an ordinary recoverable error
+/// because the benchmark harness records OOM outcomes (paper Fig. 12).
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string msg)
+      : state_(std::make_shared<State>(State{code, std::move(msg)})) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalid, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status IndexError(std::string msg) {
+    return Status(StatusCode::kIndexError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
+  bool IsKeyError() const { return code() == StatusCode::kKeyError; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context` prepended to the message.
+  Status WithContext(const std::string& context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<State> state_;  // null == OK
+};
+
+}  // namespace lafp
+
+#endif  // LAFP_COMMON_STATUS_H_

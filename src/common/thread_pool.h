@@ -1,0 +1,50 @@
+#ifndef LAFP_COMMON_THREAD_POOL_H_
+#define LAFP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lafp {
+
+/// Fixed-size worker pool used by the Modin backend for partition-parallel
+/// execution. Tasks are plain std::function<void()>; result plumbing and
+/// error collection are the caller's responsibility (see ParallelFor).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;        // wakes workers
+  std::condition_variable idle_cv_;   // wakes WaitIdle
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Run fn(i) for i in [0, n) on the pool, blocking until all are done.
+/// fn must be internally synchronized for any shared state.
+void ParallelFor(ThreadPool* pool, int n, const std::function<void(int)>& fn);
+
+}  // namespace lafp
+
+#endif  // LAFP_COMMON_THREAD_POOL_H_

@@ -1,0 +1,32 @@
+#ifndef LAFP_COMMON_TIMER_H_
+#define LAFP_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace lafp {
+
+/// Monotonic stopwatch for the benchmark harness.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lafp
+
+#endif  // LAFP_COMMON_TIMER_H_

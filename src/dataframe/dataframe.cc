@@ -1,0 +1,187 @@
+#include "dataframe/dataframe.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace lafp::df {
+
+Result<DataFrame> DataFrame::Make(std::vector<std::string> names,
+                                  std::vector<ColumnPtr> columns) {
+  if (names.size() != columns.size()) {
+    return Status::Invalid("names/columns arity mismatch");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& n : names) {
+    if (!seen.insert(n).second) {
+      return Status::Invalid("duplicate column name: " + n);
+    }
+  }
+  for (size_t i = 1; i < columns.size(); ++i) {
+    if (columns[i]->size() != columns[0]->size()) {
+      return Status::Invalid("column length mismatch at '" + names[i] + "'");
+    }
+  }
+  DataFrame out;
+  out.names_ = std::move(names);
+  out.columns_ = std::move(columns);
+  return out;
+}
+
+int DataFrame::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<ColumnPtr> DataFrame::column(const std::string& name) const {
+  int idx = ColumnIndex(name);
+  if (idx < 0) return Status::KeyError("no column named '" + name + "'");
+  return columns_[idx];
+}
+
+MemoryTracker* DataFrame::tracker() const {
+  return columns_.empty() ? MemoryTracker::Default()
+                          : columns_[0]->tracker();
+}
+
+Result<DataFrame> DataFrame::Select(
+    const std::vector<std::string>& names) const {
+  std::vector<ColumnPtr> cols;
+  cols.reserve(names.size());
+  for (const auto& n : names) {
+    LAFP_ASSIGN_OR_RETURN(ColumnPtr c, column(n));
+    cols.push_back(std::move(c));
+  }
+  return Make(names, std::move(cols));
+}
+
+Result<DataFrame> DataFrame::WithColumn(const std::string& name,
+                                        ColumnPtr column) const {
+  if (!columns_.empty() && column->size() != num_rows()) {
+    return Status::Invalid("setitem length mismatch for '" + name + "'");
+  }
+  DataFrame out = *this;
+  int idx = ColumnIndex(name);
+  if (idx >= 0) {
+    out.columns_[idx] = std::move(column);
+  } else {
+    out.names_.push_back(name);
+    out.columns_.push_back(std::move(column));
+  }
+  return out;
+}
+
+Result<DataFrame> DataFrame::Drop(
+    const std::vector<std::string>& names) const {
+  for (const auto& n : names) {
+    if (!HasColumn(n)) return Status::KeyError("no column named '" + n + "'");
+  }
+  DataFrame out;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (std::find(names.begin(), names.end(), names_[i]) != names.end()) {
+      continue;
+    }
+    out.names_.push_back(names_[i]);
+    out.columns_.push_back(columns_[i]);
+  }
+  return out;
+}
+
+Result<DataFrame> DataFrame::Rename(
+    const std::map<std::string, std::string>& mapping) const {
+  DataFrame out = *this;
+  for (const auto& [from, to] : mapping) {
+    int idx = ColumnIndex(from);
+    if (idx < 0) continue;  // pandas ignores unknown keys
+    out.names_[idx] = to;
+  }
+  // Re-validate uniqueness.
+  std::unordered_set<std::string> seen;
+  for (const auto& n : out.names_) {
+    if (!seen.insert(n).second) {
+      return Status::Invalid("rename produced duplicate column: " + n);
+    }
+  }
+  return out;
+}
+
+Result<DataFrame> DataFrame::SliceRows(size_t offset, size_t length) const {
+  length = std::min(length, num_rows() > offset ? num_rows() - offset : 0);
+  std::vector<ColumnPtr> cols;
+  cols.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    LAFP_ASSIGN_OR_RETURN(ColumnPtr sliced, c->Slice(offset, length));
+    cols.push_back(std::move(sliced));
+  }
+  return Make(names_, std::move(cols));
+}
+
+Result<DataFrame> DataFrame::TakeRows(
+    const std::vector<int64_t>& indices) const {
+  std::vector<ColumnPtr> cols;
+  cols.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    LAFP_ASSIGN_OR_RETURN(ColumnPtr taken, c->Take(indices));
+    cols.push_back(std::move(taken));
+  }
+  return Make(names_, std::move(cols));
+}
+
+int64_t DataFrame::footprint_bytes() const {
+  int64_t total = 0;
+  for (const auto& c : columns_) total += c->footprint_bytes();
+  return total;
+}
+
+std::string DataFrame::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (i > 0) os << "  ";
+    os << names_[i];
+  }
+  os << "\n";
+  size_t n = num_rows();
+  size_t shown = std::min(n, max_rows);
+  for (size_t r = 0; r < shown; ++r) {
+    os << r << ": ";
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) os << "  ";
+      os << columns_[c]->ValueString(r);
+    }
+    os << "\n";
+  }
+  if (shown < n) {
+    os << "... [" << n << " rows x " << num_columns() << " columns]\n";
+  }
+  return os.str();
+}
+
+std::string DataFrame::CanonicalString(bool sort_rows) const {
+  std::ostringstream header;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (i > 0) header << ",";
+    header << names_[i];
+  }
+  header << "\n";
+  std::vector<std::string> rows(num_rows());
+  for (size_t r = 0; r < num_rows(); ++r) {
+    std::string& line = rows[r];
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) line += ",";
+      line += columns_[c]->ValueString(r);
+    }
+  }
+  if (sort_rows) std::sort(rows.begin(), rows.end());
+  std::string out = header.str();
+  for (const auto& line : rows) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace lafp::df

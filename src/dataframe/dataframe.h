@@ -1,0 +1,84 @@
+#ifndef LAFP_DATAFRAME_DATAFRAME_H_
+#define LAFP_DATAFRAME_DATAFRAME_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataframe/column.h"
+
+namespace lafp::df {
+
+/// An eager, immutable dataframe: named columns of equal length with an
+/// implicit 0..n-1 row index (pandas RangeIndex). Cheap to copy: columns
+/// are shared. "Mutation" APIs return new frames.
+class DataFrame {
+ public:
+  DataFrame() = default;  // 0 columns, 0 rows
+
+  /// `names` and `columns` must be the same length; all columns the same
+  /// row count; names unique.
+  static Result<DataFrame> Make(std::vector<std::string> names,
+                                std::vector<ColumnPtr> columns);
+
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0]->size();
+  }
+  size_t num_columns() const { return columns_.size(); }
+
+  const std::vector<std::string>& names() const { return names_; }
+  const std::vector<ColumnPtr>& columns() const { return columns_; }
+
+  /// Index of `name` or -1.
+  int ColumnIndex(const std::string& name) const;
+  bool HasColumn(const std::string& name) const {
+    return ColumnIndex(name) >= 0;
+  }
+
+  const ColumnPtr& column(size_t i) const { return columns_[i]; }
+  Result<ColumnPtr> column(const std::string& name) const;
+
+  /// The memory tracker shared by this frame's columns (Default() if the
+  /// frame is empty).
+  MemoryTracker* tracker() const;
+
+  /// Projection; preserves the requested order. KeyError on a missing name.
+  Result<DataFrame> Select(const std::vector<std::string>& names) const;
+
+  /// Replace or append a column (pandas setitem). The new column must match
+  /// num_rows (unless the frame is empty).
+  Result<DataFrame> WithColumn(const std::string& name,
+                               ColumnPtr column) const;
+
+  Result<DataFrame> Drop(const std::vector<std::string>& names) const;
+
+  Result<DataFrame> Rename(
+      const std::map<std::string, std::string>& mapping) const;
+
+  /// Rows [offset, offset+length) of every column.
+  Result<DataFrame> SliceRows(size_t offset, size_t length) const;
+
+  /// Gather rows by index across all columns.
+  Result<DataFrame> TakeRows(const std::vector<int64_t>& indices) const;
+
+  /// Sum of column footprints as registered with the tracker.
+  int64_t footprint_bytes() const;
+
+  /// Pandas-style repr (header + up to max_rows rows, "..." elision).
+  std::string ToString(size_t max_rows = 10) const;
+
+  /// Deterministic dump for regression hashing (§5.2): header then all rows
+  /// as comma-joined value strings. If `sort_rows` is set, rows are emitted
+  /// in lexicographic order — used when comparing against backends that do
+  /// not preserve row order (Dask).
+  std::string CanonicalString(bool sort_rows) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<ColumnPtr> columns_;
+};
+
+}  // namespace lafp::df
+
+#endif  // LAFP_DATAFRAME_DATAFRAME_H_

@@ -1,0 +1,34 @@
+#ifndef LAFP_DATAFRAME_KAHAN_H_
+#define LAFP_DATAFRAME_KAHAN_H_
+
+#include <cmath>
+
+namespace lafp::df {
+
+/// Kahan-Babuska-Neumaier compensated summation. Every sum in the engine
+/// (whole-column reductions, per-group aggregates, partition partials)
+/// accumulates through this, so single-pass and partitioned two-phase
+/// aggregation agree to ~1 ulp — a requirement for the cross-backend
+/// regression hashing (§5.2) and simply better numerics.
+class KahanSum {
+ public:
+  void Add(double v) {
+    double t = sum_ + v;
+    if (std::fabs(sum_) >= std::fabs(v)) {
+      comp_ += (sum_ - t) + v;
+    } else {
+      comp_ += (v - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  double Total() const { return sum_ + comp_; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+}  // namespace lafp::df
+
+#endif  // LAFP_DATAFRAME_KAHAN_H_

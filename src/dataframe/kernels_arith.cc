@@ -1,0 +1,345 @@
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "dataframe/ops.h"
+
+namespace lafp::df {
+
+namespace {
+
+double ApplyArith(ArithOp op, double a, double b) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return a + b;
+    case ArithOp::kSub:
+      return a - b;
+    case ArithOp::kMul:
+      return a * b;
+    case ArithOp::kDiv:
+      return a / b;  // inf/NaN semantics match pandas' float division
+    case ArithOp::kMod:
+      return std::fmod(a, b);
+  }
+  return std::nan("");
+}
+
+bool BothIntsStayInt(ArithOp op, DataType a, DataType b) {
+  if (op == ArithOp::kDiv) return false;  // pandas / is true division
+  return a == DataType::kInt64 && b == DataType::kInt64;
+}
+
+int64_t ApplyArithInt(ArithOp op, int64_t a, int64_t b) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return a + b;
+    case ArithOp::kSub:
+      return a - b;
+    case ArithOp::kMul:
+      return a * b;
+    case ArithOp::kMod:
+      return b == 0 ? 0 : a % b;
+    case ArithOp::kDiv:
+      break;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<ColumnPtr> Arith(const Column& lhs, ArithOp op, const Scalar& rhs) {
+  const size_t n = lhs.size();
+  if ((lhs.type() == DataType::kString ||
+       lhs.type() == DataType::kCategory) &&
+      op == ArithOp::kAdd && rhs.type() == DataType::kString) {
+    // String concatenation.
+    std::vector<std::string> out(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (lhs.IsValid(i)) out[i] = lhs.StringAt(i) + rhs.string_value();
+    }
+    return Column::MakeString(std::move(out), lhs.validity(), lhs.tracker());
+  }
+  if (!IsNumeric(lhs.type())) {
+    return Status::TypeError("arithmetic on non-numeric column");
+  }
+  if (rhs.is_null()) {
+    return Column::MakeDouble(std::vector<double>(n, std::nan("")),
+                              std::vector<uint8_t>(n, 0), lhs.tracker());
+  }
+  if (BothIntsStayInt(op, lhs.type(),
+                      rhs.type() == DataType::kInt64 ? DataType::kInt64
+                                                     : DataType::kDouble)) {
+    std::vector<int64_t> out(n);
+    int64_t r = rhs.int_value();
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = ApplyArithInt(op, lhs.IntAt(i), r);
+    }
+    return Column::MakeInt(std::move(out), lhs.validity(), lhs.tracker());
+  }
+  LAFP_ASSIGN_OR_RETURN(double r, rhs.AsDouble());
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!lhs.IsValid(i)) {
+      out[i] = std::nan("");
+      continue;
+    }
+    LAFP_ASSIGN_OR_RETURN(double a, lhs.NumericAt(i));
+    out[i] = ApplyArith(op, a, r);
+  }
+  return Column::MakeDouble(std::move(out), lhs.validity(), lhs.tracker());
+}
+
+Result<ColumnPtr> ArithScalarLeft(const Scalar& lhs, ArithOp op,
+                                  const Column& rhs) {
+  const size_t n = rhs.size();
+  if (!IsNumeric(rhs.type())) {
+    return Status::TypeError("arithmetic on non-numeric column");
+  }
+  if (lhs.is_null()) {
+    return Column::MakeDouble(std::vector<double>(n, std::nan("")),
+                              std::vector<uint8_t>(n, 0), rhs.tracker());
+  }
+  LAFP_ASSIGN_OR_RETURN(double l, lhs.AsDouble());
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!rhs.IsValid(i)) {
+      out[i] = std::nan("");
+      continue;
+    }
+    LAFP_ASSIGN_OR_RETURN(double b, rhs.NumericAt(i));
+    out[i] = ApplyArith(op, l, b);
+  }
+  return Column::MakeDouble(std::move(out), rhs.validity(), rhs.tracker());
+}
+
+Result<ColumnPtr> ArithColumns(const Column& lhs, ArithOp op,
+                               const Column& rhs) {
+  if (lhs.size() != rhs.size()) {
+    return Status::Invalid("arith: length mismatch");
+  }
+  const size_t n = lhs.size();
+  if ((lhs.type() == DataType::kString ||
+       lhs.type() == DataType::kCategory) &&
+      (rhs.type() == DataType::kString ||
+       rhs.type() == DataType::kCategory) &&
+      op == ArithOp::kAdd) {
+    std::vector<std::string> out(n);
+    std::vector<uint8_t> validity;
+    bool any_null = lhs.has_nulls() || rhs.has_nulls();
+    if (any_null) validity.assign(n, 1);
+    for (size_t i = 0; i < n; ++i) {
+      if (!lhs.IsValid(i) || !rhs.IsValid(i)) {
+        if (any_null) validity[i] = 0;
+        continue;
+      }
+      out[i] = lhs.StringAt(i) + rhs.StringAt(i);
+    }
+    return Column::MakeString(std::move(out), std::move(validity),
+                              lhs.tracker());
+  }
+  if (!IsNumeric(lhs.type()) || !IsNumeric(rhs.type())) {
+    return Status::TypeError("arithmetic on non-numeric columns");
+  }
+  if (BothIntsStayInt(op, lhs.type(), rhs.type()) && !lhs.has_nulls() &&
+      !rhs.has_nulls()) {
+    std::vector<int64_t> out(n);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = ApplyArithInt(op, lhs.IntAt(i), rhs.IntAt(i));
+    }
+    return Column::MakeInt(std::move(out), {}, lhs.tracker());
+  }
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!lhs.IsValid(i) || !rhs.IsValid(i)) {
+      out[i] = std::nan("");
+      continue;
+    }
+    LAFP_ASSIGN_OR_RETURN(double a, lhs.NumericAt(i));
+    LAFP_ASSIGN_OR_RETURN(double b, rhs.NumericAt(i));
+    out[i] = ApplyArith(op, a, b);
+  }
+  std::vector<uint8_t> validity;
+  if (lhs.has_nulls() || rhs.has_nulls()) {
+    validity.assign(n, 1);
+    for (size_t i = 0; i < n; ++i) {
+      if (!lhs.IsValid(i) || !rhs.IsValid(i)) validity[i] = 0;
+    }
+  }
+  return Column::MakeDouble(std::move(out), std::move(validity),
+                            lhs.tracker());
+}
+
+Result<ColumnPtr> Abs(const Column& col) {
+  switch (col.type()) {
+    case DataType::kInt64: {
+      std::vector<int64_t> out(col.size());
+      for (size_t i = 0; i < col.size(); ++i) {
+        out[i] = std::abs(col.IntAt(i));
+      }
+      return Column::MakeInt(std::move(out), col.validity(), col.tracker());
+    }
+    case DataType::kDouble: {
+      std::vector<double> out(col.size());
+      for (size_t i = 0; i < col.size(); ++i) {
+        out[i] = std::fabs(col.DoubleAt(i));
+      }
+      return Column::MakeDouble(std::move(out), col.validity(),
+                                col.tracker());
+    }
+    default:
+      return Status::TypeError("abs on non-numeric column");
+  }
+}
+
+Result<ColumnPtr> Round(const Column& col, int digits) {
+  if (col.type() == DataType::kInt64) {
+    return Column::MakeInt(col.ints(), col.validity(), col.tracker());
+  }
+  if (col.type() != DataType::kDouble) {
+    return Status::TypeError("round on non-numeric column");
+  }
+  double scale = std::pow(10.0, digits);
+  std::vector<double> out(col.size());
+  for (size_t i = 0; i < col.size(); ++i) {
+    out[i] = std::round(col.DoubleAt(i) * scale) / scale;
+  }
+  return Column::MakeDouble(std::move(out), col.validity(), col.tracker());
+}
+
+Result<ColumnPtr> FillNaColumn(const Column& col, const Scalar& value) {
+  ColumnBuilder builder(col.type() == DataType::kCategory
+                            ? DataType::kString
+                            : col.type(),
+                        col.tracker());
+  builder.Reserve(col.size());
+  for (size_t i = 0; i < col.size(); ++i) {
+    bool null = !col.IsValid(i);
+    if (!null && col.type() == DataType::kDouble &&
+        std::isnan(col.DoubleAt(i))) {
+      null = true;
+    }
+    if (null) {
+      LAFP_RETURN_NOT_OK(builder.AppendScalar(value));
+    } else {
+      builder.AppendFrom(col, i);
+    }
+  }
+  return builder.Finish();
+}
+
+Result<DataFrame> FillNa(const DataFrame& df, const Scalar& value) {
+  std::vector<ColumnPtr> cols;
+  cols.reserve(df.num_columns());
+  for (size_t i = 0; i < df.num_columns(); ++i) {
+    const Column& c = *df.column(i);
+    bool scalar_compatible =
+        value.is_null() ||
+        (IsNumeric(c.type()) && IsNumeric(value.type())) ||
+        ((c.type() == DataType::kString || c.type() == DataType::kCategory) &&
+         value.type() == DataType::kString);
+    bool needs_fill =
+        scalar_compatible &&
+        (c.has_nulls() || c.type() == DataType::kDouble);
+    if (!needs_fill) {
+      // pandas fillna returns a copy of the whole frame; untouched
+      // columns are duplicated too (their footprint is re-charged).
+      LAFP_ASSIGN_OR_RETURN(ColumnPtr copy, c.Slice(0, c.size()));
+      cols.push_back(std::move(copy));
+      continue;
+    }
+    LAFP_ASSIGN_OR_RETURN(ColumnPtr filled, FillNaColumn(c, value));
+    cols.push_back(std::move(filled));
+  }
+  return DataFrame::Make(df.names(), std::move(cols));
+}
+
+Result<DataFrame> DropNa(const DataFrame& df) {
+  std::vector<int64_t> keep;
+  for (size_t r = 0; r < df.num_rows(); ++r) {
+    bool any_null = false;
+    for (size_t c = 0; c < df.num_columns(); ++c) {
+      const Column& col = *df.column(c);
+      if (!col.IsValid(r) || (col.type() == DataType::kDouble &&
+                              std::isnan(col.DoubleAt(r)))) {
+        any_null = true;
+        break;
+      }
+    }
+    if (!any_null) keep.push_back(static_cast<int64_t>(r));
+  }
+  return df.TakeRows(keep);
+}
+
+Result<ColumnPtr> AsType(const Column& col, DataType to) {
+  if (col.type() == to) {
+    // Rebuild (cheap) to keep the immutability contract simple.
+    return col.Slice(0, col.size());
+  }
+  MemoryTracker* tracker = col.tracker();
+  if (to == DataType::kCategory) return CategorizeStrings(col, tracker);
+  if (col.type() == DataType::kCategory) {
+    LAFP_ASSIGN_OR_RETURN(ColumnPtr strs, DecategorizeToStrings(col, tracker));
+    if (to == DataType::kString) return strs;
+    return AsType(*strs, to);
+  }
+  if (to == DataType::kTimestamp) return ToDatetime(col);
+  if (to == DataType::kString) {
+    std::vector<std::string> out(col.size());
+    for (size_t i = 0; i < col.size(); ++i) {
+      if (col.IsValid(i)) out[i] = col.ValueString(i);
+    }
+    return Column::MakeString(std::move(out), col.validity(), tracker);
+  }
+  if (col.type() == DataType::kString) {
+    // Parse; failures become null.
+    ColumnBuilder builder(to, tracker);
+    builder.Reserve(col.size());
+    for (size_t i = 0; i < col.size(); ++i) {
+      if (!col.IsValid(i)) {
+        builder.AppendNull();
+        continue;
+      }
+      auto parsed = ParseDouble(col.StringAt(i));
+      if (!parsed.has_value()) {
+        builder.AppendNull();
+        continue;
+      }
+      if (to == DataType::kInt64) {
+        builder.AppendInt(static_cast<int64_t>(*parsed));
+      } else if (to == DataType::kDouble) {
+        builder.AppendDouble(*parsed);
+      } else if (to == DataType::kBool) {
+        builder.AppendBool(*parsed != 0.0);
+      } else {
+        return Status::TypeError("unsupported cast target");
+      }
+    }
+    return builder.Finish();
+  }
+  // Numeric to numeric.
+  ColumnBuilder builder(to, tracker);
+  builder.Reserve(col.size());
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (!col.IsValid(i)) {
+      builder.AppendNull();
+      continue;
+    }
+    LAFP_ASSIGN_OR_RETURN(double v, col.NumericAt(i));
+    switch (to) {
+      case DataType::kInt64:
+        builder.AppendInt(static_cast<int64_t>(v));
+        break;
+      case DataType::kDouble:
+        builder.AppendDouble(v);
+        break;
+      case DataType::kBool:
+        builder.AppendBool(v != 0.0);
+        break;
+      default:
+        return Status::TypeError("unsupported cast target");
+    }
+  }
+  return builder.Finish();
+}
+
+}  // namespace lafp::df

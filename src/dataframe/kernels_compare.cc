@@ -1,0 +1,275 @@
+#include <cmath>
+#include <cstring>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "dataframe/ops.h"
+
+namespace lafp::df {
+
+namespace {
+
+template <typename T>
+bool ApplyCmp(CompareOp op, const T& a, const T& b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+bool IsStringy(DataType t) {
+  return t == DataType::kString || t == DataType::kCategory;
+}
+
+}  // namespace
+
+Result<ColumnPtr> Compare(const Column& col, CompareOp op,
+                          const Scalar& rhs) {
+  const size_t n = col.size();
+  std::vector<uint8_t> out(n, 0);
+  if (rhs.is_null()) {
+    // Comparisons against null are all-false (pandas NaN semantics),
+    // except != which pandas makes all-true for non-null entries.
+    if (op == CompareOp::kNe) {
+      for (size_t i = 0; i < n; ++i) out[i] = col.IsValid(i) ? 1 : 0;
+    }
+    return Column::MakeBool(std::move(out), {}, col.tracker());
+  }
+  if (IsStringy(col.type())) {
+    if (rhs.type() != DataType::kString) {
+      return Status::TypeError("comparing string column with non-string");
+    }
+    const std::string& needle = rhs.string_value();
+    for (size_t i = 0; i < n; ++i) {
+      if (!col.IsValid(i)) continue;
+      out[i] = ApplyCmp<std::string>(op, col.StringAt(i), needle) ? 1 : 0;
+    }
+    return Column::MakeBool(std::move(out), {}, col.tracker());
+  }
+  if (col.type() == DataType::kTimestamp &&
+      rhs.type() == DataType::kString) {
+    LAFP_ASSIGN_OR_RETURN(int64_t ts, ParseTimestamp(rhs.string_value()));
+    for (size_t i = 0; i < n; ++i) {
+      if (!col.IsValid(i)) continue;
+      out[i] = ApplyCmp<int64_t>(op, col.IntAt(i), ts) ? 1 : 0;
+    }
+    return Column::MakeBool(std::move(out), {}, col.tracker());
+  }
+  LAFP_ASSIGN_OR_RETURN(double r, rhs.AsDouble());
+  // Fast paths for the common typed columns.
+  switch (col.type()) {
+    case DataType::kInt64:
+    case DataType::kTimestamp: {
+      const auto& vals = col.ints();
+      for (size_t i = 0; i < n; ++i) {
+        if (!col.IsValid(i)) continue;
+        out[i] = ApplyCmp<double>(op, static_cast<double>(vals[i]), r) ? 1 : 0;
+      }
+      break;
+    }
+    case DataType::kDouble: {
+      const auto& vals = col.doubles();
+      for (size_t i = 0; i < n; ++i) {
+        if (!col.IsValid(i) || std::isnan(vals[i])) continue;
+        out[i] = ApplyCmp<double>(op, vals[i], r) ? 1 : 0;
+      }
+      break;
+    }
+    case DataType::kBool: {
+      const auto& vals = col.bools();
+      for (size_t i = 0; i < n; ++i) {
+        if (!col.IsValid(i)) continue;
+        out[i] = ApplyCmp<double>(op, vals[i] ? 1.0 : 0.0, r) ? 1 : 0;
+      }
+      break;
+    }
+    default:
+      return Status::TypeError("cannot compare column of type " +
+                               std::string(DataTypeName(col.type())));
+  }
+  return Column::MakeBool(std::move(out), {}, col.tracker());
+}
+
+Result<ColumnPtr> CompareColumns(const Column& lhs, CompareOp op,
+                                 const Column& rhs) {
+  if (lhs.size() != rhs.size()) {
+    return Status::Invalid("compare: length mismatch");
+  }
+  const size_t n = lhs.size();
+  std::vector<uint8_t> out(n, 0);
+  if (IsStringy(lhs.type()) && IsStringy(rhs.type())) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!lhs.IsValid(i) || !rhs.IsValid(i)) continue;
+      out[i] =
+          ApplyCmp<std::string>(op, lhs.StringAt(i), rhs.StringAt(i)) ? 1 : 0;
+    }
+    return Column::MakeBool(std::move(out), {}, lhs.tracker());
+  }
+  if (!IsNumeric(lhs.type()) || !IsNumeric(rhs.type())) {
+    return Status::TypeError("cannot compare columns of types " +
+                             std::string(DataTypeName(lhs.type())) + " and " +
+                             DataTypeName(rhs.type()));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!lhs.IsValid(i) || !rhs.IsValid(i)) continue;
+    LAFP_ASSIGN_OR_RETURN(double a, lhs.NumericAt(i));
+    LAFP_ASSIGN_OR_RETURN(double b, rhs.NumericAt(i));
+    if (std::isnan(a) || std::isnan(b)) continue;
+    out[i] = ApplyCmp<double>(op, a, b) ? 1 : 0;
+  }
+  return Column::MakeBool(std::move(out), {}, lhs.tracker());
+}
+
+namespace {
+
+Status CheckBoolPair(const Column& a, const Column& b) {
+  if (a.type() != DataType::kBool || b.type() != DataType::kBool) {
+    return Status::TypeError("boolean op requires bool columns");
+  }
+  if (a.size() != b.size()) {
+    return Status::Invalid("boolean op: length mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ColumnPtr> BooleanAnd(const Column& a, const Column& b) {
+  LAFP_RETURN_NOT_OK(CheckBoolPair(a, b));
+  std::vector<uint8_t> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = (a.IsValid(i) && b.IsValid(i) && a.BoolAt(i) && b.BoolAt(i))
+                 ? 1
+                 : 0;
+  }
+  return Column::MakeBool(std::move(out), {}, a.tracker());
+}
+
+Result<ColumnPtr> BooleanOr(const Column& a, const Column& b) {
+  LAFP_RETURN_NOT_OK(CheckBoolPair(a, b));
+  std::vector<uint8_t> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    bool av = a.IsValid(i) && a.BoolAt(i);
+    bool bv = b.IsValid(i) && b.BoolAt(i);
+    out[i] = (av || bv) ? 1 : 0;
+  }
+  return Column::MakeBool(std::move(out), {}, a.tracker());
+}
+
+Result<ColumnPtr> BooleanNot(const Column& a) {
+  if (a.type() != DataType::kBool) {
+    return Status::TypeError("boolean not requires a bool column");
+  }
+  std::vector<uint8_t> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = (a.IsValid(i) && a.BoolAt(i)) ? 0 : 1;
+  }
+  return Column::MakeBool(std::move(out), {}, a.tracker());
+}
+
+Result<ColumnPtr> IsNull(const Column& a) {
+  std::vector<uint8_t> out(a.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    bool null = !a.IsValid(i);
+    if (!null && a.type() == DataType::kDouble && std::isnan(a.DoubleAt(i))) {
+      null = true;
+    }
+    out[i] = null ? 1 : 0;
+  }
+  return Column::MakeBool(std::move(out), {}, a.tracker());
+}
+
+Result<ColumnPtr> StrContains(const Column& col, const std::string& needle) {
+  if (!IsStringy(col.type())) {
+    return Status::TypeError("str.contains requires a string column");
+  }
+  std::vector<uint8_t> out(col.size(), 0);
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (!col.IsValid(i)) continue;
+    out[i] = col.StringAt(i).find(needle) != std::string::npos ? 1 : 0;
+  }
+  return Column::MakeBool(std::move(out), {}, col.tracker());
+}
+
+Result<ColumnPtr> IsIn(const Column& col,
+                       const std::vector<Scalar>& values) {
+  std::vector<uint8_t> out(col.size(), 0);
+  if (IsStringy(col.type())) {
+    std::unordered_set<std::string> members;
+    for (const auto& v : values) {
+      if (v.type() == DataType::kString || v.type() == DataType::kCategory) {
+        members.insert(v.string_value());
+      }
+    }
+    for (size_t i = 0; i < col.size(); ++i) {
+      if (!col.IsValid(i)) continue;
+      out[i] = members.count(col.StringAt(i)) > 0 ? 1 : 0;
+    }
+    return Column::MakeBool(std::move(out), {}, col.tracker());
+  }
+  if (!IsNumeric(col.type())) {
+    return Status::TypeError("isin on unsupported column type");
+  }
+  std::unordered_set<double> members;
+  for (const auto& v : values) {
+    auto d = v.AsDouble();
+    if (d.ok()) members.insert(*d);
+  }
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (!col.IsValid(i)) continue;
+    LAFP_ASSIGN_OR_RETURN(double v, col.NumericAt(i));
+    if (std::isnan(v)) continue;
+    out[i] = members.count(v) > 0 ? 1 : 0;
+  }
+  return Column::MakeBool(std::move(out), {}, col.tracker());
+}
+
+Result<ColumnPtr> FilterColumn(const Column& col, const Column& mask) {
+  if (mask.type() != DataType::kBool) {
+    return Status::TypeError("filter mask must be bool");
+  }
+  if (mask.size() != col.size()) {
+    return Status::Invalid("filter mask length mismatch");
+  }
+  std::vector<int64_t> indices;
+  indices.reserve(col.size() / 2);
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask.IsValid(i) && mask.BoolAt(i)) {
+      indices.push_back(static_cast<int64_t>(i));
+    }
+  }
+  return col.Take(indices);
+}
+
+Result<DataFrame> Filter(const DataFrame& df, const Column& mask) {
+  if (mask.type() != DataType::kBool) {
+    return Status::TypeError("filter mask must be bool");
+  }
+  if (mask.size() != df.num_rows()) {
+    return Status::Invalid("filter mask length mismatch");
+  }
+  std::vector<int64_t> indices;
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask.IsValid(i) && mask.BoolAt(i)) {
+      indices.push_back(static_cast<int64_t>(i));
+    }
+  }
+  return df.TakeRows(indices);
+}
+
+Result<DataFrame> Head(const DataFrame& df, size_t n) {
+  return df.SliceRows(0, std::min(n, df.num_rows()));
+}
+
+}  // namespace lafp::df

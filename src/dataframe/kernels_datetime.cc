@@ -1,0 +1,94 @@
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "dataframe/ops.h"
+
+namespace lafp::df {
+
+Result<DtField> DtFieldFromName(const std::string& name) {
+  std::string n = ToLower(name);
+  if (n == "dayofweek" || n == "weekday") return DtField::kDayOfWeek;
+  if (n == "hour") return DtField::kHour;
+  if (n == "month") return DtField::kMonth;
+  if (n == "year") return DtField::kYear;
+  if (n == "day") return DtField::kDay;
+  return Status::Invalid("unknown dt accessor: " + name);
+}
+
+const char* DtFieldName(DtField f) {
+  switch (f) {
+    case DtField::kDayOfWeek:
+      return "dayofweek";
+    case DtField::kHour:
+      return "hour";
+    case DtField::kMonth:
+      return "month";
+    case DtField::kYear:
+      return "year";
+    case DtField::kDay:
+      return "day";
+  }
+  return "?";
+}
+
+Result<ColumnPtr> ToDatetime(const Column& col) {
+  switch (col.type()) {
+    case DataType::kTimestamp:
+      return col.Slice(0, col.size());
+    case DataType::kInt64:
+      // Reinterpret as epoch seconds.
+      return Column::MakeTimestamp(col.ints(), col.validity(),
+                                   col.tracker());
+    case DataType::kString:
+    case DataType::kCategory: {
+      ColumnBuilder builder(DataType::kTimestamp, col.tracker());
+      builder.Reserve(col.size());
+      for (size_t i = 0; i < col.size(); ++i) {
+        if (!col.IsValid(i)) {
+          builder.AppendNull();
+          continue;
+        }
+        auto parsed = ParseTimestamp(col.StringAt(i));
+        if (!parsed.ok()) {
+          builder.AppendNull();  // errors='coerce' semantics
+        } else {
+          builder.AppendInt(*parsed);
+        }
+      }
+      return builder.Finish();
+    }
+    default:
+      return Status::TypeError("to_datetime on column of type " +
+                               std::string(DataTypeName(col.type())));
+  }
+}
+
+Result<ColumnPtr> DtAccessor(const Column& col, DtField field) {
+  if (col.type() != DataType::kTimestamp) {
+    return Status::TypeError(".dt accessor requires a datetime column");
+  }
+  std::vector<int64_t> out(col.size(), 0);
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (!col.IsValid(i)) continue;
+    int64_t ts = col.IntAt(i);
+    switch (field) {
+      case DtField::kDayOfWeek:
+        out[i] = DayOfWeek(ts);
+        break;
+      case DtField::kHour:
+        out[i] = HourOfDay(ts);
+        break;
+      case DtField::kMonth:
+        out[i] = MonthOf(ts);
+        break;
+      case DtField::kYear:
+        out[i] = YearOf(ts);
+        break;
+      case DtField::kDay:
+        out[i] = DayOfMonth(ts);
+        break;
+    }
+  }
+  return Column::MakeInt(std::move(out), col.validity(), col.tracker());
+}
+
+}  // namespace lafp::df

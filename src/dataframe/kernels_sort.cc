@@ -1,0 +1,86 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "dataframe/ops.h"
+
+namespace lafp::df {
+
+namespace {
+
+/// Three-way comparison of two rows of one column. Nulls sort last
+/// regardless of direction (pandas na_position='last' is handled by the
+/// caller; here nulls are "greatest").
+int CompareCell(const Column& col, size_t a, size_t b) {
+  bool va = col.IsValid(a), vb = col.IsValid(b);
+  if (!va && !vb) return 0;
+  if (!va) return 1;
+  if (!vb) return -1;
+  switch (col.type()) {
+    case DataType::kInt64:
+    case DataType::kTimestamp: {
+      int64_t x = col.IntAt(a), y = col.IntAt(b);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case DataType::kDouble: {
+      double x = col.DoubleAt(a), y = col.DoubleAt(b);
+      bool nx = std::isnan(x), ny = std::isnan(y);
+      if (nx && ny) return 0;
+      if (nx) return 1;
+      if (ny) return -1;
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case DataType::kBool: {
+      int x = col.BoolAt(a) ? 1 : 0, y = col.BoolAt(b) ? 1 : 0;
+      return x - y;
+    }
+    case DataType::kString:
+    case DataType::kCategory:
+      return col.StringAt(a).compare(col.StringAt(b));
+    case DataType::kNull:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<DataFrame> SortValues(const DataFrame& df,
+                             const std::vector<std::string>& by,
+                             const std::vector<bool>& ascending) {
+  if (by.empty()) return Status::Invalid("sort_values requires keys");
+  std::vector<bool> asc = ascending;
+  if (asc.empty()) asc.assign(by.size(), true);
+  if (asc.size() == 1 && by.size() > 1) asc.assign(by.size(), asc[0]);
+  if (asc.size() != by.size()) {
+    return Status::Invalid("sort_values: ascending arity mismatch");
+  }
+  std::vector<const Column*> key_cols;
+  for (const auto& k : by) {
+    LAFP_ASSIGN_OR_RETURN(ColumnPtr c, df.column(k));
+    key_cols.push_back(c.get());
+  }
+  std::vector<int64_t> order(df.num_rows());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto row_is_null = [](const Column& col, size_t r) {
+    if (!col.IsValid(r)) return true;
+    return col.type() == DataType::kDouble && std::isnan(col.DoubleAt(r));
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int64_t a, int64_t b) {
+                     for (size_t k = 0; k < key_cols.size(); ++k) {
+                       // Nulls/NaNs sort last regardless of direction
+                       // (pandas na_position='last').
+                       bool na = row_is_null(*key_cols[k], a);
+                       bool nb = row_is_null(*key_cols[k], b);
+                       if (na != nb) return nb;
+                       if (na && nb) continue;
+                       int c = CompareCell(*key_cols[k], a, b);
+                       if (c != 0) return asc[k] ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+  return df.TakeRows(order);
+}
+
+}  // namespace lafp::df

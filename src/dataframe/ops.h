@@ -1,0 +1,139 @@
+#ifndef LAFP_DATAFRAME_OPS_H_
+#define LAFP_DATAFRAME_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "dataframe/dataframe.h"
+
+namespace lafp::df {
+
+// ---------------- Comparison and boolean kernels ----------------
+
+/// Elementwise `col <op> rhs` producing a bool column. Nulls compare false.
+/// Numeric scalars compare against numeric columns with widening; strings
+/// against string/category columns.
+Result<ColumnPtr> Compare(const Column& col, CompareOp op, const Scalar& rhs);
+
+/// Elementwise column-vs-column comparison (both numeric, or both string).
+Result<ColumnPtr> CompareColumns(const Column& lhs, CompareOp op,
+                                 const Column& rhs);
+
+Result<ColumnPtr> BooleanAnd(const Column& a, const Column& b);
+Result<ColumnPtr> BooleanOr(const Column& a, const Column& b);
+Result<ColumnPtr> BooleanNot(const Column& a);
+
+/// True where the value is null (or NaN for doubles) — pandas isna().
+Result<ColumnPtr> IsNull(const Column& a);
+
+/// Bool column: string column contains `needle` as a substring.
+Result<ColumnPtr> StrContains(const Column& col, const std::string& needle);
+
+/// Bool column: value membership in `values` (pandas isin). Numeric
+/// values compare with widening; nulls are never members.
+Result<ColumnPtr> IsIn(const Column& col, const std::vector<Scalar>& values);
+
+// ---------------- Row selection ----------------
+
+/// Keep rows where `mask` is true (nulls drop the row).
+Result<DataFrame> Filter(const DataFrame& df, const Column& mask);
+Result<ColumnPtr> FilterColumn(const Column& col, const Column& mask);
+
+Result<DataFrame> Head(const DataFrame& df, size_t n);
+
+// ---------------- Arithmetic ----------------
+
+Result<ColumnPtr> Arith(const Column& lhs, ArithOp op, const Scalar& rhs);
+Result<ColumnPtr> ArithScalarLeft(const Scalar& lhs, ArithOp op,
+                                  const Column& rhs);
+Result<ColumnPtr> ArithColumns(const Column& lhs, ArithOp op,
+                               const Column& rhs);
+Result<ColumnPtr> Abs(const Column& col);
+Result<ColumnPtr> Round(const Column& col, int digits);
+
+// ---------------- Null handling and casting ----------------
+
+Result<ColumnPtr> FillNaColumn(const Column& col, const Scalar& value);
+Result<DataFrame> FillNa(const DataFrame& df, const Scalar& value);
+/// Drop rows that contain any null.
+Result<DataFrame> DropNa(const DataFrame& df);
+
+/// Cast a column. Supported directions: numeric<->numeric, anything->str,
+/// str->numeric (parse, null on failure), str<->category, str->datetime.
+Result<ColumnPtr> AsType(const Column& col, DataType to);
+
+// ---------------- Datetime ----------------
+
+/// Parse strings (or pass through timestamps / reinterpret ints as epoch
+/// seconds) into a timestamp column; unparseable values become null.
+Result<ColumnPtr> ToDatetime(const Column& col);
+
+enum class DtField { kDayOfWeek, kHour, kMonth, kYear, kDay };
+Result<DtField> DtFieldFromName(const std::string& name);
+const char* DtFieldName(DtField f);
+
+/// Extract an integer field from a timestamp column.
+Result<ColumnPtr> DtAccessor(const Column& col, DtField field);
+
+// ---------------- Reductions and aggregation ----------------
+
+/// Whole-column reduction. sum/mean/min/max skip nulls and NaNs; count is
+/// the number of non-null values; min/max on strings compare
+/// lexicographically.
+Result<Scalar> Reduce(const Column& col, AggFunc func);
+
+/// One output aggregate: `out_name = func(column)` within each group.
+struct AggSpec {
+  std::string column;
+  AggFunc func;
+  std::string out_name;
+};
+
+/// Hash group-by. Output: key columns (first-appearance order) followed by
+/// one column per AggSpec. Null keys form their own group (simplification
+/// vs pandas' dropna default; deterministic either way).
+Result<DataFrame> GroupByAgg(const DataFrame& df,
+                             const std::vector<std::string>& keys,
+                             const std::vector<AggSpec>& aggs);
+
+// ---------------- Sorting and duplicates ----------------
+
+/// Stable multi-key sort. `ascending` is per-key (size 1 broadcasts).
+Result<DataFrame> SortValues(const DataFrame& df,
+                             const std::vector<std::string>& by,
+                             const std::vector<bool>& ascending);
+
+/// First occurrence of each distinct key tuple. Empty subset = all columns.
+Result<DataFrame> DropDuplicates(const DataFrame& df,
+                                 const std::vector<std::string>& subset);
+
+Result<ColumnPtr> Unique(const Column& col);
+
+/// Distinct values with counts, descending by count then by value; columns
+/// named {value_name, "count"}.
+Result<DataFrame> ValueCounts(const Column& col,
+                              const std::string& value_name);
+
+// ---------------- Join ----------------
+
+enum class JoinType { kInner, kLeft };
+
+/// Hash join on equal-named key columns. Overlapping non-key columns get
+/// pandas' "_x"/"_y" suffixes. Builds a hash table on `right`, streams
+/// `left` (the Dask backend relies on this asymmetry to broadcast the
+/// smaller side).
+Result<DataFrame> Merge(const DataFrame& left, const DataFrame& right,
+                        const std::vector<std::string>& on, JoinType how);
+
+// ---------------- Assembly ----------------
+
+/// Vertical concatenation; frames must have identical schemas.
+Result<DataFrame> Concat(const std::vector<DataFrame>& frames);
+
+/// Numeric summary (count/mean/std/min/max) — pandas describe(). First
+/// column "stat" holds row labels.
+Result<DataFrame> Describe(const DataFrame& df);
+
+}  // namespace lafp::df
+
+#endif  // LAFP_DATAFRAME_OPS_H_

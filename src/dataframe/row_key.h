@@ -1,0 +1,53 @@
+#ifndef LAFP_DATAFRAME_ROW_KEY_H_
+#define LAFP_DATAFRAME_ROW_KEY_H_
+
+#include <string>
+#include <vector>
+
+#include "dataframe/column.h"
+
+namespace lafp::df::internal {
+
+/// Append an unambiguous encoding of row `row` of `col` to `*key`.
+/// Used to build composite hash keys for groupby / join / drop_duplicates.
+inline void AppendRowKey(const Column& col, size_t row, std::string* key) {
+  if (!col.IsValid(row)) {
+    key->append("\x02N\x03");
+    return;
+  }
+  switch (col.type()) {
+    case DataType::kInt64:
+    case DataType::kTimestamp: {
+      int64_t v = col.IntAt(row);
+      key->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      break;
+    }
+    case DataType::kDouble: {
+      double v = col.DoubleAt(row);
+      key->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      break;
+    }
+    case DataType::kBool:
+      key->push_back(col.BoolAt(row) ? '\x01' : '\x00');
+      break;
+    case DataType::kString:
+    case DataType::kCategory:
+      key->append(col.StringAt(row));
+      break;
+    case DataType::kNull:
+      key->append("\x02N\x03");
+      break;
+  }
+  key->push_back('\x1f');  // field separator
+}
+
+inline std::string RowKey(const std::vector<const Column*>& cols,
+                          size_t row) {
+  std::string key;
+  for (const Column* c : cols) AppendRowKey(*c, row, &key);
+  return key;
+}
+
+}  // namespace lafp::df::internal
+
+#endif  // LAFP_DATAFRAME_ROW_KEY_H_

@@ -1,0 +1,208 @@
+#include "exec/agg_twophase.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "dataframe/kahan.h"
+#include "dataframe/row_key.h"
+
+namespace lafp::exec {
+
+using df::AggFunc;
+using df::AggSpec;
+using df::Column;
+using df::ColumnPtr;
+using df::DataFrame;
+using df::Scalar;
+
+namespace {
+
+std::string PartialName(size_t i, const char* tag) {
+  return "__p" + std::to_string(i) + "_" + tag;
+}
+
+/// -1/0/+1 compare of two non-null scalars of compatible type.
+int CompareScalars(const Scalar& a, const Scalar& b) {
+  if (a.type() == df::DataType::kString ||
+      a.type() == df::DataType::kCategory) {
+    return a.string_value().compare(b.string_value());
+  }
+  double x = *a.AsDouble();
+  double y = *b.AsDouble();
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+}  // namespace
+
+GroupByCombiner::GroupByCombiner(std::vector<std::string> keys,
+                                 std::vector<AggSpec> aggs)
+    : keys_(std::move(keys)), aggs_(std::move(aggs)) {
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggSpec& a = aggs_[i];
+    switch (a.func) {
+      case AggFunc::kSum:
+        partial_specs_.push_back({a.column, AggFunc::kSum,
+                                  PartialName(i, "sum")});
+        break;
+      case AggFunc::kCount:
+        partial_specs_.push_back({a.column, AggFunc::kCount,
+                                  PartialName(i, "cnt")});
+        break;
+      case AggFunc::kMin:
+        partial_specs_.push_back({a.column, AggFunc::kMin,
+                                  PartialName(i, "min")});
+        break;
+      case AggFunc::kMax:
+        partial_specs_.push_back({a.column, AggFunc::kMax,
+                                  PartialName(i, "max")});
+        break;
+      case AggFunc::kMean:
+        partial_specs_.push_back({a.column, AggFunc::kSum,
+                                  PartialName(i, "sum")});
+        partial_specs_.push_back({a.column, AggFunc::kCount,
+                                  PartialName(i, "cnt")});
+        break;
+      case AggFunc::kNunique:
+        supported_ = false;
+        break;
+    }
+  }
+}
+
+Status GroupByCombiner::AddPartition(const DataFrame& partition) {
+  if (!supported_) return Status::Invalid("nunique is not two-phase");
+  LAFP_ASSIGN_OR_RETURN(DataFrame partial,
+                        df::GroupByAgg(partition, keys_, partial_specs_));
+  partials_.push_back(std::move(partial));
+  return Status::OK();
+}
+
+Result<DataFrame> GroupByCombiner::Finish() {
+  if (!supported_) return Status::Invalid("nunique is not two-phase");
+  if (partials_.empty()) {
+    return Status::Invalid("no partitions were aggregated");
+  }
+  LAFP_ASSIGN_OR_RETURN(DataFrame all, df::Concat(partials_));
+  partials_.clear();
+
+  // Combine pass: re-aggregate partials by the same keys.
+  std::vector<AggSpec> combine_specs;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggSpec& a = aggs_[i];
+    switch (a.func) {
+      case AggFunc::kSum:
+        combine_specs.push_back({PartialName(i, "sum"), AggFunc::kSum,
+                                 a.out_name});
+        break;
+      case AggFunc::kCount:
+        combine_specs.push_back({PartialName(i, "cnt"), AggFunc::kSum,
+                                 a.out_name});
+        break;
+      case AggFunc::kMin:
+        combine_specs.push_back({PartialName(i, "min"), AggFunc::kMin,
+                                 a.out_name});
+        break;
+      case AggFunc::kMax:
+        combine_specs.push_back({PartialName(i, "max"), AggFunc::kMax,
+                                 a.out_name});
+        break;
+      case AggFunc::kMean:
+        combine_specs.push_back({PartialName(i, "sum"), AggFunc::kSum,
+                                 PartialName(i, "sum")});
+        combine_specs.push_back({PartialName(i, "cnt"), AggFunc::kSum,
+                                 PartialName(i, "cnt")});
+        break;
+      case AggFunc::kNunique:
+        break;
+    }
+  }
+  LAFP_ASSIGN_OR_RETURN(DataFrame combined,
+                        df::GroupByAgg(all, keys_, combine_specs));
+  // Resolve means and project to the requested output schema.
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    if (aggs_[i].func != AggFunc::kMean) continue;
+    LAFP_ASSIGN_OR_RETURN(ColumnPtr sum_col,
+                          combined.column(PartialName(i, "sum")));
+    LAFP_ASSIGN_OR_RETURN(ColumnPtr cnt_col,
+                          combined.column(PartialName(i, "cnt")));
+    LAFP_ASSIGN_OR_RETURN(
+        ColumnPtr mean_col,
+        df::ArithColumns(*sum_col, df::ArithOp::kDiv, *cnt_col));
+    LAFP_ASSIGN_OR_RETURN(combined,
+                          combined.WithColumn(aggs_[i].out_name, mean_col));
+  }
+  std::vector<std::string> out_names = keys_;
+  for (const auto& a : aggs_) out_names.push_back(a.out_name);
+  return combined.Select(out_names);
+}
+
+ReduceCombiner::ReduceCombiner(AggFunc func) : func_(func) {}
+
+Status ReduceCombiner::AddPartition(const DataFrame& partition) {
+  if (partition.num_columns() != 1) {
+    return Status::TypeError("reduce expects a series partition");
+  }
+  const Column& col = *partition.column(size_t{0});
+  if (seen_type_ == df::DataType::kNull) seen_type_ = col.type();
+  if (func_ == AggFunc::kNunique) {
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (!col.IsValid(r)) continue;
+      std::string key;
+      df::internal::AppendRowKey(col, r, &key);
+      distinct_.insert(std::move(key));
+    }
+    return Status::OK();
+  }
+  // Fold using the engine's single-column reductions.
+  if (func_ == AggFunc::kSum || func_ == AggFunc::kMean ||
+      func_ == AggFunc::kCount) {
+    if (func_ != AggFunc::kCount) {
+      LAFP_ASSIGN_OR_RETURN(Scalar s, df::Reduce(col, AggFunc::kSum));
+      if (s.type() == df::DataType::kInt64) {
+        isum_ += s.int_value();
+        sum_.Add(static_cast<double>(s.int_value()));
+      } else {
+        sum_.Add(s.double_value());
+      }
+    }
+    LAFP_ASSIGN_OR_RETURN(Scalar c, df::Reduce(col, AggFunc::kCount));
+    count_ += c.int_value();
+    return Status::OK();
+  }
+  // min / max
+  LAFP_ASSIGN_OR_RETURN(Scalar m, df::Reduce(col, func_));
+  if (m.is_null()) return Status::OK();
+  if (!has_value_) {
+    min_ = max_ = m;
+    has_value_ = true;
+    return Status::OK();
+  }
+  if (func_ == AggFunc::kMin && CompareScalars(m, min_) < 0) min_ = m;
+  if (func_ == AggFunc::kMax && CompareScalars(m, max_) > 0) max_ = m;
+  return Status::OK();
+}
+
+Result<Scalar> ReduceCombiner::Finish() {
+  switch (func_) {
+    case AggFunc::kNunique:
+      return Scalar::Int(static_cast<int64_t>(distinct_.size()));
+    case AggFunc::kCount:
+      return Scalar::Int(count_);
+    case AggFunc::kSum:
+      if (seen_type_ == df::DataType::kInt64 ||
+          seen_type_ == df::DataType::kBool) {
+        return Scalar::Int(isum_);
+      }
+      return Scalar::Double(sum_.Total());
+    case AggFunc::kMean:
+      if (count_ == 0) return Scalar::Null();
+      return Scalar::Double(sum_.Total() / static_cast<double>(count_));
+    case AggFunc::kMin:
+      return has_value_ ? min_ : Scalar::Null();
+    case AggFunc::kMax:
+      return has_value_ ? max_ : Scalar::Null();
+  }
+  return Status::Invalid("bad reduce function");
+}
+
+}  // namespace lafp::exec

@@ -1,0 +1,34 @@
+#include "exec/backend.h"
+
+#include "exec/dask_backend.h"
+#include "exec/modin_backend.h"
+#include "exec/pandas_backend.h"
+
+namespace lafp::exec {
+
+const char* BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kPandas:
+      return "pandas";
+    case BackendKind::kModin:
+      return "modin";
+    case BackendKind::kDask:
+      return "dask";
+  }
+  return "?";
+}
+
+std::unique_ptr<Backend> MakeBackend(BackendKind kind, MemoryTracker* tracker,
+                                     const BackendConfig& config) {
+  switch (kind) {
+    case BackendKind::kPandas:
+      return std::make_unique<PandasBackend>(tracker, config);
+    case BackendKind::kModin:
+      return std::make_unique<ModinBackend>(tracker, config);
+    case BackendKind::kDask:
+      return std::make_unique<DaskBackend>(tracker, config);
+  }
+  return nullptr;
+}
+
+}  // namespace lafp::exec

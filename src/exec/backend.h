@@ -1,0 +1,138 @@
+#ifndef LAFP_EXEC_BACKEND_H_
+#define LAFP_EXEC_BACKEND_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/eager_ops.h"
+#include "exec/op.h"
+
+namespace lafp::exec {
+
+/// Tuning and simulation knobs shared by the backends.
+struct BackendConfig {
+  /// Worker threads for the Modin backend's partition parallelism.
+  int num_threads = 4;
+  /// Rows per partition for the partitioned backends.
+  size_t partition_rows = 65536;
+  /// Source partitions the Dask backend keeps in flight (models worker
+  /// prefetch/parallelism): its steady-state memory is roughly
+  /// prefetch_partitions x partition width, which is why projection
+  /// pushdown reduces real Dask memory (paper Fig. 15).
+  size_t prefetch_partitions = 8;
+  /// Simulated scheduler overhead per partition task, in microseconds.
+  /// Models Dask/Ray task dispatch cost; 0 disables. This is what makes
+  /// the lazy/distributed backends slower than plain Pandas on in-memory
+  /// data, as in the paper's Figure 13.
+  int64_t task_overhead_us = 0;
+  /// Directory for Dask spill files (empty = std::filesystem::temp dir).
+  std::string spill_dir;
+  /// Extension (paper future work §5.4): persist Dask frames on disk
+  /// instead of memory.
+  bool spill_persisted = false;
+};
+
+/// Opaque backend-specific frame representation. Eager backends store
+/// materialized data; the Dask backend stores a lazy plan node.
+class BackendFrame {
+ public:
+  virtual ~BackendFrame() = default;
+};
+using BackendFramePtr = std::shared_ptr<BackendFrame>;
+
+/// A value held by a LaFP task-graph node after execution on a backend:
+/// a backend frame, or an immediate scalar.
+struct BackendValue {
+  BackendFramePtr frame;
+  df::Scalar scalar;
+  bool is_scalar = false;
+
+  static BackendValue Frame(BackendFramePtr f) {
+    BackendValue v;
+    v.frame = std::move(f);
+    return v;
+  }
+  static BackendValue FromScalar(df::Scalar s) {
+    BackendValue v;
+    v.scalar = std::move(s);
+    v.is_scalar = true;
+    return v;
+  }
+  bool empty() const { return frame == nullptr && !is_scalar; }
+};
+
+/// Execution engine abstraction (paper §2.6, contribution 5). The LaFP
+/// runtime walks its optimized task graph and calls Execute per node; for
+/// ops a backend does not support, the runtime materializes the inputs,
+/// runs the eager Pandas-engine kernel, and re-imports the result — the
+/// paper's transparent fallback.
+class Backend {
+ public:
+  Backend(MemoryTracker* tracker, BackendConfig config)
+      : tracker_(tracker != nullptr ? tracker : MemoryTracker::Default()),
+        config_(config) {}
+  virtual ~Backend() = default;
+
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  virtual const char* name() const = 0;
+
+  /// True for lazy engines (Dask): Execute() is cheap plan recording, so
+  /// the LaFP runtime never clears node results (they hold plans, not
+  /// data); eager backends return false and get §2.6 result clearing.
+  virtual bool lazy() const { return false; }
+
+  /// Dask does not preserve row order (paper §5.2); result comparison must
+  /// canonicalize row order when this is false.
+  virtual bool preserves_row_order() const = 0;
+
+  /// Whether Execute can run this op natively (otherwise the runtime uses
+  /// the Pandas fallback path).
+  virtual bool SupportsOp(const OpDesc& desc) const = 0;
+
+  /// Execute (eager backends) or record (lazy backends) one operator.
+  virtual Result<BackendValue> Execute(
+      const OpDesc& desc, const std::vector<BackendValue>& inputs) = 0;
+
+  /// Force a value to an eager in-memory frame or scalar. For the Dask
+  /// backend this triggers streaming evaluation of the recorded plan, and
+  /// is the moment a larger-than-budget result OOMs.
+  virtual Result<EagerValue> Materialize(const BackendValue& value) = 0;
+
+  /// Import an eager value (fallback results, user-provided frames).
+  virtual Result<BackendValue> FromEager(const EagerValue& value) = 0;
+
+  /// Cache `value` across materializations (paper §3.5 common-computation
+  /// reuse). No-op on eager backends, where values are already
+  /// materialized.
+  virtual Status Persist(const BackendValue& value) {
+    (void)value;
+    return Status::OK();
+  }
+
+  /// Release a persisted value's cache.
+  virtual Status Unpersist(const BackendValue& value) {
+    (void)value;
+    return Status::OK();
+  }
+
+  MemoryTracker* tracker() const { return tracker_; }
+  const BackendConfig& config() const { return config_; }
+
+ protected:
+  MemoryTracker* tracker_;
+  BackendConfig config_;
+};
+
+enum class BackendKind : int { kPandas = 0, kModin = 1, kDask = 2 };
+
+const char* BackendKindName(BackendKind kind);
+
+std::unique_ptr<Backend> MakeBackend(BackendKind kind, MemoryTracker* tracker,
+                                     const BackendConfig& config);
+
+}  // namespace lafp::exec
+
+#endif  // LAFP_EXEC_BACKEND_H_

@@ -1,0 +1,792 @@
+#include "exec/dask_backend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <filesystem>
+#include <limits>
+#include <thread>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "dataframe/kahan.h"
+#include "exec/agg_twophase.h"
+
+namespace lafp::exec {
+
+namespace internal {
+
+/// One node of the Dask plan DAG.
+struct DaskNode : public BackendFrame {
+  OpDesc desc;
+  std::vector<std::shared_ptr<DaskNode>> inputs;
+  bool produces_scalar = false;
+  bool persist_requested = false;
+
+  // Caches surviving across Materialize calls (persist, §3.5). Memory
+  // resident by design unless the spill extension is enabled.
+  std::shared_ptr<PartitionedFrame> persisted;
+  std::shared_ptr<df::Scalar> persisted_scalar;
+};
+
+using DaskNodePtr = std::shared_ptr<DaskNode>;
+
+namespace {
+
+Result<DaskNodePtr> NodeOf(const BackendValue& value) {
+  auto node = std::dynamic_pointer_cast<DaskNode>(value.frame);
+  if (node == nullptr) {
+    return Status::Invalid("foreign frame handle passed to dask backend");
+  }
+  return node;
+}
+
+/// Pull-based stream of partitions.
+class PartitionStream {
+ public:
+  virtual ~PartitionStream() = default;
+  /// Next partition, or nullopt at end.
+  virtual Result<std::optional<df::DataFrame>> Next() = 0;
+};
+
+class PartitionedFrameStream : public PartitionStream {
+ public:
+  PartitionedFrameStream(std::shared_ptr<PartitionedFrame> parts,
+                         MemoryTracker* tracker)
+      : parts_(std::move(parts)), tracker_(tracker) {}
+
+  Result<std::optional<df::DataFrame>> Next() override {
+    if (idx_ >= parts_->num_partitions()) {
+      return std::optional<df::DataFrame>();
+    }
+    LAFP_ASSIGN_OR_RETURN(df::DataFrame part,
+                          parts_->partition(idx_++, tracker_));
+    return std::optional<df::DataFrame>(std::move(part));
+  }
+
+ private:
+  std::shared_ptr<PartitionedFrame> parts_;
+  MemoryTracker* tracker_;
+  size_t idx_ = 0;
+};
+
+class CsvStream : public PartitionStream {
+ public:
+  CsvStream(std::unique_ptr<io::CsvChunkReader> reader, size_t chunk_rows,
+            int64_t overhead_us, size_t prefetch)
+      : reader_(std::move(reader)),
+        chunk_rows_(chunk_rows),
+        overhead_us_(overhead_us),
+        prefetch_(prefetch == 0 ? 1 : prefetch) {}
+
+  Result<std::optional<df::DataFrame>> Next() override {
+    // Keep a window of decoded partitions resident, like Dask workers
+    // that prefetch blocks for their task pool.
+    while (!eof_ && buffer_.size() < prefetch_) {
+      if (overhead_us_ > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(overhead_us_));
+      }
+      LAFP_ASSIGN_OR_RETURN(auto chunk, reader_->NextChunk(chunk_rows_));
+      if (!chunk.has_value()) {
+        eof_ = true;
+        break;
+      }
+      buffer_.push_back(std::move(*chunk));
+    }
+    if (buffer_.empty()) return std::optional<df::DataFrame>();
+    df::DataFrame out = std::move(buffer_.front());
+    buffer_.pop_front();
+    return std::optional<df::DataFrame>(std::move(out));
+  }
+
+ private:
+  std::unique_ptr<io::CsvChunkReader> reader_;
+  size_t chunk_rows_;
+  int64_t overhead_us_;
+  size_t prefetch_;
+  std::deque<df::DataFrame> buffer_;
+  bool eof_ = false;
+};
+
+class SingleFrameStream : public PartitionStream {
+ public:
+  explicit SingleFrameStream(df::DataFrame frame)
+      : frame_(std::move(frame)) {}
+
+  Result<std::optional<df::DataFrame>> Next() override {
+    if (done_) return std::optional<df::DataFrame>();
+    done_ = true;
+    return std::optional<df::DataFrame>(std::move(frame_));
+  }
+
+ private:
+  df::DataFrame frame_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+/// Per-Materialize evaluator. Holds memoized results of non-row-wise
+/// nodes so a node shared within one compute is evaluated once (as in
+/// Dask); results are NOT retained across Materialize calls unless the
+/// node is persisted — re-computation across forced computes is exactly
+/// what the paper's common-computation-reuse optimization targets.
+class DaskEvaluator {
+ public:
+  explicit DaskEvaluator(DaskBackend* backend)
+      : backend_(backend), tracker_(backend->tracker()) {}
+
+  Result<EagerValue> MaterializeNode(const DaskNodePtr& node) {
+    if (node->produces_scalar) {
+      LAFP_ASSIGN_OR_RETURN(df::Scalar s, EvalScalar(node));
+      return EagerValue::FromScalar(std::move(s));
+    }
+    LAFP_ASSIGN_OR_RETURN(auto stream, Stream(node));
+    std::vector<df::DataFrame> parts;
+    while (true) {
+      LAFP_ASSIGN_OR_RETURN(auto part, stream->Next());
+      if (!part.has_value()) break;
+      parts.push_back(std::move(*part));
+    }
+    if (parts.empty()) return EagerValue::Frame(df::DataFrame());
+    if (parts.size() == 1) return EagerValue::Frame(std::move(parts[0]));
+    LAFP_ASSIGN_OR_RETURN(df::DataFrame all, df::Concat(parts));
+    return EagerValue::Frame(std::move(all));
+  }
+
+  Result<df::Scalar> EvalScalar(const DaskNodePtr& node) {
+    if (node->persisted_scalar != nullptr) return *node->persisted_scalar;
+    auto memo = scalar_memo_.find(node.get());
+    if (memo != scalar_memo_.end()) return memo->second;
+
+    df::Scalar out;
+    if (node->desc.kind == OpKind::kReduce) {
+      LAFP_ASSIGN_OR_RETURN(auto stream, Stream(node->inputs[0]));
+      ReduceCombiner combiner(node->desc.agg_func);
+      while (true) {
+        LAFP_ASSIGN_OR_RETURN(auto part, stream->Next());
+        if (!part.has_value()) break;
+        LAFP_RETURN_NOT_OK(combiner.AddPartition(*part));
+      }
+      LAFP_ASSIGN_OR_RETURN(out, combiner.Finish());
+    } else if (node->desc.kind == OpKind::kLen) {
+      LAFP_ASSIGN_OR_RETURN(auto stream, Stream(node->inputs[0]));
+      int64_t rows = 0;
+      while (true) {
+        LAFP_ASSIGN_OR_RETURN(auto part, stream->Next());
+        if (!part.has_value()) break;
+        rows += static_cast<int64_t>(part->num_rows());
+      }
+      out = df::Scalar::Int(rows);
+    } else {
+      return Status::Invalid("node does not produce a scalar");
+    }
+    scalar_memo_[node.get()] = out;
+    if (node->persist_requested) {
+      node->persisted_scalar = std::make_shared<df::Scalar>(out);
+    }
+    return out;
+  }
+
+  MemoryTracker* tracker() const { return tracker_; }
+
+  void PayOverhead() {
+    if (backend_->config().task_overhead_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(backend_->config().task_overhead_us));
+    }
+  }
+
+  /// Stream of partitions for a frame-producing node.
+  Result<std::unique_ptr<PartitionStream>> Stream(const DaskNodePtr& node) {
+    if (node->produces_scalar) {
+      return Status::Invalid("cannot stream a scalar node");
+    }
+    if (node->persisted != nullptr) {
+      return std::unique_ptr<PartitionStream>(
+          std::make_unique<PartitionedFrameStream>(node->persisted,
+                                                   tracker_));
+    }
+    auto memo = collected_.find(node.get());
+    if (memo != collected_.end()) {
+      return std::unique_ptr<PartitionStream>(
+          std::make_unique<PartitionedFrameStream>(memo->second, tracker_));
+    }
+    if (node->persist_requested) {
+      // Collect once, cache across materializations, then stream the
+      // cache. With the §5.4 disk extension, partitions spill as they
+      // arrive so the collection never holds more than one in memory.
+      LAFP_ASSIGN_OR_RETURN(auto inner, StreamInner(node));
+      const bool spill = backend_->config().spill_persisted;
+      std::string prefix =
+          "persist" + std::to_string(backend_->spill_counter_++);
+      auto collected = std::make_shared<PartitionedFrame>();
+      while (true) {
+        LAFP_ASSIGN_OR_RETURN(auto part, inner->Next());
+        if (!part.has_value()) break;
+        collected->Add(std::move(*part));
+        if (spill) {
+          size_t i = collected->num_partitions() - 1;
+          LAFP_RETURN_NOT_OK(collected->SpillPartition(
+              i, backend_->spill_dir_,
+              prefix + "_" + std::to_string(i)));
+        }
+      }
+      node->persisted = collected;
+      return std::unique_ptr<PartitionStream>(
+          std::make_unique<PartitionedFrameStream>(collected, tracker_));
+    }
+    return StreamInner(node);
+  }
+
+ private:
+  Result<std::shared_ptr<PartitionedFrame>> Collect(
+      std::unique_ptr<PartitionStream> stream) {
+    auto out = std::make_shared<PartitionedFrame>();
+    while (true) {
+      LAFP_ASSIGN_OR_RETURN(auto part, stream->Next());
+      if (!part.has_value()) break;
+      out->Add(std::move(*part));
+    }
+    return out;
+  }
+
+  /// Collect a node fully into an eager frame (an internal
+  /// materialization point: merge broadcast sides, fallback inputs).
+  Result<df::DataFrame> CollectEager(const DaskNodePtr& node) {
+    LAFP_ASSIGN_OR_RETURN(EagerValue v, MaterializeNode(node));
+    return v.frame;
+  }
+
+  Result<std::unique_ptr<PartitionStream>> StreamInner(
+      const DaskNodePtr& node);
+
+  /// Memoize a small, fully evaluated result for this Materialize call.
+  std::unique_ptr<PartitionStream> MemoizeSingle(const DaskNodePtr& node,
+                                                 df::DataFrame result) {
+    auto parts = std::make_shared<PartitionedFrame>();
+    parts->Add(std::move(result));
+    collected_[node.get()] = parts;
+    return std::make_unique<PartitionedFrameStream>(parts, tracker_);
+  }
+
+  DaskBackend* backend_;
+  MemoryTracker* tracker_;
+  std::unordered_map<DaskNode*, std::shared_ptr<PartitionedFrame>>
+      collected_;
+  std::unordered_map<DaskNode*, df::Scalar> scalar_memo_;
+};
+
+namespace {
+
+/// Stream over a fused blockwise zone: a maximal subgraph of row-wise ops
+/// rooted at `root`. Each Next() pulls one aligned partition from every
+/// zone source and evaluates the zone's ops on it — Dask-style operator
+/// fusion, the reason chains of filters/projections run in constant
+/// memory.
+class ZoneStream : public PartitionStream {
+ public:
+  static Result<std::unique_ptr<PartitionStream>> Make(
+      DaskEvaluator* eval, const DaskNodePtr& root);
+
+  Result<std::optional<df::DataFrame>> Next() override;
+
+ private:
+  ZoneStream(DaskEvaluator* eval, DaskNodePtr root)
+      : eval_(eval), root_(std::move(root)) {}
+
+  Status Discover(const DaskNodePtr& node);
+  Result<df::DataFrame> EvalRec(
+      const DaskNodePtr& node,
+      std::unordered_map<DaskNode*, df::DataFrame>* memo);
+
+  bool InZone(const DaskNodePtr& node) const {
+    return zone_.count(node.get()) > 0;
+  }
+
+  DaskEvaluator* eval_;
+  DaskNodePtr root_;
+  std::unordered_map<DaskNode*, bool> zone_;  // nodes evaluated per partition
+  std::vector<DaskNodePtr> sources_;
+  std::vector<std::unique_ptr<PartitionStream>> source_streams_;
+  std::unordered_map<DaskNode*, df::Scalar> scalar_inputs_;
+  bool exhausted_ = false;
+};
+
+Result<std::unique_ptr<PartitionStream>> ZoneStream::Make(
+    DaskEvaluator* eval, const DaskNodePtr& root) {
+  auto stream =
+      std::unique_ptr<ZoneStream>(new ZoneStream(eval, root));
+  LAFP_RETURN_NOT_OK(stream->Discover(root));
+  for (const auto& src : stream->sources_) {
+    LAFP_ASSIGN_OR_RETURN(auto s, eval->Stream(src));
+    stream->source_streams_.push_back(std::move(s));
+  }
+  return std::unique_ptr<PartitionStream>(std::move(stream));
+}
+
+Status ZoneStream::Discover(const DaskNodePtr& node) {
+  if (zone_.count(node.get()) > 0) return Status::OK();
+  bool fusable = IsMapOp(node->desc.kind) &&
+                 (node == root_ || (!node->persist_requested &&
+                                    node->persisted == nullptr));
+  if (!fusable) {
+    if (node->produces_scalar) {
+      LAFP_ASSIGN_OR_RETURN(df::Scalar s, eval_->EvalScalar(node));
+      scalar_inputs_[node.get()] = std::move(s);
+      return Status::OK();
+    }
+    // Partition source (read_csv, reduction output, merge output,
+    // persisted node, ...).
+    for (const auto& existing : sources_) {
+      if (existing == node) return Status::OK();
+    }
+    sources_.push_back(node);
+    return Status::OK();
+  }
+  zone_[node.get()] = true;
+  for (const auto& in : node->inputs) {
+    LAFP_RETURN_NOT_OK(Discover(in));
+  }
+  return Status::OK();
+}
+
+Result<std::optional<df::DataFrame>> ZoneStream::Next() {
+  if (exhausted_) return std::optional<df::DataFrame>();
+  std::unordered_map<DaskNode*, df::DataFrame> memo;
+  size_t ended = 0;
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    LAFP_ASSIGN_OR_RETURN(auto part, source_streams_[i]->Next());
+    if (!part.has_value()) {
+      ++ended;
+      continue;
+    }
+    memo[sources_[i].get()] = std::move(*part);
+  }
+  if (ended == sources_.size() || sources_.empty()) {
+    exhausted_ = true;
+    return std::optional<df::DataFrame>();
+  }
+  if (ended > 0) {
+    return Status::ExecutionError(
+        "misaligned partitioning between fused inputs");
+  }
+  LAFP_ASSIGN_OR_RETURN(df::DataFrame out, EvalRec(root_, &memo));
+  return std::optional<df::DataFrame>(std::move(out));
+}
+
+Result<df::DataFrame> ZoneStream::EvalRec(
+    const DaskNodePtr& node,
+    std::unordered_map<DaskNode*, df::DataFrame>* memo) {
+  auto it = memo->find(node.get());
+  if (it != memo->end()) return it->second;
+  std::vector<EagerValue> inputs;
+  for (const auto& in : node->inputs) {
+    auto scalar_it = scalar_inputs_.find(in.get());
+    if (scalar_it != scalar_inputs_.end()) {
+      inputs.push_back(EagerValue::FromScalar(scalar_it->second));
+      continue;
+    }
+    LAFP_ASSIGN_OR_RETURN(df::DataFrame frame, EvalRec(in, memo));
+    inputs.push_back(EagerValue::Frame(std::move(frame)));
+  }
+  eval_->PayOverhead();
+  LAFP_ASSIGN_OR_RETURN(EagerValue out,
+                        ExecuteEagerOp(node->desc, inputs,
+                                       eval_->tracker()));
+  if (out.is_scalar) {
+    return Status::ExecutionError("map op unexpectedly produced a scalar");
+  }
+  (*memo)[node.get()] = out.frame;
+  return out.frame;
+}
+
+/// Sequential chaining of input streams (pd.concat): partitions of the
+/// first input, then the second, and so on.
+class ChainStream : public PartitionStream {
+ public:
+  explicit ChainStream(std::vector<std::unique_ptr<PartitionStream>> streams)
+      : streams_(std::move(streams)) {}
+
+  Result<std::optional<df::DataFrame>> Next() override {
+    while (index_ < streams_.size()) {
+      LAFP_ASSIGN_OR_RETURN(auto part, streams_[index_]->Next());
+      if (part.has_value()) return part;
+      ++index_;
+    }
+    return std::optional<df::DataFrame>();
+  }
+
+ private:
+  std::vector<std::unique_ptr<PartitionStream>> streams_;
+  size_t index_ = 0;
+};
+
+/// Broadcast hash join: the right side is fully materialized once, the
+/// left side streams through.
+class MergeStream : public PartitionStream {
+ public:
+  MergeStream(DaskEvaluator* eval, OpDesc desc,
+              std::unique_ptr<PartitionStream> left, df::DataFrame right)
+      : eval_(eval),
+        desc_(std::move(desc)),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  Result<std::optional<df::DataFrame>> Next() override {
+    LAFP_ASSIGN_OR_RETURN(auto part, left_->Next());
+    if (!part.has_value()) return std::optional<df::DataFrame>();
+    eval_->PayOverhead();
+    LAFP_ASSIGN_OR_RETURN(
+        df::DataFrame joined,
+        df::Merge(*part, right_, desc_.columns, desc_.join_type));
+    return std::optional<df::DataFrame>(std::move(joined));
+  }
+
+ private:
+  DaskEvaluator* eval_;
+  OpDesc desc_;
+  std::unique_ptr<PartitionStream> left_;
+  df::DataFrame right_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<PartitionStream>> DaskEvaluator::StreamInner(
+    const DaskNodePtr& node) {
+  const OpDesc& desc = node->desc;
+  switch (desc.kind) {
+    case OpKind::kReadCsv: {
+      LAFP_ASSIGN_OR_RETURN(
+          auto reader,
+          io::CsvChunkReader::Open(desc.path, desc.csv_options, tracker_));
+      return std::unique_ptr<PartitionStream>(std::make_unique<CsvStream>(
+          std::move(reader), backend_->config().partition_rows,
+          backend_->config().task_overhead_us,
+          backend_->config().prefetch_partitions));
+    }
+    case OpKind::kGroupByAgg: {
+      GroupByCombiner combiner(desc.columns, desc.aggs);
+      if (!combiner.supported()) {
+        // nunique: single-node aggregation over the collected input.
+        LAFP_ASSIGN_OR_RETURN(df::DataFrame input,
+                              CollectEager(node->inputs[0]));
+        PayOverhead();
+        LAFP_ASSIGN_OR_RETURN(
+            df::DataFrame out,
+            df::GroupByAgg(input, desc.columns, desc.aggs));
+        return MemoizeSingle(node, std::move(out));
+      }
+      LAFP_ASSIGN_OR_RETURN(auto stream, Stream(node->inputs[0]));
+      while (true) {
+        LAFP_ASSIGN_OR_RETURN(auto part, stream->Next());
+        if (!part.has_value()) break;
+        PayOverhead();
+        LAFP_RETURN_NOT_OK(combiner.AddPartition(*part));
+      }
+      LAFP_ASSIGN_OR_RETURN(df::DataFrame out, combiner.Finish());
+      return MemoizeSingle(node, std::move(out));
+    }
+    case OpKind::kConcat: {
+      std::vector<std::unique_ptr<PartitionStream>> streams;
+      for (const auto& in : node->inputs) {
+        LAFP_ASSIGN_OR_RETURN(auto s, Stream(in));
+        streams.push_back(std::move(s));
+      }
+      return std::unique_ptr<PartitionStream>(
+          std::make_unique<ChainStream>(std::move(streams)));
+    }
+    case OpKind::kMerge: {
+      LAFP_ASSIGN_OR_RETURN(auto left, Stream(node->inputs[0]));
+      // Broadcast: the right side is materialized (tracked; a deliberate
+      // potential OOM point, mirroring real Dask broadcast joins).
+      LAFP_ASSIGN_OR_RETURN(df::DataFrame right,
+                            CollectEager(node->inputs[1]));
+      return std::unique_ptr<PartitionStream>(std::make_unique<MergeStream>(
+          this, desc, std::move(left), std::move(right)));
+    }
+    case OpKind::kHead: {
+      LAFP_ASSIGN_OR_RETURN(auto stream, Stream(node->inputs[0]));
+      std::vector<df::DataFrame> got;
+      size_t rows = 0;
+      while (rows < desc.n) {
+        LAFP_ASSIGN_OR_RETURN(auto part, stream->Next());
+        if (!part.has_value()) break;
+        size_t want = desc.n - rows;
+        if (part->num_rows() > want) {
+          LAFP_ASSIGN_OR_RETURN(df::DataFrame cut, part->SliceRows(0, want));
+          got.push_back(std::move(cut));
+          rows += want;
+        } else {
+          rows += part->num_rows();
+          got.push_back(std::move(*part));
+        }
+      }
+      df::DataFrame out;
+      if (got.size() == 1) {
+        out = std::move(got[0]);
+      } else if (!got.empty()) {
+        LAFP_ASSIGN_OR_RETURN(out, df::Concat(got));
+      }
+      return MemoizeSingle(node, std::move(out));
+    }
+    case OpKind::kValueCounts: {
+      LAFP_ASSIGN_OR_RETURN(auto stream, Stream(node->inputs[0]));
+      std::vector<df::DataFrame> partials;
+      std::string value_name = "value";
+      while (true) {
+        LAFP_ASSIGN_OR_RETURN(auto part, stream->Next());
+        if (!part.has_value()) break;
+        PayOverhead();
+        if (part->num_columns() != 1) {
+          return Status::TypeError("value_counts expects a series");
+        }
+        value_name = part->names()[0];
+        LAFP_ASSIGN_OR_RETURN(
+            df::DataFrame vc,
+            df::ValueCounts(*part->column(size_t{0}), value_name));
+        partials.push_back(std::move(vc));
+      }
+      if (partials.empty()) return MemoizeSingle(node, df::DataFrame());
+      LAFP_ASSIGN_OR_RETURN(df::DataFrame all, df::Concat(partials));
+      LAFP_ASSIGN_OR_RETURN(
+          df::DataFrame combined,
+          df::GroupByAgg(all, {value_name},
+                         {{"count", df::AggFunc::kSum, "count"}}));
+      LAFP_ASSIGN_OR_RETURN(
+          df::DataFrame sorted,
+          df::SortValues(combined, {"count", value_name}, {false, true}));
+      return MemoizeSingle(node, std::move(sorted));
+    }
+    case OpKind::kDescribe: {
+      // Single-pass distributed describe: fold count/sum/sumsq/min/max.
+      LAFP_ASSIGN_OR_RETURN(auto stream, Stream(node->inputs[0]));
+      std::vector<std::string> col_names;
+      std::vector<df::KahanSum> sum, sumsq;
+      std::vector<double> mn, mx;
+      std::vector<int64_t> count;
+      bool initialized = false;
+      while (true) {
+        LAFP_ASSIGN_OR_RETURN(auto part, stream->Next());
+        if (!part.has_value()) break;
+        PayOverhead();
+        if (!initialized) {
+          for (size_t c = 0; c < part->num_columns(); ++c) {
+            if (!df::IsNumeric(part->column(c)->type())) continue;
+            col_names.push_back(part->names()[c]);
+          }
+          sum.assign(col_names.size(), df::KahanSum());
+          sumsq.assign(col_names.size(), df::KahanSum());
+          count.assign(col_names.size(), 0);
+          mn.assign(col_names.size(),
+                    std::numeric_limits<double>::infinity());
+          mx.assign(col_names.size(),
+                    -std::numeric_limits<double>::infinity());
+          initialized = true;
+        }
+        for (size_t k = 0; k < col_names.size(); ++k) {
+          LAFP_ASSIGN_OR_RETURN(df::ColumnPtr col,
+                                part->column(col_names[k]));
+          for (size_t r = 0; r < col->size(); ++r) {
+            if (!col->IsValid(r)) continue;
+            LAFP_ASSIGN_OR_RETURN(double v, col->NumericAt(r));
+            if (std::isnan(v)) continue;
+            sum[k].Add(v);
+            sumsq[k].Add(v * v);
+            ++count[k];
+            mn[k] = std::min(mn[k], v);
+            mx[k] = std::max(mx[k], v);
+          }
+        }
+      }
+      std::vector<std::string> out_names{"stat"};
+      std::vector<df::ColumnPtr> out_cols;
+      {
+        df::ColumnBuilder stat(df::DataType::kString, tracker_);
+        for (const char* s : {"count", "mean", "std", "min", "max"}) {
+          stat.AppendString(s);
+        }
+        LAFP_ASSIGN_OR_RETURN(df::ColumnPtr c, stat.Finish());
+        out_cols.push_back(std::move(c));
+      }
+      for (size_t k = 0; k < col_names.size(); ++k) {
+        df::ColumnBuilder b(df::DataType::kDouble, tracker_);
+        double total = sum[k].Total();
+        double total_sq = sumsq[k].Total();
+        double mean = count[k] > 0 ? total / count[k] : std::nan("");
+        double var =
+            count[k] > 1
+                ? std::max(0.0, (total_sq - total * total / count[k]) /
+                                    (count[k] - 1))
+                : std::nan("");
+        b.AppendDouble(static_cast<double>(count[k]));
+        b.AppendDouble(mean);
+        b.AppendDouble(count[k] > 1 ? std::sqrt(var) : std::nan(""));
+        b.AppendDouble(count[k] > 0 ? mn[k] : std::nan(""));
+        b.AppendDouble(count[k] > 0 ? mx[k] : std::nan(""));
+        LAFP_ASSIGN_OR_RETURN(df::ColumnPtr c, b.Finish());
+        out_names.push_back(col_names[k]);
+        out_cols.push_back(std::move(c));
+      }
+      LAFP_ASSIGN_OR_RETURN(
+          df::DataFrame out,
+          df::DataFrame::Make(std::move(out_names), std::move(out_cols)));
+      return MemoizeSingle(node, std::move(out));
+    }
+    case OpKind::kDropDuplicates:
+    case OpKind::kUnique: {
+      // Streaming dedup with an accumulated distinct set. The accumulator
+      // grows with the number of distinct keys (tracked memory).
+      LAFP_ASSIGN_OR_RETURN(auto stream, Stream(node->inputs[0]));
+      df::DataFrame acc;
+      bool first = true;
+      while (true) {
+        LAFP_ASSIGN_OR_RETURN(auto part, stream->Next());
+        if (!part.has_value()) break;
+        PayOverhead();
+        df::DataFrame deduped;
+        if (desc.kind == OpKind::kUnique) {
+          if (part->num_columns() != 1) {
+            return Status::TypeError("unique expects a series");
+          }
+          LAFP_ASSIGN_OR_RETURN(df::ColumnPtr u,
+                                df::Unique(*part->column(size_t{0})));
+          LAFP_ASSIGN_OR_RETURN(
+              deduped, df::DataFrame::Make({part->names()[0]}, {u}));
+        } else {
+          LAFP_ASSIGN_OR_RETURN(deduped,
+                                df::DropDuplicates(*part, desc.columns));
+        }
+        if (first) {
+          acc = std::move(deduped);
+          first = false;
+        } else {
+          LAFP_ASSIGN_OR_RETURN(df::DataFrame merged,
+                                df::Concat({acc, deduped}));
+          if (desc.kind == OpKind::kUnique) {
+            LAFP_ASSIGN_OR_RETURN(df::ColumnPtr u,
+                                  df::Unique(*merged.column(size_t{0})));
+            LAFP_ASSIGN_OR_RETURN(
+                acc, df::DataFrame::Make({merged.names()[0]}, {u}));
+          } else {
+            LAFP_ASSIGN_OR_RETURN(acc,
+                                  df::DropDuplicates(merged, desc.columns));
+          }
+        }
+      }
+      return MemoizeSingle(node, std::move(acc));
+    }
+    default: {
+      if (IsMapOp(desc.kind)) return ZoneStream::Make(this, node);
+      // Fallback inside the backend (sort and anything exotic): collect
+      // inputs, run the eager kernel.
+      std::vector<EagerValue> inputs;
+      for (const auto& in : node->inputs) {
+        if (in->produces_scalar) {
+          LAFP_ASSIGN_OR_RETURN(df::Scalar s, EvalScalar(in));
+          inputs.push_back(EagerValue::FromScalar(std::move(s)));
+          continue;
+        }
+        LAFP_ASSIGN_OR_RETURN(df::DataFrame frame, CollectEager(in));
+        inputs.push_back(EagerValue::Frame(std::move(frame)));
+      }
+      PayOverhead();
+      LAFP_ASSIGN_OR_RETURN(EagerValue out,
+                            ExecuteEagerOp(desc, inputs, tracker_));
+      if (out.is_scalar) {
+        return Status::ExecutionError("unexpected scalar from fallback op");
+      }
+      return MemoizeSingle(node, std::move(out.frame));
+    }
+  }
+}
+
+}  // namespace internal
+
+DaskBackend::DaskBackend(MemoryTracker* tracker, const BackendConfig& config)
+    : Backend(tracker, config) {
+  spill_dir_ = config.spill_dir.empty()
+                   ? (std::filesystem::temp_directory_path() /
+                      "lafp_dask_spill")
+                         .string()
+                   : config.spill_dir;
+}
+
+DaskBackend::~DaskBackend() = default;
+
+bool DaskBackend::SupportsOp(const OpDesc& desc) const {
+  switch (desc.kind) {
+    case OpKind::kPrint:
+      return false;
+    case OpKind::kSortValues:
+      // No global row order in Dask (paper §5.2): programs must fall back
+      // to Pandas around order-sensitive operations.
+      return false;
+    default:
+      return true;
+  }
+}
+
+Result<BackendValue> DaskBackend::Execute(
+    const OpDesc& desc, const std::vector<BackendValue>& inputs) {
+  auto node = std::make_shared<internal::DaskNode>();
+  node->desc = desc;
+  for (const auto& in : inputs) {
+    if (in.is_scalar) {
+      // Immediate scalar input: freeze it into the plan as a constant.
+      auto constant = std::make_shared<internal::DaskNode>();
+      constant->desc.kind = OpKind::kReduce;  // placeholder kind
+      constant->produces_scalar = true;
+      constant->persisted_scalar = std::make_shared<df::Scalar>(in.scalar);
+      node->inputs.push_back(std::move(constant));
+      continue;
+    }
+    LAFP_ASSIGN_OR_RETURN(internal::DaskNodePtr in_node,
+                          internal::NodeOf(in));
+    node->inputs.push_back(std::move(in_node));
+  }
+  node->produces_scalar =
+      desc.kind == OpKind::kReduce || desc.kind == OpKind::kLen;
+  return BackendValue::Frame(std::move(node));
+}
+
+Result<EagerValue> DaskBackend::Materialize(const BackendValue& value) {
+  if (value.is_scalar) return EagerValue::FromScalar(value.scalar);
+  LAFP_ASSIGN_OR_RETURN(internal::DaskNodePtr node,
+                        internal::NodeOf(value));
+  internal::DaskEvaluator evaluator(this);
+  return evaluator.MaterializeNode(node);
+}
+
+Result<BackendValue> DaskBackend::FromEager(const EagerValue& value) {
+  if (value.is_scalar) return BackendValue::FromScalar(value.scalar);
+  auto node = std::make_shared<internal::DaskNode>();
+  node->desc.kind = OpKind::kReadCsv;  // placeholder; never re-evaluated
+  LAFP_ASSIGN_OR_RETURN(
+      PartitionedFrame parts,
+      PartitionedFrame::FromEager(value.frame, config_.partition_rows));
+  node->persisted = std::make_shared<PartitionedFrame>(std::move(parts));
+  return BackendValue::Frame(std::move(node));
+}
+
+Status DaskBackend::Persist(const BackendValue& value) {
+  if (value.is_scalar) return Status::OK();
+  LAFP_ASSIGN_OR_RETURN(internal::DaskNodePtr node,
+                        internal::NodeOf(value));
+  node->persist_requested = true;
+  return Status::OK();
+}
+
+Status DaskBackend::Unpersist(const BackendValue& value) {
+  if (value.is_scalar) return Status::OK();
+  LAFP_ASSIGN_OR_RETURN(internal::DaskNodePtr node,
+                        internal::NodeOf(value));
+  node->persist_requested = false;
+  node->persisted.reset();
+  node->persisted_scalar.reset();
+  return Status::OK();
+}
+
+}  // namespace lafp::exec

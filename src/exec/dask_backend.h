@@ -1,0 +1,62 @@
+#ifndef LAFP_EXEC_DASK_BACKEND_H_
+#define LAFP_EXEC_DASK_BACKEND_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/backend.h"
+#include "exec/partition.h"
+
+namespace lafp::exec {
+
+namespace internal {
+struct DaskNode;
+class DaskEvaluator;
+}  // namespace internal
+
+/// Lazy, partitioned, out-of-core engine modeled on Dask.
+///
+/// Execute() merely records plan nodes ("creates an operator DAG in the
+/// backend framework", paper §2.5); Materialize() evaluates the plan by
+/// streaming partitions:
+///   - chains of row-wise ops are fused and evaluated one partition at a
+///     time (bounded memory regardless of dataset size);
+///   - group-bys and reductions fold partitions through two-phase
+///     combiners;
+///   - merge broadcasts the right side (a deliberate materialization
+///     point that can OOM, as in the paper's failure cases);
+///   - the final result is concatenated into an eager frame — the other
+///     OOM point when a program materializes something dataset-sized.
+///
+/// Like Dask, row order across shuffling ops is not guaranteed, results
+/// are recomputed on every Materialize unless Persist() was requested, and
+/// persisted collections are memory-resident (paper §5.4 notes disk
+/// persistence as future work; config.spill_persisted enables that
+/// extension here).
+class DaskBackend : public Backend {
+ public:
+  DaskBackend(MemoryTracker* tracker, const BackendConfig& config);
+  ~DaskBackend() override;
+
+  const char* name() const override { return "dask"; }
+  bool lazy() const override { return true; }
+  bool preserves_row_order() const override { return false; }
+  bool SupportsOp(const OpDesc& desc) const override;
+
+  Result<BackendValue> Execute(
+      const OpDesc& desc, const std::vector<BackendValue>& inputs) override;
+  Result<EagerValue> Materialize(const BackendValue& value) override;
+  Result<BackendValue> FromEager(const EagerValue& value) override;
+  Status Persist(const BackendValue& value) override;
+  Status Unpersist(const BackendValue& value) override;
+
+ private:
+  friend class internal::DaskEvaluator;
+
+  std::string spill_dir_;
+  int64_t spill_counter_ = 0;
+};
+
+}  // namespace lafp::exec
+
+#endif  // LAFP_EXEC_DASK_BACKEND_H_

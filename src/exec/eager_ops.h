@@ -1,0 +1,48 @@
+#ifndef LAFP_EXEC_EAGER_OPS_H_
+#define LAFP_EXEC_EAGER_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/op.h"
+
+namespace lafp::exec {
+
+/// A materialized value flowing through eager execution: either a frame
+/// (a "series" is a one-column frame) or a scalar (a reduce result).
+struct EagerValue {
+  df::DataFrame frame;
+  df::Scalar scalar;
+  bool is_scalar = false;
+
+  static EagerValue Frame(df::DataFrame f) {
+    EagerValue v;
+    v.frame = std::move(f);
+    return v;
+  }
+  static EagerValue FromScalar(df::Scalar s) {
+    EagerValue v;
+    v.scalar = std::move(s);
+    v.is_scalar = true;
+    return v;
+  }
+
+  /// Series view: the single column of a one-column frame.
+  Result<df::ColumnPtr> AsColumn() const;
+
+  /// Repr used by print: scalars print their value; frames print like
+  /// pandas (head rows + shape line).
+  std::string ToDisplayString() const;
+};
+
+/// Execute one operator eagerly with the engine kernels. This is the
+/// Pandas backend's execution path, the per-partition body of the Modin
+/// and Dask backends, and the fallback for ops a backend cannot run
+/// natively (paper §5.2).
+Result<EagerValue> ExecuteEagerOp(const OpDesc& desc,
+                                  const std::vector<EagerValue>& inputs,
+                                  MemoryTracker* tracker);
+
+}  // namespace lafp::exec
+
+#endif  // LAFP_EXEC_EAGER_OPS_H_

@@ -1,0 +1,252 @@
+#include "exec/modin_backend.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/macros.h"
+#include "exec/agg_twophase.h"
+
+namespace lafp::exec {
+
+namespace {
+
+/// Partitioned frame wrapper for Modin values.
+class ModinFrame : public BackendFrame {
+ public:
+  explicit ModinFrame(PartitionedFrame parts) : parts_(std::move(parts)) {}
+  const PartitionedFrame& parts() const { return parts_; }
+
+ private:
+  PartitionedFrame parts_;
+};
+
+Result<const PartitionedFrame*> PartsOf(const BackendValue& value) {
+  auto* wrapped = dynamic_cast<ModinFrame*>(value.frame.get());
+  if (wrapped == nullptr) {
+    return Status::Invalid("foreign frame handle passed to modin backend");
+  }
+  return &wrapped->parts();
+}
+
+BackendValue WrapParts(PartitionedFrame parts) {
+  return BackendValue::Frame(std::make_shared<ModinFrame>(std::move(parts)));
+}
+
+}  // namespace
+
+ModinBackend::ModinBackend(MemoryTracker* tracker,
+                           const BackendConfig& config)
+    : Backend(tracker, config),
+      pool_(std::make_unique<ThreadPool>(config.num_threads)) {}
+
+void ModinBackend::PayOverhead() const {
+  if (config_.task_overhead_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.task_overhead_us));
+  }
+}
+
+bool ModinBackend::SupportsOp(const OpDesc& desc) const {
+  return desc.kind != OpKind::kPrint;
+}
+
+Result<BackendValue> ModinBackend::Execute(
+    const OpDesc& desc, const std::vector<BackendValue>& inputs) {
+  switch (desc.kind) {
+    case OpKind::kReadCsv: {
+      // Partitioned read: chunked, but eager (all partitions in memory).
+      LAFP_ASSIGN_OR_RETURN(
+          auto reader,
+          io::CsvChunkReader::Open(desc.path, desc.csv_options, tracker_));
+      PartitionedFrame parts;
+      while (true) {
+        LAFP_ASSIGN_OR_RETURN(auto chunk,
+                              reader->NextChunk(config_.partition_rows));
+        if (!chunk.has_value()) break;
+        PayOverhead();
+        parts.Add(std::move(*chunk));
+      }
+      if (parts.num_partitions() == 0) {
+        LAFP_ASSIGN_OR_RETURN(
+            df::DataFrame empty,
+            io::ReadCsv(desc.path, desc.csv_options, tracker_));
+        parts.Add(std::move(empty));
+      }
+      return WrapParts(std::move(parts));
+    }
+    case OpKind::kGroupByAgg:
+      return ExecuteGroupBy(desc, inputs[0]);
+    case OpKind::kReduce:
+    case OpKind::kLen:
+      return ExecuteReduce(desc, inputs[0]);
+    case OpKind::kMerge:
+      return ExecuteMerge(desc, inputs[0], inputs[1]);
+    default:
+      if (IsMapOp(desc.kind)) return ExecuteMapOp(desc, inputs);
+      return ExecuteViaConcat(desc, inputs);
+  }
+}
+
+Result<BackendValue> ModinBackend::ExecuteMapOp(
+    const OpDesc& desc, const std::vector<BackendValue>& inputs) {
+  LAFP_ASSIGN_OR_RETURN(const PartitionedFrame* primary, PartsOf(inputs[0]));
+  const PartitionedFrame* secondary = nullptr;
+  df::Scalar runtime_scalar;
+  bool second_is_scalar = false;
+  if (inputs.size() > 1) {
+    if (inputs[1].is_scalar) {
+      second_is_scalar = true;
+      runtime_scalar = inputs[1].scalar;
+    } else {
+      LAFP_ASSIGN_OR_RETURN(secondary, PartsOf(inputs[1]));
+      if (secondary->num_partitions() != primary->num_partitions()) {
+        // Misaligned partitioning: run via concat as a correctness
+        // fallback.
+        return ExecuteViaConcat(desc, inputs);
+      }
+    }
+  }
+  size_t np = primary->num_partitions();
+  std::vector<df::DataFrame> results(np);
+  std::vector<Status> statuses(np);
+  ParallelFor(pool_.get(), static_cast<int>(np), [&](int i) {
+    PayOverhead();
+    auto part = primary->partition(i, tracker_);
+    if (!part.ok()) {
+      statuses[i] = part.status();
+      return;
+    }
+    std::vector<EagerValue> eager_inputs;
+    eager_inputs.push_back(EagerValue::Frame(std::move(*part)));
+    if (secondary != nullptr) {
+      auto second = secondary->partition(i, tracker_);
+      if (!second.ok()) {
+        statuses[i] = second.status();
+        return;
+      }
+      eager_inputs.push_back(EagerValue::Frame(std::move(*second)));
+    } else if (second_is_scalar) {
+      eager_inputs.push_back(EagerValue::FromScalar(runtime_scalar));
+    }
+    auto out = ExecuteEagerOp(desc, eager_inputs, tracker_);
+    if (!out.ok()) {
+      statuses[i] = out.status();
+      return;
+    }
+    results[i] = std::move(out->frame);
+  });
+  for (const auto& st : statuses) LAFP_RETURN_NOT_OK(st);
+  PartitionedFrame out;
+  for (auto& r : results) out.Add(std::move(r));
+  return WrapParts(std::move(out));
+}
+
+Result<BackendValue> ModinBackend::ExecuteGroupBy(
+    const OpDesc& desc, const BackendValue& input) {
+  LAFP_ASSIGN_OR_RETURN(const PartitionedFrame* parts, PartsOf(input));
+  GroupByCombiner combiner(desc.columns, desc.aggs);
+  if (!combiner.supported()) {
+    return ExecuteViaConcat(desc, {input});
+  }
+  size_t np = parts->num_partitions();
+  // Partial aggregation is parallel; partials are folded in deterministic
+  // partition order for reproducible output.
+  std::vector<df::DataFrame> partial_inputs(np);
+  std::vector<Status> statuses(np);
+  ParallelFor(pool_.get(), static_cast<int>(np), [&](int i) {
+    PayOverhead();
+    auto part = parts->partition(i, tracker_);
+    if (!part.ok()) {
+      statuses[i] = part.status();
+      return;
+    }
+    partial_inputs[i] = std::move(*part);
+  });
+  for (const auto& st : statuses) LAFP_RETURN_NOT_OK(st);
+  for (const auto& part : partial_inputs) {
+    LAFP_RETURN_NOT_OK(combiner.AddPartition(part));
+  }
+  LAFP_ASSIGN_OR_RETURN(df::DataFrame result, combiner.Finish());
+  PartitionedFrame out;
+  out.Add(std::move(result));
+  return WrapParts(std::move(out));
+}
+
+Result<BackendValue> ModinBackend::ExecuteReduce(const OpDesc& desc,
+                                                 const BackendValue& input) {
+  LAFP_ASSIGN_OR_RETURN(const PartitionedFrame* parts, PartsOf(input));
+  if (desc.kind == OpKind::kLen) {
+    return BackendValue::FromScalar(
+        df::Scalar::Int(static_cast<int64_t>(parts->num_rows())));
+  }
+  ReduceCombiner combiner(desc.agg_func);
+  for (size_t i = 0; i < parts->num_partitions(); ++i) {
+    PayOverhead();
+    LAFP_ASSIGN_OR_RETURN(df::DataFrame part, parts->partition(i, tracker_));
+    LAFP_RETURN_NOT_OK(combiner.AddPartition(part));
+  }
+  LAFP_ASSIGN_OR_RETURN(df::Scalar out, combiner.Finish());
+  return BackendValue::FromScalar(std::move(out));
+}
+
+Result<BackendValue> ModinBackend::ExecuteMerge(const OpDesc& desc,
+                                                const BackendValue& left,
+                                                const BackendValue& right) {
+  LAFP_ASSIGN_OR_RETURN(const PartitionedFrame* lparts, PartsOf(left));
+  LAFP_ASSIGN_OR_RETURN(const PartitionedFrame* rparts, PartsOf(right));
+  // Broadcast join: the right side is concatenated and joined against
+  // every left partition in parallel.
+  LAFP_ASSIGN_OR_RETURN(df::DataFrame right_full, rparts->ToEager(tracker_));
+  size_t np = lparts->num_partitions();
+  std::vector<df::DataFrame> results(np);
+  std::vector<Status> statuses(np);
+  ParallelFor(pool_.get(), static_cast<int>(np), [&](int i) {
+    PayOverhead();
+    auto part = lparts->partition(i, tracker_);
+    if (!part.ok()) {
+      statuses[i] = part.status();
+      return;
+    }
+    auto joined = df::Merge(*part, right_full, desc.columns, desc.join_type);
+    if (!joined.ok()) {
+      statuses[i] = joined.status();
+      return;
+    }
+    results[i] = std::move(*joined);
+  });
+  for (const auto& st : statuses) LAFP_RETURN_NOT_OK(st);
+  PartitionedFrame out;
+  for (auto& r : results) out.Add(std::move(r));
+  return WrapParts(std::move(out));
+}
+
+Result<BackendValue> ModinBackend::ExecuteViaConcat(
+    const OpDesc& desc, const std::vector<BackendValue>& inputs) {
+  std::vector<EagerValue> eager_inputs;
+  for (const auto& in : inputs) {
+    LAFP_ASSIGN_OR_RETURN(EagerValue v, Materialize(in));
+    eager_inputs.push_back(std::move(v));
+  }
+  PayOverhead();
+  LAFP_ASSIGN_OR_RETURN(EagerValue out,
+                        ExecuteEagerOp(desc, eager_inputs, tracker_));
+  return FromEager(out);
+}
+
+Result<EagerValue> ModinBackend::Materialize(const BackendValue& value) {
+  if (value.is_scalar) return EagerValue::FromScalar(value.scalar);
+  LAFP_ASSIGN_OR_RETURN(const PartitionedFrame* parts, PartsOf(value));
+  LAFP_ASSIGN_OR_RETURN(df::DataFrame frame, parts->ToEager(tracker_));
+  return EagerValue::Frame(std::move(frame));
+}
+
+Result<BackendValue> ModinBackend::FromEager(const EagerValue& value) {
+  if (value.is_scalar) return BackendValue::FromScalar(value.scalar);
+  LAFP_ASSIGN_OR_RETURN(
+      PartitionedFrame parts,
+      PartitionedFrame::FromEager(value.frame, config_.partition_rows));
+  return WrapParts(std::move(parts));
+}
+
+}  // namespace lafp::exec

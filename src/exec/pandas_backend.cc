@@ -1,0 +1,54 @@
+#include "exec/pandas_backend.h"
+
+#include "common/macros.h"
+
+namespace lafp::exec {
+
+namespace {
+
+/// Eager frame wrapper.
+class EagerBackendFrame : public BackendFrame {
+ public:
+  explicit EagerBackendFrame(df::DataFrame frame)
+      : frame_(std::move(frame)) {}
+  const df::DataFrame& frame() const { return frame_; }
+
+ private:
+  df::DataFrame frame_;
+};
+
+}  // namespace
+
+bool PandasBackend::SupportsOp(const OpDesc& desc) const {
+  return desc.kind != OpKind::kPrint;  // print handled by the session
+}
+
+Result<BackendValue> PandasBackend::Execute(
+    const OpDesc& desc, const std::vector<BackendValue>& inputs) {
+  std::vector<EagerValue> eager_inputs;
+  eager_inputs.reserve(inputs.size());
+  for (const auto& in : inputs) {
+    LAFP_ASSIGN_OR_RETURN(EagerValue v, Materialize(in));
+    eager_inputs.push_back(std::move(v));
+  }
+  LAFP_ASSIGN_OR_RETURN(EagerValue out,
+                        ExecuteEagerOp(desc, eager_inputs, tracker_));
+  return FromEager(out);
+}
+
+Result<EagerValue> PandasBackend::Materialize(const BackendValue& value) {
+  if (value.is_scalar) return EagerValue::FromScalar(value.scalar);
+  auto* wrapped = dynamic_cast<EagerBackendFrame*>(value.frame.get());
+  if (wrapped == nullptr) {
+    return Status::Invalid("foreign frame handle passed to pandas backend");
+  }
+  return EagerValue::Frame(wrapped->frame());
+}
+
+Result<BackendValue> PandasBackend::FromEager(const EagerValue& value) {
+  if (value.is_scalar) return BackendValue::FromScalar(value.scalar);
+  return BackendValue::Frame(
+      std::make_shared<EagerBackendFrame>(value.frame));
+}
+
+}  // namespace lafp::exec

@@ -1,0 +1,30 @@
+#ifndef LAFP_EXEC_PANDAS_BACKEND_H_
+#define LAFP_EXEC_PANDAS_BACKEND_H_
+
+#include <vector>
+
+#include "exec/backend.h"
+
+namespace lafp::exec {
+
+/// The plain eager engine: every op materializes immediately via the
+/// dataframe kernels, everything lives in (tracked) memory. This is the
+/// "Pandas" of the reproduction — fastest in-memory, first to OOM.
+class PandasBackend : public Backend {
+ public:
+  PandasBackend(MemoryTracker* tracker, const BackendConfig& config)
+      : Backend(tracker, config) {}
+
+  const char* name() const override { return "pandas"; }
+  bool preserves_row_order() const override { return true; }
+  bool SupportsOp(const OpDesc& desc) const override;
+
+  Result<BackendValue> Execute(
+      const OpDesc& desc, const std::vector<BackendValue>& inputs) override;
+  Result<EagerValue> Materialize(const BackendValue& value) override;
+  Result<BackendValue> FromEager(const EagerValue& value) override;
+};
+
+}  // namespace lafp::exec
+
+#endif  // LAFP_EXEC_PANDAS_BACKEND_H_

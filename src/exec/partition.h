@@ -1,0 +1,81 @@
+#ifndef LAFP_EXEC_PARTITION_H_
+#define LAFP_EXEC_PARTITION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataframe/dataframe.h"
+#include "io/csv.h"
+
+namespace lafp::exec {
+
+/// A horizontal partition held either in memory or spilled to a CSV file
+/// on disk. Spilled partitions release their memory reservation and are
+/// reloaded (re-charging the tracker) on access.
+class Partition {
+ public:
+  explicit Partition(df::DataFrame frame)
+      : frame_(std::move(frame)), num_rows_(frame_.num_rows()) {}
+
+  /// Spill to `<dir>/<name>.part.bin` (binary columnar format, see
+  /// exec/spill.h), dropping the in-memory frame.
+  Status SpillTo(const std::string& dir, const std::string& name);
+
+  /// In-memory frame (loads from disk if spilled).
+  Result<df::DataFrame> Load(MemoryTracker* tracker) const;
+
+  bool spilled() const { return !spill_path_.empty(); }
+  size_t num_rows() const { return num_rows_; }
+
+ private:
+  df::DataFrame frame_;  // empty when spilled
+  std::string spill_path_;
+  size_t num_rows_ = 0;
+};
+
+/// An ordered list of partitions — the in-memory representation used by
+/// the Modin backend and the persisted/cached representation in the Dask
+/// backend.
+class PartitionedFrame {
+ public:
+  PartitionedFrame() = default;
+
+  void Add(df::DataFrame partition) {
+    partitions_.emplace_back(std::make_shared<Partition>(
+        std::move(partition)));
+  }
+
+  size_t num_partitions() const { return partitions_.size(); }
+  size_t num_rows() const;
+
+  Result<df::DataFrame> partition(size_t i, MemoryTracker* tracker) const {
+    return partitions_[i]->Load(tracker);
+  }
+
+  /// Spill every partition to `dir` (Dask disk-persist extension).
+  Status SpillAll(const std::string& dir, const std::string& name_prefix);
+
+  /// Spill one partition (used to bound memory while collecting).
+  Status SpillPartition(size_t i, const std::string& dir,
+                        const std::string& name) {
+    return partitions_[i]->SpillTo(dir, name);
+  }
+
+  /// Concatenate into one eager frame (the materialization point; charges
+  /// the tracker with the full footprint).
+  Result<df::DataFrame> ToEager(MemoryTracker* tracker) const;
+
+  /// Split an eager frame into row chunks of `partition_rows`. Fails
+  /// (kOutOfMemory) if the chunk copies exceed the budget.
+  static Result<PartitionedFrame> FromEager(const df::DataFrame& frame,
+                                            size_t partition_rows);
+
+ private:
+  std::vector<std::shared_ptr<Partition>> partitions_;
+};
+
+}  // namespace lafp::exec
+
+#endif  // LAFP_EXEC_PARTITION_H_

@@ -1,0 +1,178 @@
+#include "exec/spill.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/macros.h"
+
+namespace lafp::exec {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x4c414650'53504c31ULL;  // "LAFPSPL1"
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+Status WriteSpillFile(const df::DataFrame& frame, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open spill file " + path);
+  }
+  WritePod(out, kMagic);
+  WritePod(out, static_cast<uint32_t>(frame.num_columns()));
+  WritePod(out, static_cast<uint64_t>(frame.num_rows()));
+  for (size_t c = 0; c < frame.num_columns(); ++c) {
+    const std::string& name = frame.names()[c];
+    const df::Column& col = *frame.column(c);
+    WritePod(out, static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    df::DataType type = col.type();
+    // Categories spill as plain strings (the dictionary is rebuilt on
+    // load only if requested again; simplicity over micro-optimality).
+    if (type == df::DataType::kCategory) type = df::DataType::kString;
+    WritePod(out, static_cast<uint8_t>(type));
+    WritePod(out, static_cast<uint8_t>(col.has_nulls() ? 1 : 0));
+    if (col.has_nulls()) {
+      out.write(reinterpret_cast<const char*>(col.validity().data()),
+                static_cast<std::streamsize>(col.validity().size()));
+    }
+    switch (col.type()) {
+      case df::DataType::kInt64:
+      case df::DataType::kTimestamp:
+        out.write(reinterpret_cast<const char*>(col.ints().data()),
+                  static_cast<std::streamsize>(col.size() * 8));
+        break;
+      case df::DataType::kDouble:
+        out.write(reinterpret_cast<const char*>(col.doubles().data()),
+                  static_cast<std::streamsize>(col.size() * 8));
+        break;
+      case df::DataType::kBool:
+        out.write(reinterpret_cast<const char*>(col.bools().data()),
+                  static_cast<std::streamsize>(col.size()));
+        break;
+      case df::DataType::kString:
+      case df::DataType::kCategory:
+        for (size_t r = 0; r < col.size(); ++r) {
+          const std::string& s =
+              col.IsValid(r) ? col.StringAt(r) : std::string();
+          WritePod(out, static_cast<uint32_t>(s.size()));
+          out.write(s.data(), static_cast<std::streamsize>(s.size()));
+        }
+        break;
+      case df::DataType::kNull:
+        return Status::Invalid("cannot spill a null-typed column");
+    }
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("spill write failed: " + path);
+  return Status::OK();
+}
+
+Result<df::DataFrame> ReadSpillFile(const std::string& path,
+                                    MemoryTracker* tracker) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open spill file " + path);
+  }
+  uint64_t magic = 0;
+  uint32_t ncols = 0;
+  uint64_t nrows = 0;
+  if (!ReadPod(in, &magic) || magic != kMagic) {
+    return Status::IOError("bad spill magic in " + path);
+  }
+  if (!ReadPod(in, &ncols) || !ReadPod(in, &nrows)) {
+    return Status::IOError("truncated spill header in " + path);
+  }
+  std::vector<std::string> names;
+  std::vector<df::ColumnPtr> cols;
+  for (uint32_t c = 0; c < ncols; ++c) {
+    uint32_t name_len = 0;
+    if (!ReadPod(in, &name_len)) {
+      return Status::IOError("truncated spill column in " + path);
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint8_t type_raw = 0, has_validity = 0;
+    if (!ReadPod(in, &type_raw) || !ReadPod(in, &has_validity)) {
+      return Status::IOError("truncated spill column in " + path);
+    }
+    auto type = static_cast<df::DataType>(type_raw);
+    std::vector<uint8_t> validity;
+    if (has_validity != 0) {
+      validity.resize(nrows);
+      in.read(reinterpret_cast<char*>(validity.data()),
+              static_cast<std::streamsize>(nrows));
+    }
+    df::ColumnPtr col;
+    switch (type) {
+      case df::DataType::kInt64:
+      case df::DataType::kTimestamp: {
+        std::vector<int64_t> values(nrows);
+        in.read(reinterpret_cast<char*>(values.data()),
+                static_cast<std::streamsize>(nrows * 8));
+        LAFP_ASSIGN_OR_RETURN(
+            col, type == df::DataType::kInt64
+                     ? df::Column::MakeInt(std::move(values),
+                                           std::move(validity), tracker)
+                     : df::Column::MakeTimestamp(std::move(values),
+                                                 std::move(validity),
+                                                 tracker));
+        break;
+      }
+      case df::DataType::kDouble: {
+        std::vector<double> values(nrows);
+        in.read(reinterpret_cast<char*>(values.data()),
+                static_cast<std::streamsize>(nrows * 8));
+        LAFP_ASSIGN_OR_RETURN(
+            col, df::Column::MakeDouble(std::move(values),
+                                        std::move(validity), tracker));
+        break;
+      }
+      case df::DataType::kBool: {
+        std::vector<uint8_t> values(nrows);
+        in.read(reinterpret_cast<char*>(values.data()),
+                static_cast<std::streamsize>(nrows));
+        LAFP_ASSIGN_OR_RETURN(
+            col, df::Column::MakeBool(std::move(values),
+                                      std::move(validity), tracker));
+        break;
+      }
+      case df::DataType::kString: {
+        std::vector<std::string> values(nrows);
+        for (uint64_t r = 0; r < nrows; ++r) {
+          uint32_t len = 0;
+          if (!ReadPod(in, &len)) {
+            return Status::IOError("truncated spill string in " + path);
+          }
+          values[r].resize(len);
+          in.read(values[r].data(), len);
+        }
+        LAFP_ASSIGN_OR_RETURN(
+            col, df::Column::MakeString(std::move(values),
+                                        std::move(validity), tracker));
+        break;
+      }
+      default:
+        return Status::IOError("bad spill column type in " + path);
+    }
+    if (!in.good()) {
+      return Status::IOError("truncated spill payload in " + path);
+    }
+    names.push_back(std::move(name));
+    cols.push_back(std::move(col));
+  }
+  return df::DataFrame::Make(std::move(names), std::move(cols));
+}
+
+}  // namespace lafp::exec

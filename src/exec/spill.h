@@ -1,0 +1,28 @@
+#ifndef LAFP_EXEC_SPILL_H_
+#define LAFP_EXEC_SPILL_H_
+
+#include <string>
+
+#include "dataframe/dataframe.h"
+
+namespace lafp::exec {
+
+/// Binary columnar spill format for partitions (the §5.4 disk-persist
+/// extension). Unlike a CSV round trip, reload is a straight typed read —
+/// no parsing, no type inference — so re-reading a spilled partition is
+/// much cheaper than recomputing it.
+///
+/// Layout (little-endian, host order):
+///   u64 magic | u32 ncols | u64 nrows
+///   per column: u32 name_len, name bytes | u8 type | u8 has_validity |
+///               [validity: nrows bytes] | payload
+///   payload: int64/timestamp/double = nrows*8 raw; bool = nrows raw;
+///            string/category = per row u32 len + bytes.
+Status WriteSpillFile(const df::DataFrame& frame, const std::string& path);
+
+Result<df::DataFrame> ReadSpillFile(const std::string& path,
+                                    MemoryTracker* tracker);
+
+}  // namespace lafp::exec
+
+#endif  // LAFP_EXEC_SPILL_H_

@@ -1,0 +1,379 @@
+#include "io/csv.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "dataframe/ops.h"
+
+namespace lafp::io {
+
+using df::Column;
+using df::ColumnBuilder;
+using df::ColumnPtr;
+using df::DataFrame;
+using df::DataType;
+
+std::vector<std::string> SplitCsvLine(const std::string& line,
+                                      char delimiter) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+namespace {
+
+/// Infer the type of one value; kNull for blanks.
+DataType InferValueType(const std::string& raw) {
+  std::string_view v = Trim(raw);
+  if (v.empty()) return DataType::kNull;
+  if (v == "True" || v == "False" || v == "true" || v == "false") {
+    return DataType::kBool;
+  }
+  if (ParseInt64(v).has_value()) return DataType::kInt64;
+  if (ParseDouble(v).has_value()) return DataType::kDouble;
+  if (df::ParseTimestamp(std::string(v)).ok()) return DataType::kTimestamp;
+  return DataType::kString;
+}
+
+/// Widening lattice for inference across rows.
+DataType UnifyTypes(DataType a, DataType b) {
+  if (a == DataType::kNull) return b;
+  if (b == DataType::kNull) return a;
+  if (a == b) return a;
+  auto numeric_rank = [](DataType t) {
+    switch (t) {
+      case DataType::kBool:
+        return 0;
+      case DataType::kInt64:
+        return 1;
+      case DataType::kDouble:
+        return 2;
+      default:
+        return -1;
+    }
+  };
+  int ra = numeric_rank(a), rb = numeric_rank(b);
+  if (ra >= 0 && rb >= 0) return ra > rb ? a : b;
+  return DataType::kString;  // any other mix degrades to string
+}
+
+bool AppendParsed(ColumnBuilder* builder, DataType type,
+                  const std::string& raw) {
+  std::string_view v = Trim(raw);
+  if (v.empty()) {
+    builder->AppendNull();
+    return true;
+  }
+  switch (type) {
+    case DataType::kInt64: {
+      auto p = ParseInt64(v);
+      if (!p.has_value()) {
+        // Tolerate "3.0" in an int column (replication artifacts).
+        auto d = ParseDouble(v);
+        if (!d.has_value()) {
+          builder->AppendNull();
+          return true;
+        }
+        builder->AppendInt(static_cast<int64_t>(*d));
+        return true;
+      }
+      builder->AppendInt(*p);
+      return true;
+    }
+    case DataType::kDouble: {
+      auto p = ParseDouble(v);
+      if (!p.has_value()) {
+        builder->AppendNull();
+      } else {
+        builder->AppendDouble(*p);
+      }
+      return true;
+    }
+    case DataType::kBool: {
+      if (v == "True" || v == "true" || v == "1") {
+        builder->AppendBool(true);
+      } else if (v == "False" || v == "false" || v == "0") {
+        builder->AppendBool(false);
+      } else {
+        builder->AppendNull();
+      }
+      return true;
+    }
+    case DataType::kTimestamp: {
+      auto p = df::ParseTimestamp(raw);
+      if (!p.ok()) {
+        builder->AppendNull();
+      } else {
+        builder->AppendInt(*p);
+      }
+      return true;
+    }
+    case DataType::kString:
+      builder->AppendString(raw);
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<CsvChunkReader>> CsvChunkReader::Open(
+    const std::string& path, const CsvReadOptions& options,
+    MemoryTracker* tracker) {
+  auto reader = std::unique_ptr<CsvChunkReader>(new CsvChunkReader());
+  LAFP_RETURN_NOT_OK(reader->Init(path, options, tracker));
+  return reader;
+}
+
+Status CsvChunkReader::Init(const std::string& path,
+                            const CsvReadOptions& options,
+                            MemoryTracker* tracker) {
+  path_ = path;
+  options_ = options;
+  tracker_ = tracker != nullptr ? tracker : MemoryTracker::Default();
+  in_.open(path);
+  if (!in_.is_open()) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  std::string header_line;
+  if (!std::getline(in_, header_line)) {
+    return Status::IOError("empty CSV file '" + path + "'");
+  }
+  if (!header_line.empty() && header_line.back() == '\r') {
+    header_line.pop_back();
+  }
+  header_ = SplitCsvLine(header_line, options_.delimiter);
+
+  // Resolve usecols -> field indexes, preserving file order like pandas.
+  std::vector<int> selected;
+  if (options_.usecols.empty()) {
+    for (size_t i = 0; i < header_.size(); ++i) {
+      selected.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const auto& want : options_.usecols) {
+      auto it = std::find(header_.begin(), header_.end(), want);
+      if (it == header_.end()) {
+        return Status::KeyError("usecols: no column '" + want + "' in '" +
+                                path + "'");
+      }
+      selected.push_back(static_cast<int>(it - header_.begin()));
+    }
+    std::sort(selected.begin(), selected.end());
+  }
+  for (int idx : selected) {
+    out_names_.push_back(header_[idx]);
+    out_field_index_.push_back(idx);
+  }
+
+  // Buffer a prefix for type inference.
+  std::string line;
+  while (buffered_lines_.size() < options_.infer_rows &&
+         std::getline(in_, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    buffered_lines_.push_back(std::move(line));
+  }
+  if (buffered_lines_.size() < options_.infer_rows) eof_ = true;
+
+  out_types_.assign(out_names_.size(), DataType::kNull);
+  wants_category_.assign(out_names_.size(), false);
+  for (size_t c = 0; c < out_names_.size(); ++c) {
+    auto it = options_.dtypes.find(out_names_[c]);
+    if (it != options_.dtypes.end()) {
+      if (it->second == DataType::kCategory) {
+        out_types_[c] = DataType::kString;
+        wants_category_[c] = true;
+      } else {
+        out_types_[c] = it->second;
+      }
+      continue;
+    }
+    DataType t = DataType::kNull;
+    for (const auto& buffered : buffered_lines_) {
+      auto fields = SplitCsvLine(buffered, options_.delimiter);
+      if (static_cast<size_t>(out_field_index_[c]) >= fields.size()) {
+        continue;
+      }
+      t = UnifyTypes(t, InferValueType(fields[out_field_index_[c]]));
+      if (t == DataType::kString) break;
+    }
+    if (t == DataType::kNull) t = DataType::kString;  // all blank
+    out_types_[c] = t;
+  }
+  return Status::OK();
+}
+
+Status CsvChunkReader::ParseRowInto(
+    const std::string& line, std::vector<ColumnBuilder>* builders) {
+  auto fields = SplitCsvLine(line, options_.delimiter);
+  for (size_t c = 0; c < out_field_index_.size(); ++c) {
+    size_t idx = static_cast<size_t>(out_field_index_[c]);
+    if (idx >= fields.size()) {
+      (*builders)[c].AppendNull();
+      continue;
+    }
+    if (!AppendParsed(&(*builders)[c], out_types_[c], fields[idx])) {
+      return Status::IOError("unparseable field in '" + path_ + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::optional<DataFrame>> CsvChunkReader::NextChunk(size_t rows) {
+  if (rows == 0) return Status::Invalid("chunk size must be positive");
+  bool exhausted =
+      buffered_pos_ >= buffered_lines_.size() && (eof_ || !in_.good());
+  if (exhausted || (options_.nrows > 0 && rows_emitted_ >= options_.nrows)) {
+    return std::optional<DataFrame>();
+  }
+  if (options_.nrows > 0) {
+    rows = std::min(rows, options_.nrows - rows_emitted_);
+  }
+  std::vector<ColumnBuilder> builders;
+  builders.reserve(out_names_.size());
+  for (size_t c = 0; c < out_names_.size(); ++c) {
+    builders.emplace_back(out_types_[c], tracker_);
+    builders.back().Reserve(rows);
+  }
+  size_t built = 0;
+  while (built < rows) {
+    if (buffered_pos_ < buffered_lines_.size()) {
+      LAFP_RETURN_NOT_OK(
+          ParseRowInto(buffered_lines_[buffered_pos_], &builders));
+      ++buffered_pos_;
+      ++built;
+      if (buffered_pos_ == buffered_lines_.size()) {
+        buffered_lines_.clear();
+        buffered_pos_ = 0;
+        if (eof_) break;
+      }
+      continue;
+    }
+    std::string line;
+    if (!std::getline(in_, line)) {
+      eof_ = true;
+      break;
+    }
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    LAFP_RETURN_NOT_OK(ParseRowInto(line, &builders));
+    ++built;
+  }
+  if (built == 0) return std::optional<DataFrame>();
+  rows_emitted_ += built;
+
+  std::vector<ColumnPtr> cols;
+  cols.reserve(builders.size());
+  for (size_t c = 0; c < builders.size(); ++c) {
+    LAFP_ASSIGN_OR_RETURN(ColumnPtr col, builders[c].Finish());
+    if (wants_category_[c]) {
+      LAFP_ASSIGN_OR_RETURN(col, df::CategorizeStrings(*col, tracker_));
+    }
+    cols.push_back(std::move(col));
+  }
+  LAFP_ASSIGN_OR_RETURN(DataFrame chunk,
+                        DataFrame::Make(out_names_, std::move(cols)));
+  return std::optional<DataFrame>(std::move(chunk));
+}
+
+Result<DataFrame> ReadCsv(const std::string& path,
+                          const CsvReadOptions& options,
+                          MemoryTracker* tracker) {
+  LAFP_ASSIGN_OR_RETURN(auto reader,
+                        CsvChunkReader::Open(path, options, tracker));
+  std::vector<DataFrame> chunks;
+  while (true) {
+    LAFP_ASSIGN_OR_RETURN(auto chunk,
+                          reader->NextChunk(1 << 16));
+    if (!chunk.has_value()) break;
+    chunks.push_back(std::move(*chunk));
+  }
+  if (chunks.empty()) {
+    // Header-only file: empty columns of the inferred types.
+    std::vector<ColumnPtr> cols;
+    for (size_t c = 0; c < reader->column_names().size(); ++c) {
+      DataType t = reader->column_types()[c];
+      ColumnBuilder b(t == DataType::kCategory ? DataType::kString : t,
+                      tracker);
+      LAFP_ASSIGN_OR_RETURN(ColumnPtr col, b.Finish());
+      cols.push_back(std::move(col));
+    }
+    return DataFrame::Make(reader->column_names(), std::move(cols));
+  }
+  if (chunks.size() == 1) return std::move(chunks[0]);
+  return df::Concat(chunks);
+}
+
+namespace {
+
+bool NeedsQuoting(const std::string& s, char delimiter) {
+  return s.find(delimiter) != std::string::npos ||
+         s.find('"') != std::string::npos ||
+         s.find('\n') != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Status WriteCsv(const DataFrame& frame, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  for (size_t i = 0; i < frame.names().size(); ++i) {
+    if (i > 0) out << ',';
+    out << frame.names()[i];
+  }
+  out << '\n';
+  for (size_t r = 0; r < frame.num_rows(); ++r) {
+    for (size_t c = 0; c < frame.num_columns(); ++c) {
+      if (c > 0) out << ',';
+      const df::Column& col = *frame.column(c);
+      if (!col.IsValid(r)) continue;  // empty field == null
+      std::string v = col.ValueString(r);
+      out << (NeedsQuoting(v, ',') ? QuoteField(v) : v);
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace lafp::io

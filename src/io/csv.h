@@ -1,0 +1,87 @@
+#ifndef LAFP_IO_CSV_H_
+#define LAFP_IO_CSV_H_
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "common/result.h"
+#include "dataframe/dataframe.h"
+
+namespace lafp::io {
+
+/// Options mirroring the pandas read_csv arguments the paper's rewrites
+/// manipulate: `usecols` (column-selection optimization, §3.1) and `dtype`
+/// overrides (metadata optimization, §3.6 — including "category").
+struct CsvReadOptions {
+  std::vector<std::string> usecols;  // empty = all columns
+  std::map<std::string, df::DataType> dtypes;  // per-column overrides
+  char delimiter = ',';
+  size_t nrows = 0;        // 0 = read all rows
+  size_t infer_rows = 64;  // data rows sampled for type inference
+};
+
+/// Streaming CSV reader; the Dask backend pulls fixed-size chunks so no
+/// more than a partition is resident at a time.
+class CsvChunkReader {
+ public:
+  /// Opens the file and reads the header. Column types are inferred from a
+  /// buffered prefix (or taken from options.dtypes).
+  static Result<std::unique_ptr<CsvChunkReader>> Open(
+      const std::string& path, const CsvReadOptions& options,
+      MemoryTracker* tracker);
+
+  /// Next chunk of at most `rows` rows, or nullopt at end of file.
+  /// Columns follow the selected-column order.
+  Result<std::optional<df::DataFrame>> NextChunk(size_t rows);
+
+  /// Names of the columns this reader produces (after usecols).
+  const std::vector<std::string>& column_names() const { return out_names_; }
+  const std::vector<df::DataType>& column_types() const { return out_types_; }
+
+  /// All header names in file order (before usecols).
+  const std::vector<std::string>& header() const { return header_; }
+
+ private:
+  CsvChunkReader() = default;
+
+  Status Init(const std::string& path, const CsvReadOptions& options,
+              MemoryTracker* tracker);
+  Status ParseRowInto(const std::string& line,
+                      std::vector<df::ColumnBuilder>* builders);
+
+  std::ifstream in_;
+  std::string path_;
+  CsvReadOptions options_;
+  MemoryTracker* tracker_ = nullptr;
+  std::vector<std::string> header_;
+  std::vector<std::string> out_names_;
+  std::vector<df::DataType> out_types_;
+  std::vector<int> out_field_index_;  // position in the CSV row
+  std::vector<bool> wants_category_;  // categorize after building strings
+  std::vector<std::string> buffered_lines_;  // inference prefix not yet consumed
+  size_t buffered_pos_ = 0;
+  size_t rows_emitted_ = 0;
+  bool eof_ = false;
+};
+
+/// Eager whole-file read (the Pandas/Modin path).
+Result<df::DataFrame> ReadCsv(const std::string& path,
+                              const CsvReadOptions& options,
+                              MemoryTracker* tracker);
+
+/// Write a dataframe as CSV (used by the data generators and tests).
+Status WriteCsv(const df::DataFrame& frame, const std::string& path);
+
+/// Split one CSV record honoring double-quoted fields with "" escapes.
+/// Exposed for tests and the metadata sampler.
+std::vector<std::string> SplitCsvLine(const std::string& line,
+                                      char delimiter);
+
+}  // namespace lafp::io
+
+#endif  // LAFP_IO_CSV_H_

@@ -1,0 +1,286 @@
+#include "lazy/session.h"
+
+#include <iostream>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace lafp::lazy {
+
+std::string PrintPlaceholder(size_t input_index) {
+  return "\x01" + std::to_string(input_index) + "\x02";
+}
+
+Session::Session(SessionOptions options)
+    : options_(std::move(options)),
+      tracker_(options_.tracker != nullptr ? options_.tracker
+                                           : MemoryTracker::Default()),
+      backend_(exec::MakeBackend(options_.backend, tracker_,
+                                 options_.backend_config)) {}
+
+Session::~Session() = default;
+
+std::ostream& Session::out() {
+  return options_.output != nullptr ? *options_.output : std::cout;
+}
+
+Result<TaskNodePtr> Session::AddNode(exec::OpDesc desc,
+                                     std::vector<TaskNodePtr> inputs) {
+  TaskNodePtr node = graph_.NewNode(std::move(desc), std::move(inputs));
+  if (options_.mode == ExecutionMode::kEager) {
+    LAFP_RETURN_NOT_OK(ExecNode(node));
+    // Plain-Pandas memory semantics: intermediate results are freed when
+    // the program drops its handle, so the node must not pin its inputs.
+    node->inputs.clear();
+  }
+  return node;
+}
+
+Status Session::Print(const std::vector<PrintArg>& args) {
+  // Build the template and collect value inputs.
+  exec::OpDesc desc;
+  desc.kind = exec::OpKind::kPrint;
+  std::vector<TaskNodePtr> inputs;
+  std::string tmpl;
+  for (const auto& arg : args) {
+    if (arg.node == nullptr) {
+      tmpl += arg.literal;
+    } else {
+      tmpl += PrintPlaceholder(inputs.size());
+      inputs.push_back(arg.node);
+    }
+  }
+
+  bool lazy = options_.mode == ExecutionMode::kLazy && options_.lazy_print;
+  TaskNodePtr node = graph_.NewNode(std::move(desc), std::move(inputs));
+  node->print_template = std::move(tmpl);
+  if (!lazy) {
+    // Plain frameworks: print forces computation of its arguments now
+    // (the behavior LaFP's lazy print avoids).
+    LAFP_RETURN_NOT_OK(ExecuteRound({node}, {}));
+    return Status::OK();
+  }
+  if (last_print_ != nullptr) {
+    node->order_deps.push_back(last_print_);  // §3.3 ordering edge
+  }
+  last_print_ = node;
+  pending_prints_.push_back(std::move(node));
+  return Status::OK();
+}
+
+Status Session::Flush() {
+  if (pending_prints_.empty()) return Status::OK();
+  std::vector<TaskNodePtr> roots = std::move(pending_prints_);
+  pending_prints_.clear();
+  last_print_ = nullptr;
+  return ExecuteRound(roots, {});
+}
+
+Result<exec::EagerValue> Session::Compute(
+    const TaskNodePtr& node, const std::vector<TaskNodePtr>& live) {
+  // Pending prints are processed together with this computation so output
+  // order stays correct (§3.4).
+  std::vector<TaskNodePtr> roots = std::move(pending_prints_);
+  pending_prints_.clear();
+  last_print_ = nullptr;
+  roots.push_back(node);
+  LAFP_RETURN_NOT_OK(ExecuteRound(roots, live));
+  if (node->result.empty() && !node->result.is_scalar) {
+    return Status::ExecutionError("compute produced no result");
+  }
+  LAFP_ASSIGN_OR_RETURN(exec::EagerValue value,
+                        backend_->Materialize(node->result));
+  if (backend_->lazy() && !value.is_scalar) {
+    // compute() returns a materialized frame (pandas semantics): keep the
+    // concrete value on the node so later uses do not re-stream the plan.
+    // The footprint stays charged — that is what forcing costs (§3.4).
+    LAFP_ASSIGN_OR_RETURN(node->result, backend_->FromEager(value));
+  }
+  return value;
+}
+
+void Session::MarkSharedForPersist(const std::vector<TaskNodePtr>& roots,
+                                   const std::vector<TaskNodePtr>& live) {
+  if (live.empty()) return;
+  auto reach = [](const std::vector<TaskNodePtr>& from) {
+    std::unordered_set<const TaskNode*> out;
+    for (const auto& n : TaskGraph::TopoSort(from)) out.insert(n.get());
+    return out;
+  };
+  std::unordered_set<const TaskNode*> from_roots = reach(roots);
+  std::unordered_set<const TaskNode*> from_live = reach(live);
+  // Shared subexpressions between what we are about to compute and what
+  // stays live afterwards.
+  std::unordered_set<const TaskNode*> shared;
+  std::vector<TaskNodePtr> shared_nodes;
+  for (const auto& n : TaskGraph::TopoSort(roots)) {
+    if (from_live.count(n.get()) > 0) {
+      shared.insert(n.get());
+      shared_nodes.push_back(n);
+    }
+  }
+  std::unordered_set<const TaskNode*> live_roots;
+  for (const auto& n : live) live_roots.insert(n.get());
+  // Persist the reuse frontier: a shared node whose value the live side
+  // consumes directly (it is a live dataframe itself) or feeds into a
+  // computation the current round does not perform. Persisting there
+  // caches exactly what later computes would otherwise redo.
+  for (const auto& n : shared_nodes) {
+    if (n->desc.kind == exec::OpKind::kPrint) continue;
+    bool frontier = live_roots.count(n.get()) > 0;
+    if (!frontier) {
+      for (const auto& consumer : graph_.Consumers(n.get())) {
+        if (from_live.count(consumer.get()) > 0 &&
+            shared.count(consumer.get()) == 0) {
+          frontier = true;
+          break;
+        }
+      }
+    }
+    if (frontier) n->persist = true;
+  }
+}
+
+Status Session::ExecuteRound(const std::vector<TaskNodePtr>& roots,
+                             const std::vector<TaskNodePtr>& live) {
+  if (optimizer_hook_) {
+    LAFP_RETURN_NOT_OK(optimizer_hook_(this, roots, live));
+  }
+  MarkSharedForPersist(roots, live);
+
+  std::vector<TaskNodePtr> order = TaskGraph::TopoSort(roots);
+
+  // Restrict to nodes that actually need evaluation: stop descending at
+  // nodes that still hold a result (persisted or round targets of earlier
+  // computes).
+  std::unordered_set<const TaskNode*> needed;
+  std::unordered_set<const TaskNode*> reused;  // results carried over
+  {
+    std::vector<TaskNodePtr> stack(roots.begin(), roots.end());
+    while (!stack.empty()) {
+      TaskNodePtr n = stack.back();
+      stack.pop_back();
+      if (n == nullptr || needed.count(n.get()) > 0) continue;
+      if (n->has_result() && n->executed) {
+        needed.insert(n.get());  // leaf: reuse, do not descend
+        reused.insert(n.get());
+        continue;
+      }
+      needed.insert(n.get());
+      for (const auto& in : n->inputs) stack.push_back(in);
+      for (const auto& dep : n->order_deps) stack.push_back(dep);
+    }
+  }
+
+  // Consumer counting for result clearing (§2.6), within this round.
+  for (const auto& n : order) {
+    if (needed.count(n.get()) == 0) continue;
+    n->pending_consumers = 0;
+  }
+  for (const auto& n : order) {
+    if (needed.count(n.get()) == 0) continue;
+    if (reused.count(n.get()) > 0) continue;  // reused: inputs not consumed
+    for (const auto& in : n->inputs) ++in->pending_consumers;
+  }
+  std::unordered_set<const TaskNode*> protected_nodes;
+  for (const auto& r : roots) protected_nodes.insert(r.get());
+
+  // §2.6 result clearing applies to lazy execution on eager backends.
+  // In eager mode program variables own their results (clearing would
+  // orphan them: eager nodes drop input edges and cannot re-execute);
+  // on a lazy backend results are cheap plan handles.
+  const bool clear_results =
+      options_.mode == ExecutionMode::kLazy && !backend_->lazy();
+  for (const auto& n : order) {
+    if (needed.count(n.get()) == 0) continue;
+    if (reused.count(n.get()) > 0) continue;  // carried over, nothing to do
+    if (n->is_print()) {
+      if (!n->print_done) {
+        LAFP_RETURN_NOT_OK(EmitPrint(n));
+        n->print_done = true;
+        n->executed = true;
+      }
+    } else if (!n->has_result()) {
+      LAFP_RETURN_NOT_OK(ExecNode(n));
+    }
+    // Release inputs whose consumers in this round are all done.
+    for (const auto& in : n->inputs) {
+      if (--in->pending_consumers > 0) continue;
+      if (!clear_results) continue;
+      if (in->persist || protected_nodes.count(in.get()) > 0) continue;
+      if (in->has_result()) {
+        in->result = exec::BackendValue{};
+        in->executed = false;
+        ++num_results_cleared_;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Session::ExecNode(const TaskNodePtr& node) {
+  std::vector<exec::BackendValue> inputs;
+  inputs.reserve(node->inputs.size());
+  for (const auto& in : node->inputs) {
+    if (!in->executed) {
+      return Status::ExecutionError("input not executed for node " +
+                                    node->desc.ToString());
+    }
+    inputs.push_back(in->result);
+  }
+  ++num_node_executions_;
+  if (backend_->SupportsOp(node->desc)) {
+    LAFP_ASSIGN_OR_RETURN(node->result,
+                          backend_->Execute(node->desc, inputs));
+  } else {
+    // Paper §5.2 fallback: convert to eager Pandas frames, apply the
+    // Pandas-engine kernel, convert back.
+    std::vector<exec::EagerValue> eager_inputs;
+    for (const auto& in : inputs) {
+      LAFP_ASSIGN_OR_RETURN(exec::EagerValue v, backend_->Materialize(in));
+      eager_inputs.push_back(std::move(v));
+    }
+    LAFP_ASSIGN_OR_RETURN(
+        exec::EagerValue out,
+        exec::ExecuteEagerOp(node->desc, eager_inputs, tracker_));
+    LAFP_ASSIGN_OR_RETURN(node->result, backend_->FromEager(out));
+  }
+  node->executed = true;
+  if (node->persist) {
+    LAFP_RETURN_NOT_OK(backend_->Persist(node->result));
+  }
+  return Status::OK();
+}
+
+Status Session::EmitPrint(const TaskNodePtr& node) {
+  // Substitute each placeholder with the display form of the
+  // corresponding input (f-string escape IDs, §3.3).
+  std::string rendered;
+  const std::string& tmpl = node->print_template;
+  for (size_t i = 0; i < tmpl.size();) {
+    if (tmpl[i] != '\x01') {
+      rendered.push_back(tmpl[i++]);
+      continue;
+    }
+    size_t end = tmpl.find('\x02', i);
+    if (end == std::string::npos) {
+      return Status::ExecutionError("malformed print template");
+    }
+    size_t idx = std::stoul(tmpl.substr(i + 1, end - i - 1));
+    if (idx >= node->inputs.size()) {
+      return Status::ExecutionError("print placeholder out of range");
+    }
+    const TaskNodePtr& arg = node->inputs[idx];
+    if (!arg->executed) {
+      return Status::ExecutionError("print argument not executed");
+    }
+    LAFP_ASSIGN_OR_RETURN(exec::EagerValue v,
+                          backend_->Materialize(arg->result));
+    rendered += v.ToDisplayString();
+    i = end + 1;
+  }
+  out() << rendered << "\n";
+  return Status::OK();
+}
+
+}  // namespace lafp::lazy

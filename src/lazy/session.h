@@ -1,0 +1,122 @@
+#ifndef LAFP_LAZY_SESSION_H_
+#define LAFP_LAZY_SESSION_H_
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/backend.h"
+#include "lazy/task_graph.h"
+
+namespace lafp::lazy {
+
+/// How statements execute. kLazy is the LaFP mode (build a task graph,
+/// optimize, execute on demand); kEager reproduces plain Pandas/Modin
+/// semantics: every API call materializes immediately.
+enum class ExecutionMode : int { kLazy = 0, kEager = 1 };
+
+struct SessionOptions {
+  exec::BackendKind backend = exec::BackendKind::kPandas;
+  exec::BackendConfig backend_config;
+  /// Non-owning; Default() when null. Must outlive the session.
+  MemoryTracker* tracker = nullptr;
+  ExecutionMode mode = ExecutionMode::kLazy;
+  /// LaFP lazy print (§3.3). When false (plain lazy frameworks), print
+  /// forces computation immediately.
+  bool lazy_print = true;
+  /// Destination for print output; std::cout when null. Tests inject a
+  /// stringstream; the regression harness hashes it.
+  std::ostream* output = nullptr;
+};
+
+/// Placeholder markers inside a print template: "\x01<input index>\x02".
+std::string PrintPlaceholder(size_t input_index);
+
+/// The LaFP runtime: owns the task graph, the backend, the pending lazy
+/// prints, and the execution engine with result clearing (paper §2.5-2.6,
+/// §3.3, §3.5).
+class Session {
+ public:
+  explicit Session(SessionOptions options);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  TaskGraph* graph() { return &graph_; }
+  exec::Backend* backend() { return backend_.get(); }
+  MemoryTracker* tracker() { return tracker_; }
+  const SessionOptions& options() const { return options_; }
+
+  /// Create a node; in eager mode it executes immediately (and its input
+  /// edges are dropped so intermediate results can be garbage collected,
+  /// like plain Pandas temporaries).
+  Result<TaskNodePtr> AddNode(exec::OpDesc desc,
+                              std::vector<TaskNodePtr> inputs);
+
+  /// One segment of a print statement: a literal, or a lazy value.
+  struct PrintArg {
+    std::string literal;
+    TaskNodePtr node;  // null => literal segment
+    static PrintArg Literal(std::string s) { return {std::move(s), nullptr}; }
+    static PrintArg Value(TaskNodePtr n) { return {"", std::move(n)}; }
+  };
+
+  /// Print. Lazy mode with lazy_print: appends a print node chained to the
+  /// previous one (§3.3). Otherwise forces computation and emits now.
+  Status Print(const std::vector<PrintArg>& args);
+
+  /// Evaluate every pending lazy print (pd.flush(), end of program).
+  Status Flush();
+
+  /// Force computation of `node`, first processing pending prints (§3.4).
+  /// `live` lists dataframes live after this point (the rewriter's
+  /// live_df argument, §3.5): shared subexpressions between `node` and
+  /// `live` are persisted for reuse.
+  Result<exec::EagerValue> Compute(const TaskNodePtr& node,
+                                   const std::vector<TaskNodePtr>& live = {});
+
+  /// Graph-rewriting hook run before each execution round; installed by
+  /// the optimizer module. Receives the round's roots and live set.
+  using OptimizerHook =
+      std::function<Status(Session* session,
+                           const std::vector<TaskNodePtr>& roots,
+                           const std::vector<TaskNodePtr>& live)>;
+  void set_optimizer_hook(OptimizerHook hook) {
+    optimizer_hook_ = std::move(hook);
+  }
+
+  /// Number of node executions performed so far (tests use this to prove
+  /// reuse/clearing behavior).
+  int64_t num_node_executions() const { return num_node_executions_; }
+  /// Number of nodes whose result was cleared by refcounting (§2.6).
+  int64_t num_results_cleared() const { return num_results_cleared_; }
+
+  std::ostream& out();
+
+ private:
+  Status ExecuteRound(const std::vector<TaskNodePtr>& roots,
+                      const std::vector<TaskNodePtr>& live);
+  Status ExecNode(const TaskNodePtr& node);
+  Status EmitPrint(const TaskNodePtr& node);
+  /// §3.5: mark the topmost nodes shared between the round's targets and
+  /// the live set for persistence.
+  void MarkSharedForPersist(const std::vector<TaskNodePtr>& roots,
+                            const std::vector<TaskNodePtr>& live);
+
+  SessionOptions options_;
+  MemoryTracker* tracker_;
+  std::unique_ptr<exec::Backend> backend_;
+  TaskGraph graph_;
+  std::vector<TaskNodePtr> pending_prints_;
+  TaskNodePtr last_print_;
+  OptimizerHook optimizer_hook_;
+  int64_t num_node_executions_ = 0;
+  int64_t num_results_cleared_ = 0;
+};
+
+}  // namespace lafp::lazy
+
+#endif  // LAFP_LAZY_SESSION_H_

@@ -1,0 +1,245 @@
+#include "optimizer/passes.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "optimizer/predicate.h"
+
+namespace lafp::opt {
+
+using exec::OpDesc;
+using exec::OpKind;
+using lazy::Session;
+using lazy::TaskGraph;
+using lazy::TaskNode;
+using lazy::TaskNodePtr;
+
+Status DeduplicateNodes(Session* session,
+                        const std::vector<TaskNodePtr>& roots,
+                        PassStats* stats) {
+  std::vector<TaskNodePtr> order = TaskGraph::TopoSort(roots);
+  std::unordered_map<std::string, TaskNodePtr> canon;
+  std::unordered_map<const TaskNode*, TaskNodePtr> replacement;
+  (void)session;
+  for (const auto& node : order) {
+    // Redirect inputs through earlier replacements first.
+    for (auto& in : node->inputs) {
+      auto it = replacement.find(in.get());
+      if (it != replacement.end()) in = it->second;
+    }
+    if (node->is_print() || node->executed) continue;
+    std::string key = node->desc.Fingerprint();
+    for (const auto& in : node->inputs) {
+      key += "#" + std::to_string(in->id);
+    }
+    auto [it, inserted] = canon.emplace(std::move(key), node);
+    if (!inserted && it->second != node) {
+      replacement[node.get()] = it->second;
+      // Persistence intent carries over to the canonical node.
+      if (node->persist) it->second->persist = true;
+      if (stats != nullptr) ++stats->nodes_deduplicated;
+    }
+  }
+  return Status::OK();
+}
+
+Status EliminateRedundantOps(Session* session,
+                             const std::vector<TaskNodePtr>& roots,
+                             PassStats* stats) {
+  (void)session;
+  for (const auto& node : TaskGraph::TopoSort(roots)) {
+    if (node->executed || node->inputs.empty()) continue;
+    const TaskNodePtr& in = node->inputs[0];
+    if (in->executed) continue;
+    bool removed = false;
+    switch (node->desc.kind) {
+      case OpKind::kHead:
+        if (in->desc.kind == OpKind::kHead) {
+          node->desc.n = std::min(node->desc.n, in->desc.n);
+          node->inputs = in->inputs;
+          removed = true;
+        }
+        break;
+      case OpKind::kSelect:
+        // select(select(X)) == select(X): the outer projection decides.
+        if (in->desc.kind == OpKind::kSelect) {
+          node->inputs = in->inputs;
+          removed = true;
+        }
+        break;
+      case OpKind::kAsType:
+        if (in->desc.kind == OpKind::kAsType &&
+            in->desc.dtype == node->desc.dtype) {
+          node->inputs = in->inputs;
+          removed = true;
+        }
+        break;
+      case OpKind::kBooleanNot:
+        if (in->desc.kind == OpKind::kBooleanNot) {
+          // not(not(X)) == X: become X's op.
+          const TaskNodePtr& inner = in->inputs[0];
+          node->desc = inner->desc;
+          node->inputs = inner->inputs;
+          removed = true;
+        }
+        break;
+      default:
+        break;
+    }
+    if (removed && stats != nullptr) ++stats->redundant_ops_removed;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+bool IsPushableThrough(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSetColumn:
+    case OpKind::kSelect:
+    case OpKind::kRename:
+    case OpKind::kDropColumns:
+    case OpKind::kSortValues:
+    case OpKind::kDropDuplicates:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool ProducesScalar(const TaskNodePtr& node) {
+  return node->desc.kind == OpKind::kReduce ||
+         node->desc.kind == OpKind::kLen;
+}
+
+/// Attempt to push one filter node below its input operator. Mutates
+/// `filter` in place so existing handles keep pointing at the (now
+/// reordered) value. Returns true on success.
+bool TryPushFilter(Session* session, const TaskNodePtr& filter) {
+  if (filter->executed || filter->inputs.size() != 2) return false;
+  const TaskNodePtr u = filter->inputs[0];
+  if (u->executed || u->inputs.empty()) return false;
+  if (!IsPushableThrough(u->desc.kind)) return false;
+  if (!exec::IsRowwiseInvariant(u->desc.kind)) return false;
+  // Condition (3): the filter must be u's only consumer — not counting
+  // the filter's own mask chain, which necessarily reads from u
+  // (df[df.b < 20]) and is re-anchored by the rewrite.
+  std::unordered_set<const TaskNode*> mask_nodes;
+  for (const auto& n : TaskGraph::TopoSort({filter->inputs[1]})) {
+    mask_nodes.insert(n.get());
+  }
+  for (const auto& consumer : session->graph()->Consumers(u.get())) {
+    if (consumer.get() == filter.get()) continue;
+    if (mask_nodes.count(consumer.get()) > 0) continue;
+    return false;
+  }
+
+  auto pred = ExtractPredicate(filter->inputs[1], u);
+  if (!pred.has_value()) return false;
+  std::vector<std::string> pred_cols;
+  pred->CollectColumns(&pred_cols);
+
+  // Condition (1): u must not modify/compute the predicate's columns.
+  if (u->desc.kind == OpKind::kRename) {
+    // Rename keeps values; map predicate columns back to pre-rename names.
+    std::map<std::string, std::string> reverse;
+    for (const auto& [from, to] : u->desc.rename) reverse[to] = from;
+    pred->RenameColumns(reverse);
+  } else {
+    std::vector<std::string> used, modified;
+    if (!exec::GetColumnEffects(u->desc, &used, &modified)) return false;
+    for (const auto& c : pred_cols) {
+      if (std::find(modified.begin(), modified.end(), c) !=
+          modified.end()) {
+        return false;
+      }
+    }
+  }
+  // drop_duplicates keeps the first row per key: filtering first is only
+  // equivalent when duplicates agree on the predicate columns, i.e. the
+  // predicate only reads subset columns (empty subset = all columns, safe).
+  if (u->desc.kind == OpKind::kDropDuplicates && !u->desc.columns.empty()) {
+    for (const auto& c : pred_cols) {
+      if (std::find(u->desc.columns.begin(), u->desc.columns.end(), c) ==
+          u->desc.columns.end()) {
+        return false;
+      }
+    }
+  }
+
+  TaskGraph* graph = session->graph();
+  const TaskNodePtr& anchor = u->inputs[0];
+  TaskNodePtr mask = BuildMask(graph, *pred, anchor);
+
+  // Filter every row-aligned frame input of u with the re-anchored mask.
+  std::vector<TaskNodePtr> new_inputs;
+  for (size_t i = 0; i < u->inputs.size(); ++i) {
+    const TaskNodePtr& in = u->inputs[i];
+    if (ProducesScalar(in)) {
+      new_inputs.push_back(in);  // scalars have no rows to filter
+      continue;
+    }
+    OpDesc fdesc;
+    fdesc.kind = OpKind::kFilter;
+    new_inputs.push_back(graph->NewNode(std::move(fdesc), {in, mask}));
+  }
+  // The user-visible filter node becomes u applied to filtered inputs.
+  filter->desc = u->desc;
+  filter->inputs = std::move(new_inputs);
+  return true;
+}
+
+}  // namespace
+
+Status PushDownPredicates(Session* session,
+                          const std::vector<TaskNodePtr>& roots,
+                          PassStats* stats) {
+  constexpr int kMaxRounds = 64;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    bool changed = false;
+    for (const auto& node : TaskGraph::TopoSort(roots)) {
+      if (node->desc.kind != OpKind::kFilter) continue;
+      if (TryPushFilter(session, node)) {
+        changed = true;
+        if (stats != nullptr) ++stats->predicates_pushed;
+      }
+    }
+    if (!changed) break;
+  }
+  return Status::OK();
+}
+
+void InstallDefaultOptimizer(Session* session,
+                             const OptimizerOptions& options,
+                             PassStats* cumulative_stats) {
+  session->set_optimizer_hook(
+      [options, cumulative_stats](Session* s,
+                                  const std::vector<TaskNodePtr>& roots,
+                                  const std::vector<TaskNodePtr>& live) {
+        // The live set participates in dedup so shared chains between the
+        // compute target and later uses are physically merged before the
+        // session's persist marking sees them.
+        std::vector<TaskNodePtr> all = roots;
+        all.insert(all.end(), live.begin(), live.end());
+        PassStats local;
+        PassStats* stats =
+            cumulative_stats != nullptr ? cumulative_stats : &local;
+        if (options.deduplicate) {
+          LAFP_RETURN_NOT_OK(DeduplicateNodes(s, all, stats));
+        }
+        if (options.redundant) {
+          LAFP_RETURN_NOT_OK(EliminateRedundantOps(s, all, stats));
+        }
+        if (options.pushdown) {
+          LAFP_RETURN_NOT_OK(PushDownPredicates(s, all, stats));
+        }
+        if (options.deduplicate) {
+          LAFP_RETURN_NOT_OK(DeduplicateNodes(s, all, stats));
+        }
+        return Status::OK();
+      });
+}
+
+}  // namespace lafp::opt

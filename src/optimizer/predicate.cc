@@ -1,0 +1,113 @@
+#include "optimizer/predicate.h"
+
+namespace lafp::opt {
+
+using exec::OpDesc;
+using exec::OpKind;
+using lazy::TaskGraph;
+using lazy::TaskNodePtr;
+
+void Predicate::CollectColumns(std::vector<std::string>* out) const {
+  if (kind == Kind::kLeaf) {
+    out->push_back(column);
+    return;
+  }
+  for (const auto& child : children) child.CollectColumns(out);
+}
+
+void Predicate::RenameColumns(
+    const std::map<std::string, std::string>& mapping) {
+  if (kind == Kind::kLeaf) {
+    auto it = mapping.find(column);
+    if (it != mapping.end()) column = it->second;
+    return;
+  }
+  for (auto& child : children) child.RenameColumns(mapping);
+}
+
+namespace {
+
+bool IsLeafTest(OpKind kind) {
+  return kind == OpKind::kCompare || kind == OpKind::kStrContains ||
+         kind == OpKind::kIsNull || kind == OpKind::kIsIn;
+}
+
+}  // namespace
+
+std::optional<Predicate> ExtractPredicate(const TaskNodePtr& mask,
+                                          const TaskNodePtr& anchor) {
+  if (mask == nullptr) return std::nullopt;
+  switch (mask->desc.kind) {
+    case OpKind::kBooleanAnd:
+    case OpKind::kBooleanOr: {
+      auto left = ExtractPredicate(mask->inputs[0], anchor);
+      auto right = ExtractPredicate(mask->inputs[1], anchor);
+      if (!left.has_value() || !right.has_value()) return std::nullopt;
+      Predicate out;
+      out.kind = mask->desc.kind == OpKind::kBooleanAnd ? Predicate::Kind::kAnd
+                                                        : Predicate::Kind::kOr;
+      out.children.push_back(std::move(*left));
+      out.children.push_back(std::move(*right));
+      return out;
+    }
+    case OpKind::kBooleanNot: {
+      auto child = ExtractPredicate(mask->inputs[0], anchor);
+      if (!child.has_value()) return std::nullopt;
+      Predicate out;
+      out.kind = Predicate::Kind::kNot;
+      out.children.push_back(std::move(*child));
+      return out;
+    }
+    default: {
+      if (!IsLeafTest(mask->desc.kind)) return std::nullopt;
+      // A compare leaf must be against an embedded scalar — a second
+      // (runtime) input is a barrier.
+      if (mask->desc.kind == OpKind::kCompare && !mask->desc.has_scalar) {
+        return std::nullopt;
+      }
+      if (mask->inputs.size() != 1) return std::nullopt;
+      const TaskNodePtr& col = mask->inputs[0];
+      if (col->desc.kind != OpKind::kGetColumn || col->inputs.size() != 1 ||
+          col->inputs[0] != anchor) {
+        return std::nullopt;
+      }
+      Predicate out;
+      out.kind = Predicate::Kind::kLeaf;
+      out.op = mask->desc;
+      out.column = col->desc.column;
+      return out;
+    }
+  }
+}
+
+TaskNodePtr BuildMask(TaskGraph* graph, const Predicate& pred,
+                      const TaskNodePtr& anchor) {
+  switch (pred.kind) {
+    case Predicate::Kind::kLeaf: {
+      OpDesc get;
+      get.kind = OpKind::kGetColumn;
+      get.column = pred.column;
+      TaskNodePtr col = graph->NewNode(std::move(get), {anchor});
+      return graph->NewNode(pred.op, {std::move(col)});
+    }
+    case Predicate::Kind::kNot: {
+      TaskNodePtr child = BuildMask(graph, pred.children[0], anchor);
+      OpDesc desc;
+      desc.kind = OpKind::kBooleanNot;
+      return graph->NewNode(std::move(desc), {std::move(child)});
+    }
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr: {
+      TaskNodePtr left = BuildMask(graph, pred.children[0], anchor);
+      TaskNodePtr right = BuildMask(graph, pred.children[1], anchor);
+      OpDesc desc;
+      desc.kind = pred.kind == Predicate::Kind::kAnd ? OpKind::kBooleanAnd
+                                                     : OpKind::kBooleanOr;
+      return graph->NewNode(std::move(desc),
+                            {std::move(left), std::move(right)});
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace lafp::opt

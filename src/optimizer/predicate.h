@@ -1,0 +1,49 @@
+#ifndef LAFP_OPTIMIZER_PREDICATE_H_
+#define LAFP_OPTIMIZER_PREDICATE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lazy/task_graph.h"
+
+namespace lafp::opt {
+
+/// A reified filter predicate: the boolean expression tree a filter's
+/// mask subgraph computes, with every leaf reading a named column of one
+/// anchor frame. Reifying the mask is what lets predicate pushdown (§3.2)
+/// re-anchor the same predicate below a safe operator.
+struct Predicate {
+  enum class Kind { kLeaf, kAnd, kOr, kNot };
+
+  Kind kind = Kind::kLeaf;
+  /// For leaves: the unary test op (kCompare with scalar, kStrContains,
+  /// kIsNull) and the column it reads.
+  exec::OpDesc op;
+  std::string column;
+  std::vector<Predicate> children;
+
+  /// Columns read by the predicate (the paper's used_attrs(f)).
+  void CollectColumns(std::vector<std::string>* out) const;
+
+  /// Rewrite leaf column names through `mapping` (used to push below a
+  /// rename: new-name -> old-name).
+  void RenameColumns(const std::map<std::string, std::string>& mapping);
+};
+
+/// Reify the predicate computed by `mask` if every leaf is a supported
+/// test over a column of `anchor`. Returns nullopt for shapes pushdown
+/// cannot reason about (UDF-ish masks, cross-frame comparisons, runtime
+/// scalars) — those act as barriers, per §3.2.
+std::optional<Predicate> ExtractPredicate(const lazy::TaskNodePtr& mask,
+                                          const lazy::TaskNodePtr& anchor);
+
+/// Build fresh task-graph nodes that evaluate `pred` over `anchor`,
+/// returning the boolean mask node.
+lazy::TaskNodePtr BuildMask(lazy::TaskGraph* graph, const Predicate& pred,
+                            const lazy::TaskNodePtr& anchor);
+
+}  // namespace lafp::opt
+
+#endif  // LAFP_OPTIMIZER_PREDICATE_H_

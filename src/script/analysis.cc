@@ -1,0 +1,548 @@
+#include "script/analysis.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace lafp::script {
+
+std::vector<std::string> LivenessResult::LiveColumnsAfter(
+    size_t stmt, const std::string& var, bool* all) const {
+  *all = out[stmt].count(AllAttrsFact(var)) > 0;
+  std::vector<std::string> cols;
+  std::string prefix = var + ".";
+  for (const auto& fact : out[stmt]) {
+    if (StartsWith(fact, prefix) && fact != AllAttrsFact(var)) {
+      cols.push_back(fact.substr(prefix.size()));
+    }
+  }
+  return cols;
+}
+
+namespace {
+
+/// Facts attached to one variable (plain + attrs), removed at its
+/// definition and translated to source-variable facts per op semantics.
+struct VarFacts {
+  bool plain = false;
+  bool all_attrs = false;
+  std::vector<std::string> columns;
+
+  bool any() const { return plain || all_attrs || !columns.empty(); }
+};
+
+VarFacts TakeFacts(FactSet* facts, const std::string& var) {
+  VarFacts out;
+  std::string prefix = var + ".";
+  for (auto it = facts->begin(); it != facts->end();) {
+    if (*it == var) {
+      out.plain = true;
+      it = facts->erase(it);
+    } else if (*it == AllAttrsFact(var)) {
+      out.all_attrs = true;
+      it = facts->erase(it);
+    } else if (StartsWith(*it, prefix)) {
+      out.columns.push_back(it->substr(prefix.size()));
+      it = facts->erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+void GenPlain(FactSet* facts, const IRValue& v) {
+  if (v.is_var()) facts->insert(PlainFact(v.var));
+}
+
+/// Copy x's attribute facts onto y (frame -> frame passthrough ops).
+void PassThroughAttrs(FactSet* facts, const VarFacts& x,
+                      const std::string& y) {
+  if (x.all_attrs) facts->insert(AllAttrsFact(y));
+  for (const auto& c : x.columns) facts->insert(AttrFact(y, c));
+}
+
+/// Liveness transfer for one statement (backward): given the live facts
+/// after the statement, produce the live facts before it. Implements the
+/// paper's Gen/Kill rules extended with derived-frame translation (§3.1
+/// rule 3).
+class Transfer {
+ public:
+  explicit Transfer(const ProgramModel& model) : model_(model) {}
+
+  void Apply(const IRStmt& stmt, FactSet* facts) const {
+    switch (stmt.kind) {
+      case IRStmtKind::kAssign: {
+        VarFacts target_facts = TakeFacts(facts, stmt.target);
+        GenExpr(stmt.expr, target_facts, facts);
+        return;
+      }
+      case IRStmtKind::kExprStmt: {
+        VarFacts none;
+        none.plain = true;  // calls run for effect: arguments are used
+        GenExpr(stmt.expr, none, facts);
+        return;
+      }
+      case IRStmtKind::kStoreItem: {
+        // df["c"] = v : kills df.c, uses df and v.
+        if (stmt.object.is_var() && stmt.key.is_str()) {
+          facts->erase(AttrFact(stmt.object.var, stmt.key.str_value));
+        }
+        GenPlain(facts, stmt.object);
+        GenPlain(facts, stmt.value);
+        return;
+      }
+      case IRStmtKind::kBranch:
+        GenPlain(facts, stmt.cond);
+        return;
+      default:
+        return;
+    }
+  }
+
+ private:
+  void GenOperands(const IRExpr& expr, FactSet* facts) const {
+    for (const auto& v : expr.operands) GenPlain(facts, v);
+    for (const auto& [_, v] : expr.kwargs) GenPlain(facts, v);
+    for (const auto& [k, v] : expr.dict_items) {
+      GenPlain(facts, k);
+      GenPlain(facts, v);
+    }
+  }
+
+  /// Gen rules for `x = expr` where `x_facts` are the (already removed)
+  /// facts that were live for x.
+  void GenExpr(const IRExpr& expr, const VarFacts& x_facts,
+               FactSet* facts) const {
+    const bool live = x_facts.any();
+    switch (expr.kind) {
+      case IRExprKind::kAtom: {
+        if (!expr.atom.is_var()) return;
+        if (!live) return;
+        const std::string& y = expr.atom.var;
+        facts->insert(PlainFact(y));
+        PassThroughAttrs(facts, x_facts, y);  // alias
+        return;
+      }
+      case IRExprKind::kList:
+      case IRExprKind::kDict:
+      case IRExprKind::kBinOp:
+      case IRExprKind::kCompare:
+      case IRExprKind::kUnaryOp:
+      case IRExprKind::kFString:
+        if (live) GenOperands(expr, facts);
+        return;
+      case IRExprKind::kGetAttr: {
+        if (!live || !expr.object.is_var()) return;
+        const std::string& y = expr.object.var;
+        facts->insert(PlainFact(y));
+        if (model_.KindOf(y) == VarKind::kDataFrame) {
+          facts->insert(AttrFact(y, expr.attr));  // df.col access
+        }
+        return;
+      }
+      case IRExprKind::kGetItem: {
+        if (!live || !expr.object.is_var()) return;
+        const std::string& y = expr.object.var;
+        const IRValue& index = expr.operands[0];
+        facts->insert(PlainFact(y));
+        VarKind y_kind = model_.KindOf(y);
+        if (y_kind == VarKind::kDataFrame) {
+          if (index.is_str()) {
+            facts->insert(AttrFact(y, index.str_value));
+          } else if (index.is_var()) {
+            const VarInfo* idx_info = model_.Find(index.var);
+            if (idx_info != nullptr &&
+                idx_info->kind == VarKind::kStringList) {
+              // Projection: x's live columns restricted to the selection.
+              facts->insert(PlainFact(index.var));
+              if (x_facts.all_attrs) {
+                for (const auto& c : idx_info->list_values) {
+                  facts->insert(AttrFact(y, c));
+                }
+              } else {
+                for (const auto& c : x_facts.columns) {
+                  facts->insert(AttrFact(y, c));
+                }
+              }
+            } else {
+              // Filter by mask: passthrough.
+              facts->insert(PlainFact(index.var));
+              PassThroughAttrs(facts, x_facts, y);
+            }
+          }
+        } else if (y_kind == VarKind::kGroupBy && index.is_str()) {
+          // gb["v"]: records the aggregate column as an attr fact on the
+          // groupby var; the groupby definition translates it to the df.
+          facts->insert(AttrFact(y, index.str_value));
+        }
+        return;
+      }
+      case IRExprKind::kCall:
+        GenCall(expr, x_facts, facts);
+        return;
+    }
+  }
+
+  void GenCall(const IRExpr& expr, const VarFacts& x_facts,
+               FactSet* facts) const {
+    const bool live = x_facts.any();
+    // Global functions.
+    if (!expr.global_name.empty()) {
+      const std::string& fn = expr.global_name;
+      if (fn == "print" || fn == "plot" || fn == "checksum") {
+        for (const auto& v : expr.operands) {
+          if (!v.is_var()) continue;
+          facts->insert(PlainFact(v.var));
+          VarKind kind = model_.KindOf(v.var);
+          if (kind == VarKind::kDataFrame) {
+            // Whole-frame output: all columns used.
+            facts->insert(AllAttrsFact(v.var));
+          }
+        }
+        return;
+      }
+      if (fn == "len") {
+        for (const auto& v : expr.operands) GenPlain(facts, v);
+        return;
+      }
+      // Unknown global with a dataframe argument: conservative.
+      for (const auto& v : expr.operands) {
+        if (!v.is_var()) continue;
+        facts->insert(PlainFact(v.var));
+        if (model_.KindOf(v.var) == VarKind::kDataFrame) {
+          facts->insert(AllAttrsFact(v.var));
+        }
+      }
+      return;
+    }
+
+    // Method calls.
+    const std::string& recv =
+        expr.object.is_var() ? expr.object.var : std::string();
+    const std::string& method = expr.attr;
+    VarKind recv_kind = model_.KindOf(recv);
+
+    if (model_.IsPandasModule(recv)) {
+      if (method == "concat" && live && !expr.operands.empty() &&
+          expr.operands[0].is_var()) {
+        // x = pd.concat([a, b]): x's column liveness flows to every
+        // element frame.
+        facts->insert(PlainFact(expr.operands[0].var));
+        const VarInfo* list_info = model_.Find(expr.operands[0].var);
+        if (list_info != nullptr) {
+          for (const auto& element : list_info->list_vars) {
+            facts->insert(PlainFact(element));
+            PassThroughAttrs(facts, x_facts, element);
+          }
+        }
+        return;
+      }
+      // read_csv / to_datetime / flush / analyze: uses of argument vars.
+      if (live || method == "flush" || method == "analyze") {
+        GenOperands(expr, facts);
+      }
+      return;
+    }
+    if (model_.IsExternalModule(recv)) {
+      // External module call (plt.plot): dataframe args fully used (§3.4).
+      for (const auto& v : expr.operands) {
+        if (!v.is_var()) continue;
+        facts->insert(PlainFact(v.var));
+        if (model_.KindOf(v.var) == VarKind::kDataFrame) {
+          facts->insert(AllAttrsFact(v.var));
+        }
+      }
+      return;
+    }
+    if (recv.empty()) return;
+
+    if (IsInformational(method)) {
+      // §3.1 heuristic: head()/info()/describe() output does not count as
+      // attribute use; x's attr facts are deliberately dropped.
+      facts->insert(PlainFact(recv));
+      return;
+    }
+    if (!live && method != "compute") return;
+
+    facts->insert(PlainFact(recv));
+    switch (recv_kind) {
+      case VarKind::kDataFrame: {
+        if (method == "groupby") {
+          // Keys are used; aggregate columns arrive as attr facts from
+          // the groupby-col access.
+          const VarInfo* info = model_.Find(recv);
+          (void)info;
+          if (!expr.operands.empty()) {
+            const IRValue& keys = expr.operands[0];
+            if (keys.is_str()) {
+              facts->insert(AttrFact(recv, keys.str_value));
+            } else if (keys.is_var()) {
+              facts->insert(PlainFact(keys.var));
+              const VarInfo* key_info = model_.Find(keys.var);
+              if (key_info != nullptr) {
+                for (const auto& k : key_info->list_values) {
+                  facts->insert(AttrFact(recv, k));
+                }
+              } else {
+                facts->insert(AllAttrsFact(recv));
+              }
+            }
+          }
+          // x (the groupby handle) attr facts name aggregate columns.
+          for (const auto& c : x_facts.columns) {
+            facts->insert(AttrFact(recv, c));
+          }
+          if (x_facts.all_attrs) facts->insert(AllAttrsFact(recv));
+          return;
+        }
+        if (method == "merge") {
+          // Both sides: keys used, x's columns may come from either.
+          std::string other;
+          if (!expr.operands.empty() && expr.operands[0].is_var()) {
+            other = expr.operands[0].var;
+            facts->insert(PlainFact(other));
+          }
+          auto gen_both = [&](const std::string& col) {
+            facts->insert(AttrFact(recv, col));
+            if (!other.empty()) facts->insert(AttrFact(other, col));
+          };
+          for (const auto& [name, value] : expr.kwargs) {
+            if (name != "on") continue;
+            if (value.is_str()) {
+              gen_both(value.str_value);
+            } else if (value.is_var()) {
+              facts->insert(PlainFact(value.var));
+              const VarInfo* keys = model_.Find(value.var);
+              if (keys != nullptr) {
+                for (const auto& k : keys->list_values) gen_both(k);
+              }
+            }
+          }
+          for (const auto& c : x_facts.columns) gen_both(c);
+          if (x_facts.all_attrs) {
+            facts->insert(AllAttrsFact(recv));
+            if (!other.empty()) facts->insert(AllAttrsFact(other));
+          }
+          return;
+        }
+        if (method == "rename") {
+          // x.b -> recv.a for columns={a: b}; approximate with
+          // passthrough plus the mapping handled by name.
+          std::map<std::string, std::string> reverse;
+          for (const auto& [name, value] : expr.kwargs) {
+            if (name != "columns" || !value.is_var()) continue;
+            facts->insert(PlainFact(value.var));
+          }
+          // Without tracking dict contents per-var, be conservative only
+          // about renamed columns: passthrough everything.
+          PassThroughAttrs(facts, x_facts, recv);
+          if (!x_facts.columns.empty() || x_facts.all_attrs) {
+            // Renamed source columns must stay live too.
+            facts->insert(AllAttrsFact(recv));
+          }
+          return;
+        }
+        if (method == "sort_values" || method == "drop_duplicates") {
+          // Key columns used; values pass through.
+          for (const auto& [name, value] : expr.kwargs) {
+            if (name != "by" && name != "subset") continue;
+            if (value.is_str()) {
+              facts->insert(AttrFact(recv, value.str_value));
+            } else if (value.is_var()) {
+              facts->insert(PlainFact(value.var));
+              const VarInfo* keys = model_.Find(value.var);
+              if (keys != nullptr) {
+                for (const auto& k : keys->list_values) {
+                  facts->insert(AttrFact(recv, k));
+                }
+              } else {
+                facts->insert(AllAttrsFact(recv));
+              }
+            }
+          }
+          if (!expr.operands.empty()) {
+            const IRValue& by = expr.operands[0];
+            if (by.is_str()) {
+              facts->insert(AttrFact(recv, by.str_value));
+            } else if (by.is_var()) {
+              facts->insert(PlainFact(by.var));
+              const VarInfo* keys = model_.Find(by.var);
+              if (keys != nullptr) {
+                for (const auto& k : keys->list_values) {
+                  facts->insert(AttrFact(recv, k));
+                }
+              }
+            }
+          }
+          PassThroughAttrs(facts, x_facts, recv);
+          return;
+        }
+        if (method == "compute") {
+          // Materializes the frame: everything is needed.
+          facts->insert(AllAttrsFact(recv));
+          GenOperands(expr, facts);
+          return;
+        }
+        if (method == "fillna" || method == "dropna" || method == "drop") {
+          GenOperands(expr, facts);
+          PassThroughAttrs(facts, x_facts, recv);
+          return;
+        }
+        if (IsSeriesReduction(method) || method == "value_counts") {
+          // Whole-frame reductions need all columns.
+          facts->insert(AllAttrsFact(recv));
+          return;
+        }
+        // Unknown dataframe method: conservative.
+        facts->insert(AllAttrsFact(recv));
+        GenOperands(expr, facts);
+        return;
+      }
+      case VarKind::kSeries:
+      case VarKind::kStrAccessor:
+      case VarKind::kDtAccessor:
+      case VarKind::kGroupByCol:
+      case VarKind::kGroupBy:
+        // Series-level chains: the receiver's plain liveness carries the
+        // column facts back to its own definition.
+        GenOperands(expr, facts);
+        if (recv_kind == VarKind::kGroupByCol) {
+          // The aggregate column flows via an attr fact on the handle's
+          // own definition; nothing extra here.
+        }
+        return;
+      default:
+        GenOperands(expr, facts);
+        return;
+    }
+  }
+
+  const ProgramModel& model_;
+};
+
+}  // namespace
+
+Result<LivenessResult> RunLivenessAnalysis(const Cfg& cfg,
+                                           const ProgramModel& model) {
+  const IRProgram& program = *cfg.program;
+  Transfer transfer(model);
+
+  std::vector<FactSet> block_in(cfg.blocks.size());
+  std::vector<FactSet> block_out(cfg.blocks.size());
+
+  // Backward worklist to a fixpoint.
+  bool changed = true;
+  int iterations = 0;
+  while (changed) {
+    changed = false;
+    if (++iterations > 1000) {
+      return Status::ExecutionError("liveness analysis did not converge");
+    }
+    for (int b = static_cast<int>(cfg.blocks.size()) - 1; b >= 0; --b) {
+      const BasicBlock& block = cfg.blocks[b];
+      FactSet out;
+      for (int succ : block.succs) {
+        out.insert(block_in[succ].begin(), block_in[succ].end());
+      }
+      FactSet in = out;
+      for (auto it = block.stmts.rbegin(); it != block.stmts.rend(); ++it) {
+        transfer.Apply(program.stmts[*it], &in);
+      }
+      if (out != block_out[b] || in != block_in[b]) {
+        block_out[b] = std::move(out);
+        block_in[b] = std::move(in);
+        changed = true;
+      }
+    }
+  }
+
+  // Final pass: record per-statement In/Out sets.
+  LivenessResult result;
+  result.in.resize(program.stmts.size());
+  result.out.resize(program.stmts.size());
+  for (const auto& block : cfg.blocks) {
+    FactSet facts = block_out[block.id];
+    for (auto it = block.stmts.rbegin(); it != block.stmts.rend(); ++it) {
+      result.out[*it] = facts;
+      transfer.Apply(program.stmts[*it], &facts);
+      result.in[*it] = facts;
+    }
+  }
+  return result;
+}
+
+Result<std::vector<FactSet>> DefinitelyAssignedBefore(const Cfg& cfg) {
+  const IRProgram& program = *cfg.program;
+  auto transfer = [](const IRStmt& stmt, FactSet* defined) {
+    if (stmt.kind == IRStmtKind::kAssign) defined->insert(stmt.target);
+    if (stmt.kind == IRStmtKind::kImport) {
+      defined->insert(stmt.is_from_import
+                          ? stmt.imported_name
+                          : (stmt.alias.empty() ? stmt.module : stmt.alias));
+    }
+  };
+
+  std::vector<FactSet> block_in(cfg.blocks.size());
+  std::vector<bool> visited(cfg.blocks.size(), false);
+  bool changed = true;
+  int iterations = 0;
+  while (changed) {
+    changed = false;
+    if (++iterations > 1000) {
+      return Status::ExecutionError("definite assignment did not converge");
+    }
+    for (const auto& block : cfg.blocks) {
+      FactSet in;
+      bool first = true;
+      for (int pred : block.preds) {
+        if (!visited[pred]) continue;  // unreached so far: skip in the meet
+        FactSet out = block_in[pred];
+        for (size_t idx : cfg.blocks[pred].stmts) {
+          transfer(program.stmts[idx], &out);
+        }
+        if (first) {
+          in = std::move(out);
+          first = false;
+        } else {
+          FactSet meet;
+          for (const auto& v : in) {
+            if (out.count(v) > 0) meet.insert(v);
+          }
+          in = std::move(meet);
+        }
+      }
+      if (!visited[block.id] || in != block_in[block.id]) {
+        block_in[block.id] = std::move(in);
+        visited[block.id] = true;
+        changed = true;
+      }
+    }
+  }
+
+  std::vector<FactSet> before(program.stmts.size());
+  for (const auto& block : cfg.blocks) {
+    FactSet defined = block_in[block.id];
+    for (size_t idx : block.stmts) {
+      before[idx] = defined;
+      transfer(program.stmts[idx], &defined);
+    }
+  }
+  return before;
+}
+
+std::vector<std::string> LiveDataFramesAfter(const LivenessResult& liveness,
+                                             const ProgramModel& model,
+                                             size_t stmt) {
+  std::vector<std::string> out;
+  for (const auto& fact : liveness.out[stmt]) {
+    if (fact.find('.') != std::string::npos) continue;  // attr fact
+    if (model.KindOf(fact) == VarKind::kDataFrame &&
+        fact[0] != '$') {  // temps are not user-visible dataframes
+      out.push_back(fact);
+    }
+  }
+  return out;
+}
+
+}  // namespace lafp::script

@@ -1,0 +1,64 @@
+#ifndef LAFP_SCRIPT_ANALYSIS_H_
+#define LAFP_SCRIPT_ANALYSIS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "script/cfg.h"
+#include "script/model.h"
+
+namespace lafp::script {
+
+/// Fact domain of the combined liveness analyses (§3.1, §3.5):
+///   "v"    — variable v is live (classic LVA)
+///   "v.c"  — column c of dataframe-ish v is live (LAA)
+///   "v.*"  — all columns of v are live
+using FactSet = std::set<std::string>;
+
+inline std::string PlainFact(const std::string& var) { return var; }
+inline std::string AttrFact(const std::string& var, const std::string& col) {
+  return var + "." + col;
+}
+inline std::string AllAttrsFact(const std::string& var) {
+  return var + ".*";
+}
+
+/// Results of the backward liveness dataflow over the CFG: live facts
+/// immediately AFTER each IR statement (Out_n of the paper's equations)
+/// and immediately before (In_n).
+struct LivenessResult {
+  std::vector<FactSet> out;  // indexed by statement
+  std::vector<FactSet> in;
+
+  bool IsLiveAfter(size_t stmt, const std::string& fact) const {
+    return out[stmt].count(fact) > 0;
+  }
+
+  /// Live columns of `var` right after `stmt`; `all` set when "var.*" is
+  /// live (no pruning possible).
+  std::vector<std::string> LiveColumnsAfter(size_t stmt,
+                                            const std::string& var,
+                                            bool* all) const;
+};
+
+/// Run the combined Live Variable / Live Attribute analysis (the paper's
+/// LVA+LAA) to a fixpoint.
+Result<LivenessResult> RunLivenessAnalysis(const Cfg& cfg,
+                                           const ProgramModel& model);
+
+/// Live DataFrame Analysis (§3.5): dataframe-kind variables live after
+/// `stmt`, derived from the liveness result.
+std::vector<std::string> LiveDataFramesAfter(const LivenessResult& liveness,
+                                             const ProgramModel& model,
+                                             size_t stmt);
+
+/// Forward must-analysis: variables definitely assigned before each
+/// statement executes (intersection over predecessors). The rewriter uses
+/// it to keep live_df lists free of maybe-undefined names (a liveness
+/// fact is a *may*-use and can precede the definition on some paths).
+Result<std::vector<FactSet>> DefinitelyAssignedBefore(const Cfg& cfg);
+
+}  // namespace lafp::script
+
+#endif  // LAFP_SCRIPT_ANALYSIS_H_

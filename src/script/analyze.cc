@@ -1,0 +1,47 @@
+#include "script/analyze.h"
+
+#include "common/macros.h"
+#include "common/timer.h"
+#include "script/codegen.h"
+
+namespace lafp::script {
+
+Result<AnalyzeResult> Analyze(const std::string& source,
+                              const AnalyzeOptions& options) {
+  Timer timer;
+  AnalyzeResult result;
+  LAFP_ASSIGN_OR_RETURN(Module module, Parse(source));
+  LAFP_ASSIGN_OR_RETURN(IRProgram ir, LowerToIR(module));
+  LAFP_ASSIGN_OR_RETURN(result.optimized_ir,
+                        Rewrite(ir, options.rewrite, &result.stats));
+  result.model = BuildProgramModel(result.optimized_ir);
+  if (options.regenerate_source) {
+    LAFP_ASSIGN_OR_RETURN(result.regenerated_source,
+                          GenerateSource(result.optimized_ir));
+  }
+  result.analysis_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Status RunProgram(const std::string& source, lazy::Session* session,
+                  const RunOptions& options, InterpreterStats* stats,
+                  AnalyzeResult* analyze_result) {
+  if (options.analyze) {
+    LAFP_ASSIGN_OR_RETURN(AnalyzeResult analyzed,
+                          Analyze(source, options.analyze_options));
+    Status st =
+        ExecuteIR(analyzed.optimized_ir, analyzed.model, session, stats);
+    if (analyze_result != nullptr) *analyze_result = std::move(analyzed);
+    LAFP_RETURN_NOT_OK(st);
+    return session->Flush();  // safety net; rewriter normally inserted one
+  }
+  LAFP_ASSIGN_OR_RETURN(Module module, Parse(source));
+  LAFP_ASSIGN_OR_RETURN(IRProgram ir, LowerToIR(module));
+  ProgramModel model = BuildProgramModel(ir);
+  LAFP_RETURN_NOT_OK(ExecuteIR(ir, model, session, stats));
+  // Plain programs have no flush statement; emit pending prints the way
+  // a program exit would.
+  return session->Flush();
+}
+
+}  // namespace lafp::script

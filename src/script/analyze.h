@@ -1,0 +1,49 @@
+#ifndef LAFP_SCRIPT_ANALYZE_H_
+#define LAFP_SCRIPT_ANALYZE_H_
+
+#include <string>
+
+#include "script/interpreter.h"
+#include "script/rewriter.h"
+
+namespace lafp::script {
+
+/// Output of the JIT static-analysis pipeline (paper §2.4, Figure 5).
+struct AnalyzeResult {
+  IRProgram optimized_ir;
+  ProgramModel model;        // model of the optimized program
+  std::string regenerated_source;  // SCIRPy -> Python step
+  RewriteStats stats;
+  double analysis_seconds = 0.0;  // the overhead the paper reports (§5.3)
+};
+
+struct AnalyzeOptions {
+  RewriteOptions rewrite;
+  bool regenerate_source = true;
+};
+
+/// pd.analyze(): parse -> SCIRPy -> CFG -> LAA/LDA -> rewrite ->
+/// regenerate. (Execution is separate: see RunProgram.)
+Result<AnalyzeResult> Analyze(const std::string& source,
+                              const AnalyzeOptions& options = {});
+
+struct RunOptions {
+  /// Apply the JIT static analysis and run the rewritten program (the
+  /// LaFP path). When false the source runs as written (the plain
+  /// Pandas/Modin/Dask baselines).
+  bool analyze = true;
+  AnalyzeOptions analyze_options;
+};
+
+/// End-to-end driver: the C++ analogue of executing a two-line-modified
+/// Pandas program. Parses, optionally analyzes+rewrites, then interprets
+/// against the session. On the non-analyzed path a trailing flush is
+/// still issued so lazily deferred prints are not lost.
+Status RunProgram(const std::string& source, lazy::Session* session,
+                  const RunOptions& options = {},
+                  InterpreterStats* stats = nullptr,
+                  AnalyzeResult* analyze_result = nullptr);
+
+}  // namespace lafp::script
+
+#endif  // LAFP_SCRIPT_ANALYZE_H_

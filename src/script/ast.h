@@ -1,0 +1,117 @@
+#ifndef LAFP_SCRIPT_AST_H_
+#define LAFP_SCRIPT_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "script/token.h"
+
+namespace lafp::script {
+
+// ---------------- Expressions ----------------
+
+enum class ExprKind : int {
+  kName,
+  kIntLit,
+  kFloatLit,
+  kStringLit,
+  kBoolLit,
+  kNoneLit,
+  kFString,    // parts: literals and embedded expressions
+  kList,
+  kDict,
+  kAttribute,  // value.attr
+  kSubscript,  // value[index]
+  kCall,       // func(args, kwargs)
+  kBinOp,      // + - * / % & | and or
+  kUnaryOp,    // - not ~
+  kCompare,    // == != < <= > >=
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Kwarg {
+  std::string name;
+  ExprPtr value;
+};
+
+/// One AST expression node. A single struct with a kind tag keeps the
+/// traversals (lowering, codegen) simple.
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  // kName / kAttribute(attr) / kBinOp,kUnaryOp,kCompare(operator text)
+  std::string name;
+  // kIntLit / kFloatLit / kStringLit / kBoolLit literal payloads
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  std::string str_value;
+  bool bool_value = false;
+
+  ExprPtr lhs;  // kBinOp/kCompare left; kAttribute/kSubscript base;
+                // kUnaryOp operand; kCall callee
+  ExprPtr rhs;  // kBinOp/kCompare right; kSubscript index
+  std::vector<ExprPtr> elements;   // kList; kCall positional args;
+                                   // kFString embedded exprs
+  std::vector<std::string> fstring_literals;  // kFString literal parts
+                                              // (size == elements.size()+1)
+  std::vector<ExprPtr> dict_keys;    // kDict
+  std::vector<ExprPtr> dict_values;  // kDict
+  std::vector<Kwarg> kwargs;         // kCall keyword arguments
+
+  /// Render back to source (used by codegen and error messages).
+  std::string ToSource() const;
+};
+
+// ---------------- Statements ----------------
+
+enum class StmtKind : int {
+  kAssign,    // target = value (target: Name or Subscript)
+  kExpr,      // bare expression (calls)
+  kIf,
+  kWhile,
+  kFor,       // for NAME in <iterable>: (range(...) or a list)
+  kImport,    // import module [as alias]
+  kFromImport,  // from module import name
+  kPass,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  ExprPtr target;  // kAssign
+  ExprPtr value;   // kAssign value; kExpr expression; kIf/kWhile condition;
+                   // kFor iterable
+  std::string loop_var;  // kFor
+  std::vector<StmtPtr> body;      // kIf then / kWhile body
+  std::vector<StmtPtr> else_body; // kIf else
+  std::string module;             // kImport / kFromImport
+  std::string alias;              // kImport `as`
+  std::string imported_name;      // kFromImport
+
+  std::string ToSource(int indent = 0) const;
+};
+
+struct Module {
+  std::vector<StmtPtr> stmts;
+
+  std::string ToSource() const;
+};
+
+/// Parse PdScript source into an AST.
+Result<Module> Parse(const std::string& source);
+
+/// Parse a single expression (used for f-string embedded fragments).
+Result<ExprPtr> ParseExpression(const std::string& source);
+
+}  // namespace lafp::script
+
+#endif  // LAFP_SCRIPT_AST_H_

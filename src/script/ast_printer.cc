@@ -1,0 +1,175 @@
+#include <sstream>
+
+#include "script/ast.h"
+
+namespace lafp::script {
+
+namespace {
+
+std::string QuoteString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string FormatFloat(double v) {
+  std::ostringstream os;
+  os << v;
+  std::string s = os.str();
+  if (s.find('.') == std::string::npos &&
+      s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos &&
+      s.find("nan") == std::string::npos) {
+    s += ".0";
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string Expr::ToSource() const {
+  std::ostringstream os;
+  switch (kind) {
+    case ExprKind::kName:
+      return name;
+    case ExprKind::kIntLit:
+      return std::to_string(int_value);
+    case ExprKind::kFloatLit:
+      return FormatFloat(float_value);
+    case ExprKind::kStringLit:
+      return QuoteString(str_value);
+    case ExprKind::kBoolLit:
+      return bool_value ? "True" : "False";
+    case ExprKind::kNoneLit:
+      return "None";
+    case ExprKind::kFString: {
+      os << "f\"";
+      for (size_t i = 0; i < fstring_literals.size(); ++i) {
+        os << fstring_literals[i];
+        if (i < elements.size()) os << "{" << elements[i]->ToSource() << "}";
+      }
+      os << "\"";
+      return os.str();
+    }
+    case ExprKind::kList: {
+      os << "[";
+      for (size_t i = 0; i < elements.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << elements[i]->ToSource();
+      }
+      os << "]";
+      return os.str();
+    }
+    case ExprKind::kDict: {
+      os << "{";
+      for (size_t i = 0; i < dict_keys.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << dict_keys[i]->ToSource() << ": " << dict_values[i]->ToSource();
+      }
+      os << "}";
+      return os.str();
+    }
+    case ExprKind::kAttribute:
+      return lhs->ToSource() + "." + name;
+    case ExprKind::kSubscript:
+      return lhs->ToSource() + "[" + rhs->ToSource() + "]";
+    case ExprKind::kCall: {
+      os << lhs->ToSource() << "(";
+      bool first = true;
+      for (const auto& arg : elements) {
+        if (!first) os << ", ";
+        first = false;
+        os << arg->ToSource();
+      }
+      for (const auto& kw : kwargs) {
+        if (!first) os << ", ";
+        first = false;
+        os << kw.name << "=" << kw.value->ToSource();
+      }
+      os << ")";
+      return os.str();
+    }
+    case ExprKind::kBinOp: {
+      std::string op = name;
+      return "(" + lhs->ToSource() + " " + op + " " + rhs->ToSource() + ")";
+    }
+    case ExprKind::kUnaryOp:
+      if (name == "not") return "(not " + lhs->ToSource() + ")";
+      return "(" + name + lhs->ToSource() + ")";
+    case ExprKind::kCompare:
+      return "(" + lhs->ToSource() + " " + name + " " + rhs->ToSource() +
+             ")";
+  }
+  return "?";
+}
+
+std::string Stmt::ToSource(int indent) const {
+  std::string pad(indent * 4, ' ');
+  std::ostringstream os;
+  switch (kind) {
+    case StmtKind::kAssign:
+      os << pad << target->ToSource() << " = " << value->ToSource() << "\n";
+      break;
+    case StmtKind::kExpr:
+      os << pad << value->ToSource() << "\n";
+      break;
+    case StmtKind::kIf: {
+      os << pad << "if " << value->ToSource() << ":\n";
+      for (const auto& s : body) os << s->ToSource(indent + 1);
+      if (!else_body.empty()) {
+        os << pad << "else:\n";
+        for (const auto& s : else_body) os << s->ToSource(indent + 1);
+      }
+      break;
+    }
+    case StmtKind::kWhile: {
+      os << pad << "while " << value->ToSource() << ":\n";
+      for (const auto& s : body) os << s->ToSource(indent + 1);
+      break;
+    }
+    case StmtKind::kFor: {
+      os << pad << "for " << loop_var << " in " << value->ToSource()
+         << ":\n";
+      for (const auto& s : body) os << s->ToSource(indent + 1);
+      break;
+    }
+    case StmtKind::kImport:
+      os << pad << "import " << module;
+      if (!alias.empty()) os << " as " << alias;
+      os << "\n";
+      break;
+    case StmtKind::kFromImport:
+      os << pad << "from " << module << " import " << imported_name << "\n";
+      break;
+    case StmtKind::kPass:
+      os << pad << "pass\n";
+      break;
+  }
+  return os.str();
+}
+
+std::string Module::ToSource() const {
+  std::string out;
+  for (const auto& stmt : stmts) out += stmt->ToSource();
+  return out;
+}
+
+}  // namespace lafp::script

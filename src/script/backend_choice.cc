@@ -1,0 +1,105 @@
+#include "script/backend_choice.h"
+
+#include <sstream>
+
+#include "common/macros.h"
+#include "script/analysis.h"
+
+namespace lafp::script {
+
+namespace {
+
+/// True if any sort_values result feeds further computation (its target
+/// variable is used afterwards): the program depends on row order.
+bool DetectOrderSensitivity(const IRProgram& program,
+                            const LivenessResult& liveness) {
+  for (size_t i = 0; i < program.stmts.size(); ++i) {
+    const IRStmt& stmt = program.stmts[i];
+    if (stmt.kind != IRStmtKind::kAssign ||
+        stmt.expr.kind != IRExprKind::kCall ||
+        stmt.expr.attr != "sort_values") {
+      continue;
+    }
+    if (liveness.IsLiveAfter(i, stmt.target)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<BackendChoice> ChooseBackend(const std::string& source,
+                                    const BackendChoiceOptions& options) {
+  if (options.metastore == nullptr) {
+    return Status::Invalid("ChooseBackend requires a metadata store");
+  }
+  LAFP_ASSIGN_OR_RETURN(Module module, Parse(source));
+  LAFP_ASSIGN_OR_RETURN(IRProgram ir, LowerToIR(module));
+  ProgramModel model = BuildProgramModel(ir);
+  LAFP_ASSIGN_OR_RETURN(Cfg cfg, BuildCfg(ir));
+  LAFP_ASSIGN_OR_RETURN(LivenessResult liveness,
+                        RunLivenessAnalysis(cfg, model));
+
+  BackendChoice choice;
+  choice.order_sensitive = DetectOrderSensitivity(ir, liveness);
+
+  bool estimable = true;
+  int64_t total = 0;
+  for (size_t i = 0; i < ir.stmts.size(); ++i) {
+    const IRStmt& stmt = ir.stmts[i];
+    if (stmt.kind != IRStmtKind::kAssign ||
+        stmt.expr.kind != IRExprKind::kCall ||
+        !stmt.expr.is_method_call() || stmt.expr.attr != "read_csv" ||
+        !stmt.expr.object.is_var() ||
+        !model.IsPandasModule(stmt.expr.object.var)) {
+      continue;
+    }
+    if (stmt.expr.operands.empty() || !stmt.expr.operands[0].is_str()) {
+      estimable = false;  // dynamic path: cannot consult metadata
+      continue;
+    }
+    auto md =
+        options.metastore->GetOrCompute(stmt.expr.operands[0].str_value);
+    if (!md.ok()) {
+      estimable = false;
+      continue;
+    }
+    bool all_columns = false;
+    std::vector<std::string> live_cols =
+        liveness.LiveColumnsAfter(i, stmt.target, &all_columns);
+    total += md->EstimateMemoryBytes(all_columns ? std::vector<std::string>{}
+                                                 : live_cols);
+  }
+
+  choice.estimated_bytes =
+      static_cast<int64_t>(total * options.working_set_factor);
+  std::ostringstream why;
+  if (!estimable) {
+    choice.backend = exec::BackendKind::kDask;
+    why << "dataset sizes not statically estimable; choosing the "
+           "out-of-core backend";
+  } else if (options.memory_budget == 0 ||
+             choice.estimated_bytes <= options.memory_budget) {
+    choice.backend = exec::BackendKind::kPandas;
+    why << "estimated working set " << choice.estimated_bytes / 1000000
+        << " MB fits the budget"
+        << (options.memory_budget > 0
+                ? " of " + std::to_string(options.memory_budget / 1000000) +
+                      " MB"
+                : " (unlimited)")
+        << "; eager Pandas is fastest in memory";
+  } else {
+    choice.backend = exec::BackendKind::kDask;
+    why << "estimated working set " << choice.estimated_bytes / 1000000
+        << " MB exceeds the budget of "
+        << options.memory_budget / 1000000
+        << " MB; choosing the streaming backend";
+    if (choice.order_sensitive) {
+      why << " (note: the program consumes row order; order-sensitive "
+             "steps will use the per-operator Pandas fallback)";
+    }
+  }
+  choice.rationale = why.str();
+  return choice;
+}
+
+}  // namespace lafp::script

@@ -1,0 +1,48 @@
+#ifndef LAFP_SCRIPT_BACKEND_CHOICE_H_
+#define LAFP_SCRIPT_BACKEND_CHOICE_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/backend.h"
+#include "meta/metadata.h"
+
+namespace lafp::script {
+
+/// Implemented paper future work (§2.5, §3.6, §6): automated choice of
+/// backend "based on factors such as size of the datasets and row order
+/// dependence", using the metadata store's statistics and the same static
+/// analyses the rewriter runs.
+struct BackendChoice {
+  exec::BackendKind backend = exec::BackendKind::kPandas;
+  /// Estimated eager working set: per-read in-memory size of the columns
+  /// LAA proves live, times a working-set factor for intermediates.
+  int64_t estimated_bytes = 0;
+  /// The program computes a row ordering it then consumes (sort_values
+  /// feeding further computation) — Dask's lack of native row order makes
+  /// it a weaker fit (§5.2); noted in the rationale.
+  bool order_sensitive = false;
+  std::string rationale;
+};
+
+struct BackendChoiceOptions {
+  /// The memory the eager backends may use (the machine's RAM in the
+  /// paper; the tracked budget here).
+  int64_t memory_budget = 0;
+  /// Eager engines hold inputs plus intermediate copies and hash scratch;
+  /// the estimate is scaled by this before comparing to the budget.
+  double working_set_factor = 2.5;
+  meta::MetaStore* metastore = nullptr;  // required
+};
+
+/// Analyze `source` and pick the backend the paper's heuristics imply:
+/// Pandas when the (column-pruned) working set fits the budget — it is
+/// the fastest in-memory engine (Fig. 13) — otherwise Dask, which
+/// streams. Programs whose datasets cannot be estimated (non-constant
+/// paths, missing files) conservatively choose Dask.
+Result<BackendChoice> ChooseBackend(const std::string& source,
+                                    const BackendChoiceOptions& options);
+
+}  // namespace lafp::script
+
+#endif  // LAFP_SCRIPT_BACKEND_CHOICE_H_

@@ -1,0 +1,110 @@
+#include "script/cfg.h"
+
+#include <map>
+#include <sstream>
+
+namespace lafp::script {
+
+Result<Cfg> BuildCfg(const IRProgram& program) {
+  Cfg cfg;
+  cfg.program = &program;
+
+  // Leaders: first statement, every label, every statement following a
+  // goto or branch.
+  std::vector<bool> leader(program.stmts.size() + 1, false);
+  if (!program.stmts.empty()) leader[0] = true;
+  for (size_t i = 0; i < program.stmts.size(); ++i) {
+    const IRStmt& stmt = program.stmts[i];
+    if (stmt.kind == IRStmtKind::kLabel) leader[i] = true;
+    if (stmt.kind == IRStmtKind::kGoto ||
+        stmt.kind == IRStmtKind::kBranch) {
+      if (i + 1 < program.stmts.size()) leader[i + 1] = true;
+    }
+  }
+
+  std::map<std::string, int> label_block;  // label -> block id
+  std::vector<int> stmt_block(program.stmts.size(), -1);
+  for (size_t i = 0; i < program.stmts.size(); ++i) {
+    if (leader[i]) {
+      BasicBlock block;
+      block.id = static_cast<int>(cfg.blocks.size());
+      cfg.blocks.push_back(block);
+    }
+    BasicBlock& current = cfg.blocks.back();
+    current.stmts.push_back(i);
+    stmt_block[i] = current.id;
+    if (program.stmts[i].kind == IRStmtKind::kLabel) {
+      label_block[program.stmts[i].label] = current.id;
+    }
+  }
+  // Virtual exit block.
+  BasicBlock exit_block;
+  exit_block.id = static_cast<int>(cfg.blocks.size());
+  cfg.blocks.push_back(exit_block);
+  cfg.exit = exit_block.id;
+
+  auto resolve = [&](const std::string& label) -> Result<int> {
+    auto it = label_block.find(label);
+    if (it == label_block.end()) {
+      return Status::ParseError("unknown label: " + label);
+    }
+    return it->second;
+  };
+  auto add_edge = [&](int from, int to) {
+    cfg.blocks[from].succs.push_back(to);
+    cfg.blocks[to].preds.push_back(from);
+  };
+
+  for (size_t b = 0; b + 1 < cfg.blocks.size(); ++b) {
+    const BasicBlock& block = cfg.blocks[b];
+    if (block.stmts.empty()) {
+      add_edge(static_cast<int>(b), static_cast<int>(b) + 1);
+      continue;
+    }
+    const IRStmt& last = program.stmts[block.stmts.back()];
+    switch (last.kind) {
+      case IRStmtKind::kGoto: {
+        auto to = resolve(last.label);
+        if (!to.ok()) return to.status();
+        add_edge(block.id, *to);
+        break;
+      }
+      case IRStmtKind::kBranch: {
+        auto t = resolve(last.true_label);
+        if (!t.ok()) return t.status();
+        auto f = resolve(last.false_label);
+        if (!f.ok()) return f.status();
+        add_edge(block.id, *t);
+        add_edge(block.id, *f);
+        break;
+      }
+      default:
+        add_edge(block.id, block.id + 1);
+        break;
+    }
+  }
+  return cfg;
+}
+
+std::string Cfg::ToDot() const {
+  std::ostringstream os;
+  os << "digraph cfg {\n  node [shape=box];\n";
+  for (const auto& block : blocks) {
+    os << "  b" << block.id << " [label=\"B" << block.id << "\\l";
+    for (size_t idx : block.stmts) {
+      std::string line = program->stmts[idx].ToSource();
+      for (char& c : line) {
+        if (c == '"') c = '\'';
+      }
+      os << line << "\\l";
+    }
+    os << "\"];\n";
+    for (int succ : block.succs) {
+      os << "  b" << block.id << " -> b" << succ << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace lafp::script

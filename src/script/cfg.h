@@ -1,0 +1,34 @@
+#ifndef LAFP_SCRIPT_CFG_H_
+#define LAFP_SCRIPT_CFG_H_
+
+#include <string>
+#include <vector>
+
+#include "script/ir.h"
+
+namespace lafp::script {
+
+/// A basic block: a maximal straight-line run of IR statements (§2.2).
+struct BasicBlock {
+  int id = 0;
+  std::vector<size_t> stmts;  // indices into IRProgram::stmts
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+/// Control-flow graph over an IRProgram. Block 0 is the entry; a virtual
+/// exit is represented by an empty block appended at the end.
+struct Cfg {
+  const IRProgram* program = nullptr;
+  std::vector<BasicBlock> blocks;
+  int entry = 0;
+  int exit = 0;
+
+  std::string ToDot() const;
+};
+
+Result<Cfg> BuildCfg(const IRProgram& program);
+
+}  // namespace lafp::script
+
+#endif  // LAFP_SCRIPT_CFG_H_

@@ -1,0 +1,281 @@
+#include "script/codegen.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace lafp::script {
+
+namespace {
+
+bool IsTemp(const std::string& name) {
+  return !name.empty() && name[0] == '$';
+}
+
+/// Region-based source reconstruction. The lowering emits exactly these
+/// shapes, which the generator recognizes:
+///   if:    branch t->Lt f->Lf ; Lt: THEN [goto Lend; Lf: ELSE; Lend:] | Lf:
+///   while: Lh: COND* ; branch t->Lb f->Le ; Lb: BODY ; goto Lh ; Le:
+class SourceGenerator {
+ public:
+  explicit SourceGenerator(const IRProgram& program) : program_(program) {}
+
+  Result<std::string> Run() {
+    LAFP_RETURN_NOT_OK(EmitRange(0, program_.stmts.size(), 0));
+    return out_.str();
+  }
+
+ private:
+  const IRStmt& At(size_t i) const { return program_.stmts[i]; }
+
+  /// Index of "label:" within [from, to), or npos.
+  size_t FindLabel(const std::string& label, size_t from, size_t to) const {
+    for (size_t i = from; i < to; ++i) {
+      if (At(i).kind == IRStmtKind::kLabel && At(i).label == label) {
+        return i;
+      }
+    }
+    return std::string::npos;
+  }
+
+  /// Index of "goto label" within [from, to), or npos.
+  size_t FindGoto(const std::string& label, size_t from, size_t to) const {
+    for (size_t i = from; i < to; ++i) {
+      if (At(i).kind == IRStmtKind::kGoto && At(i).label == label) {
+        return i;
+      }
+    }
+    return std::string::npos;
+  }
+
+  /// Substitute recorded temp texts into a rendered source fragment.
+  std::string Rendered(const IRValue& v) const {
+    if (v.is_var()) {
+      auto it = temp_text_.find(v.var);
+      if (it != temp_text_.end()) return it->second;
+    }
+    return v.ToSource();
+  }
+
+  std::string RenderExpr(const IRExpr& expr) const {
+    std::ostringstream os;
+    switch (expr.kind) {
+      case IRExprKind::kAtom:
+        return Rendered(expr.atom);
+      case IRExprKind::kList: {
+        os << "[";
+        for (size_t i = 0; i < expr.operands.size(); ++i) {
+          if (i > 0) os << ", ";
+          os << Rendered(expr.operands[i]);
+        }
+        os << "]";
+        return os.str();
+      }
+      case IRExprKind::kDict: {
+        os << "{";
+        for (size_t i = 0; i < expr.dict_items.size(); ++i) {
+          if (i > 0) os << ", ";
+          os << Rendered(expr.dict_items[i].first) << ": "
+             << Rendered(expr.dict_items[i].second);
+        }
+        os << "}";
+        return os.str();
+      }
+      case IRExprKind::kBinOp:
+      case IRExprKind::kCompare:
+        return "(" + Rendered(expr.operands[0]) + " " + expr.op + " " +
+               Rendered(expr.operands[1]) + ")";
+      case IRExprKind::kUnaryOp:
+        if (expr.op == "not") return "(not " + Rendered(expr.operands[0]) + ")";
+        return expr.op + Rendered(expr.operands[0]);
+      case IRExprKind::kGetAttr:
+        return Rendered(expr.object) + "." + expr.attr;
+      case IRExprKind::kGetItem:
+        return Rendered(expr.object) + "[" + Rendered(expr.operands[0]) +
+               "]";
+      case IRExprKind::kCall: {
+        if (expr.global_name.empty()) {
+          os << Rendered(expr.object) << "." << expr.attr << "(";
+        } else {
+          os << expr.global_name << "(";
+        }
+        bool first = true;
+        for (const auto& arg : expr.operands) {
+          if (!first) os << ", ";
+          first = false;
+          os << Rendered(arg);
+        }
+        for (const auto& [name, value] : expr.kwargs) {
+          if (!first) os << ", ";
+          first = false;
+          os << name << "=" << Rendered(value);
+        }
+        os << ")";
+        return os.str();
+      }
+      case IRExprKind::kFString: {
+        os << "f\"";
+        for (size_t i = 0; i < expr.fstring_literals.size(); ++i) {
+          os << expr.fstring_literals[i];
+          if (i < expr.operands.size()) {
+            os << "{" << Rendered(expr.operands[i]) << "}";
+          }
+        }
+        os << "\"";
+        return os.str();
+      }
+    }
+    return "?";
+  }
+
+  void EmitLine(int indent, const std::string& text) {
+    out_ << std::string(indent * 4, ' ') << text << "\n";
+  }
+
+  Status EmitRange(size_t begin, size_t end, int indent) {
+    size_t i = begin;
+    while (i < end) {
+      const IRStmt& stmt = At(i);
+      switch (stmt.kind) {
+        case IRStmtKind::kImport:
+          if (stmt.is_from_import) {
+            EmitLine(indent,
+                     "from " + stmt.module + " import " +
+                         stmt.imported_name);
+          } else {
+            EmitLine(indent,
+                     "import " + stmt.module +
+                         (stmt.alias.empty() ? "" : " as " + stmt.alias));
+          }
+          ++i;
+          break;
+        case IRStmtKind::kNop:
+          ++i;
+          break;
+        case IRStmtKind::kAssign: {
+          std::string rhs = RenderExpr(stmt.expr);
+          if (IsTemp(stmt.target)) {
+            temp_text_[stmt.target] = rhs;  // inlined at use site
+          } else {
+            EmitLine(indent, stmt.target + " = " + rhs);
+          }
+          ++i;
+          break;
+        }
+        case IRStmtKind::kStoreItem:
+          EmitLine(indent, Rendered(stmt.object) + "[" +
+                               Rendered(stmt.key) +
+                               "] = " + Rendered(stmt.value));
+          ++i;
+          break;
+        case IRStmtKind::kExprStmt:
+          EmitLine(indent, RenderExpr(stmt.expr));
+          ++i;
+          break;
+        case IRStmtKind::kLabel: {
+          // A label beginning a while loop has a matching back-goto.
+          size_t back = FindGoto(stmt.label, i + 1, end);
+          if (back == std::string::npos) {
+            ++i;  // join label of an if; nothing to emit
+            break;
+          }
+          LAFP_RETURN_NOT_OK(EmitWhile(i, back, end, indent, &i));
+          break;
+        }
+        case IRStmtKind::kBranch:
+          LAFP_RETURN_NOT_OK(EmitIf(i, end, indent, &i));
+          break;
+        case IRStmtKind::kGoto:
+          return Status::ExecutionError(
+              "unstructured goto; cannot regenerate source");
+      }
+    }
+    return Status::OK();
+  }
+
+  Status EmitWhile(size_t head_label, size_t back_goto, size_t end,
+                   int indent, size_t* next) {
+    (void)end;
+    // Between the head label and the branch: condition temp chain.
+    size_t branch = head_label + 1;
+    while (branch < back_goto && At(branch).kind != IRStmtKind::kBranch) {
+      if (At(branch).kind == IRStmtKind::kAssign &&
+          IsTemp(At(branch).target)) {
+        temp_text_[At(branch).target] = RenderExpr(At(branch).expr);
+      } else {
+        return Status::ExecutionError(
+            "unsupported loop condition structure");
+      }
+      ++branch;
+    }
+    if (branch >= back_goto) {
+      return Status::ExecutionError("loop without branch");
+    }
+    const IRStmt& br = At(branch);
+    EmitLine(indent, "while " + Rendered(br.cond) + ":");
+    // Body: after "Lbody:" up to the back goto.
+    size_t body_begin = branch + 1;
+    if (body_begin < back_goto &&
+        At(body_begin).kind == IRStmtKind::kLabel) {
+      ++body_begin;
+    }
+    LAFP_RETURN_NOT_OK(EmitRange(body_begin, back_goto, indent + 1));
+    // Skip past the end label.
+    size_t after = back_goto + 1;
+    if (after < program_.stmts.size() &&
+        At(after).kind == IRStmtKind::kLabel &&
+        At(after).label == br.false_label) {
+      ++after;
+    }
+    *next = after;
+    return Status::OK();
+  }
+
+  Status EmitIf(size_t branch, size_t end, int indent, size_t* next) {
+    const IRStmt& br = At(branch);
+    size_t then_label = branch + 1;
+    if (then_label >= end || At(then_label).kind != IRStmtKind::kLabel ||
+        At(then_label).label != br.true_label) {
+      return Status::ExecutionError("unstructured branch");
+    }
+    size_t false_pos = FindLabel(br.false_label, then_label + 1, end);
+    if (false_pos == std::string::npos) {
+      return Status::ExecutionError("missing branch join label");
+    }
+    EmitLine(indent, "if " + Rendered(br.cond) + ":");
+    // Does the then-arm end with "goto Lend" (if-else) or fall through
+    // (if-then)?
+    bool has_else = false_pos > then_label + 1 &&
+                    At(false_pos - 1).kind == IRStmtKind::kGoto;
+    if (!has_else) {
+      LAFP_RETURN_NOT_OK(EmitRange(then_label + 1, false_pos, indent + 1));
+      *next = false_pos + 1;  // skip the join label
+      return Status::OK();
+    }
+    const std::string& end_label = At(false_pos - 1).label;
+    LAFP_RETURN_NOT_OK(
+        EmitRange(then_label + 1, false_pos - 1, indent + 1));
+    size_t end_pos = FindLabel(end_label, false_pos + 1, end);
+    if (end_pos == std::string::npos) {
+      return Status::ExecutionError("missing if-else end label");
+    }
+    EmitLine(indent, "else:");
+    LAFP_RETURN_NOT_OK(EmitRange(false_pos + 1, end_pos, indent + 1));
+    *next = end_pos + 1;
+    return Status::OK();
+  }
+
+  const IRProgram& program_;
+  std::ostringstream out_;
+  std::map<std::string, std::string> temp_text_;
+};
+
+}  // namespace
+
+Result<std::string> GenerateSource(const IRProgram& program) {
+  return SourceGenerator(program).Run();
+}
+
+}  // namespace lafp::script

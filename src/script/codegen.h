@@ -1,0 +1,19 @@
+#ifndef LAFP_SCRIPT_CODEGEN_H_
+#define LAFP_SCRIPT_CODEGEN_H_
+
+#include <string>
+
+#include "script/ir.h"
+
+namespace lafp::script {
+
+/// Reconstruct structured source from (possibly rewritten) SCIRPy — the
+/// paper's IR-to-Python back end (§2.2): basic-block/branch/loop regions
+/// are rebuilt from the label structure and compiler temporaries are
+/// inlined back into expressions, so `read_csv` rewrites come out as in
+/// the paper's Figure 4.
+Result<std::string> GenerateSource(const IRProgram& program);
+
+}  // namespace lafp::script
+
+#endif  // LAFP_SCRIPT_CODEGEN_H_

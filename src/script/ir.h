@@ -1,0 +1,149 @@
+#ifndef LAFP_SCRIPT_IR_H_
+#define LAFP_SCRIPT_IR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "script/ast.h"
+
+namespace lafp::script {
+
+/// SCIRPy — the three-address intermediate representation the static
+/// analyses run on (the paper's Soot/Jimple-derived IR, §2.2). Nested
+/// expressions are flattened into compiler temporaries ("$tN"); control
+/// flow is labels, gotos and conditional branches, from which the CFG is
+/// built.
+
+/// An atom: a constant or a variable reference.
+struct IRValue {
+  enum class Kind : int { kConst, kVar };
+  enum class ConstType : int { kInt, kFloat, kStr, kBool, kNone };
+
+  Kind kind = Kind::kConst;
+  ConstType ctype = ConstType::kNone;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  std::string str_value;
+  bool bool_value = false;
+  std::string var;
+
+  static IRValue Var(std::string name) {
+    IRValue v;
+    v.kind = Kind::kVar;
+    v.var = std::move(name);
+    return v;
+  }
+  static IRValue Int(int64_t i) {
+    IRValue v;
+    v.ctype = ConstType::kInt;
+    v.int_value = i;
+    return v;
+  }
+  static IRValue Float(double f) {
+    IRValue v;
+    v.ctype = ConstType::kFloat;
+    v.float_value = f;
+    return v;
+  }
+  static IRValue Str(std::string s) {
+    IRValue v;
+    v.ctype = ConstType::kStr;
+    v.str_value = std::move(s);
+    return v;
+  }
+  static IRValue Bool(bool b) {
+    IRValue v;
+    v.ctype = ConstType::kBool;
+    v.bool_value = b;
+    return v;
+  }
+  static IRValue None() { return IRValue(); }
+
+  bool is_var() const { return kind == Kind::kVar; }
+  bool is_str() const {
+    return kind == Kind::kConst && ctype == ConstType::kStr;
+  }
+
+  std::string ToSource() const;
+};
+
+/// Flat right-hand sides: at most one operator over atoms.
+enum class IRExprKind : int {
+  kAtom,      // constant or variable copy
+  kList,      // [a, b, ...]
+  kDict,      // {k: v, ...}  (string-const keys)
+  kBinOp,     // a <op> b  (also & | and or)
+  kUnaryOp,   // -a, not a, ~a
+  kCompare,   // a <cmp> b
+  kGetAttr,   // a.name
+  kGetItem,   // a[index]
+  kCall,      // receiver.method(args) or global(args)
+  kFString,   // f"...{a}..." with atom substitutions
+};
+
+struct IRExpr {
+  IRExprKind kind = IRExprKind::kAtom;
+  IRValue atom;                       // kAtom
+  std::string op;                     // kBinOp/kUnaryOp/kCompare text
+  std::vector<IRValue> operands;      // operator operands / list elements /
+                                      // call positional args / fstring exprs
+  std::vector<std::pair<std::string, IRValue>> kwargs;   // kCall
+  std::vector<std::pair<IRValue, IRValue>> dict_items;   // kDict
+  IRValue object;           // kGetAttr/kGetItem base; kCall receiver
+  std::string attr;         // kGetAttr name; kCall method name
+  std::string global_name;  // kCall: set when the callee is a bare name
+                            // (print, len, plot, checksum, range, ...)
+  std::vector<std::string> fstring_literals;  // kFString (operands.size()+1)
+
+  bool is_method_call() const {
+    return kind == IRExprKind::kCall && global_name.empty();
+  }
+
+  std::string ToSource() const;
+};
+
+enum class IRStmtKind : int {
+  kAssign,     // target = expr
+  kStoreItem,  // object[key] = value (pandas setitem)
+  kExprStmt,   // expr evaluated for side effects (calls)
+  kLabel,
+  kGoto,
+  kBranch,     // if cond goto true_label else false_label
+  kImport,     // module import (kept for the rewriter/codegen)
+  kNop,
+};
+
+struct IRStmt {
+  IRStmtKind kind = IRStmtKind::kNop;
+  int line = 0;
+
+  std::string target;  // kAssign
+  IRExpr expr;         // kAssign / kExprStmt
+  IRValue object;      // kStoreItem
+  IRValue key;         // kStoreItem
+  IRValue value;       // kStoreItem
+  std::string label;   // kLabel / kGoto target
+  IRValue cond;        // kBranch condition (var)
+  std::string true_label, false_label;  // kBranch
+  std::string module, alias, imported_name;  // kImport
+  bool is_from_import = false;
+
+  std::string ToSource() const;
+};
+
+struct IRProgram {
+  std::vector<IRStmt> stmts;
+  int temp_counter = 0;
+
+  std::string NewTemp() { return "$t" + std::to_string(temp_counter++); }
+
+  std::string ToSource() const;
+};
+
+/// Flatten the AST into SCIRPy.
+Result<IRProgram> LowerToIR(const Module& module);
+
+}  // namespace lafp::script
+
+#endif  // LAFP_SCRIPT_IR_H_

@@ -1,0 +1,425 @@
+#include <cctype>
+#include <map>
+
+#include "common/macros.h"
+#include "script/token.h"
+
+namespace lafp::script {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kName: return "name";
+    case TokenKind::kInt: return "int";
+    case TokenKind::kFloat: return "float";
+    case TokenKind::kString: return "string";
+    case TokenKind::kFStringStart: return "fstring";
+    case TokenKind::kNewline: return "newline";
+    case TokenKind::kIndent: return "indent";
+    case TokenKind::kDedent: return "dedent";
+    case TokenKind::kEndOfFile: return "eof";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kLBracket: return "[";
+    case TokenKind::kRBracket: return "]";
+    case TokenKind::kLBrace: return "{";
+    case TokenKind::kRBrace: return "}";
+    case TokenKind::kComma: return ",";
+    case TokenKind::kColon: return ":";
+    case TokenKind::kDot: return ".";
+    case TokenKind::kAssign: return "=";
+    case TokenKind::kEq: return "==";
+    case TokenKind::kNe: return "!=";
+    case TokenKind::kLt: return "<";
+    case TokenKind::kLe: return "<=";
+    case TokenKind::kGt: return ">";
+    case TokenKind::kGe: return ">=";
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kPercent: return "%";
+    case TokenKind::kAmp: return "&";
+    case TokenKind::kPipe: return "|";
+    case TokenKind::kTilde: return "~";
+    case TokenKind::kIf: return "if";
+    case TokenKind::kElse: return "else";
+    case TokenKind::kElif: return "elif";
+    case TokenKind::kWhile: return "while";
+    case TokenKind::kFor: return "for";
+    case TokenKind::kIn: return "in";
+    case TokenKind::kAnd: return "and";
+    case TokenKind::kOr: return "or";
+    case TokenKind::kNot: return "not";
+    case TokenKind::kTrue: return "True";
+    case TokenKind::kFalse: return "False";
+    case TokenKind::kNone: return "None";
+    case TokenKind::kImport: return "import";
+    case TokenKind::kFrom: return "from";
+    case TokenKind::kAs: return "as";
+    case TokenKind::kPass: return "pass";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, TokenKind>& Keywords() {
+  static const auto* kw = new std::map<std::string, TokenKind>{
+      {"if", TokenKind::kIf},       {"else", TokenKind::kElse},
+      {"elif", TokenKind::kElif},   {"while", TokenKind::kWhile},
+      {"for", TokenKind::kFor},     {"in", TokenKind::kIn},
+      {"and", TokenKind::kAnd},     {"or", TokenKind::kOr},
+      {"not", TokenKind::kNot},     {"True", TokenKind::kTrue},
+      {"False", TokenKind::kFalse}, {"None", TokenKind::kNone},
+      {"import", TokenKind::kImport}, {"from", TokenKind::kFrom},
+      {"as", TokenKind::kAs},       {"pass", TokenKind::kPass}};
+  return *kw;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) {}
+
+  Result<std::vector<Token>> Run() {
+    indents_.push_back(0);
+    while (pos_ < src_.size()) {
+      LAFP_RETURN_NOT_OK(LexLine());
+    }
+    // Close any pending indentation.
+    if (!tokens_.empty() && tokens_.back().kind != TokenKind::kNewline) {
+      Emit(TokenKind::kNewline, "");
+    }
+    while (indents_.back() > 0) {
+      indents_.pop_back();
+      Emit(TokenKind::kDedent, "");
+    }
+    Emit(TokenKind::kEndOfFile, "");
+    return std::move(tokens_);
+  }
+
+ private:
+  Status LexLine() {
+    // Measure indentation (spaces only; tabs count as 4).
+    int indent = 0;
+    size_t start = pos_;
+    while (pos_ < src_.size() && (src_[pos_] == ' ' || src_[pos_] == '\t')) {
+      indent += src_[pos_] == '\t' ? 4 : 1;
+      ++pos_;
+    }
+    if (pos_ >= src_.size()) return Status::OK();
+    if (src_[pos_] == '\n' || src_[pos_] == '#') {
+      // Blank or comment-only line: skip entirely.
+      while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      if (pos_ < src_.size()) {
+        ++pos_;
+        ++line_;
+      }
+      return Status::OK();
+    }
+    (void)start;
+    if (indent > indents_.back()) {
+      indents_.push_back(indent);
+      Emit(TokenKind::kIndent, "");
+    } else {
+      while (indent < indents_.back()) {
+        indents_.pop_back();
+        Emit(TokenKind::kDedent, "");
+      }
+      if (indent != indents_.back()) {
+        return Err("inconsistent indentation");
+      }
+    }
+    // Tokens until end of line; brackets allow continuation.
+    int bracket_depth = 0;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++pos_;
+        ++line_;
+        if (bracket_depth > 0) continue;  // implicit line joining
+        break;
+      }
+      if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+        continue;
+      }
+      if (c == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      LAFP_RETURN_NOT_OK(LexToken(&bracket_depth));
+    }
+    Emit(TokenKind::kNewline, "");
+    return Status::OK();
+  }
+
+  Status LexToken(int* bracket_depth) {
+    char c = src_[pos_];
+    int col = Column();
+    // f-string
+    if ((c == 'f' || c == 'F') && pos_ + 1 < src_.size() &&
+        (src_[pos_ + 1] == '"' || src_[pos_ + 1] == '\'')) {
+      return LexFString();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t begin = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_')) {
+        ++pos_;
+      }
+      std::string word = src_.substr(begin, pos_ - begin);
+      auto kw = Keywords().find(word);
+      Token t;
+      t.kind = kw != Keywords().end() ? kw->second : TokenKind::kName;
+      t.text = std::move(word);
+      t.line = line_;
+      t.column = col;
+      tokens_.push_back(std::move(t));
+      return Status::OK();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t begin = pos_;
+      bool is_float = false;
+      while (pos_ < src_.size() &&
+             (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '.' || src_[pos_] == 'e' || src_[pos_] == 'E' ||
+              ((src_[pos_] == '+' || src_[pos_] == '-') && pos_ > begin &&
+               (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E')))) {
+        if (src_[pos_] == '.' || src_[pos_] == 'e' || src_[pos_] == 'E') {
+          // A dot followed by a name char is attribute access on an int
+          // literal — not supported; treat dot+digit as float.
+          if (src_[pos_] == '.' && pos_ + 1 < src_.size() &&
+              !std::isdigit(static_cast<unsigned char>(src_[pos_ + 1]))) {
+            break;
+          }
+          is_float = true;
+        }
+        ++pos_;
+      }
+      Emit(is_float ? TokenKind::kFloat : TokenKind::kInt,
+           src_.substr(begin, pos_ - begin));
+      return Status::OK();
+    }
+    if (c == '"' || c == '\'') {
+      std::string value;
+      LAFP_RETURN_NOT_OK(LexQuoted(c, &value));
+      Emit(TokenKind::kString, std::move(value));
+      return Status::OK();
+    }
+    auto two = [&](char second, TokenKind kind) -> bool {
+      if (pos_ + 1 < src_.size() && src_[pos_ + 1] == second) {
+        Emit(kind, std::string(1, c) + second);
+        pos_ += 2;
+        return true;
+      }
+      return false;
+    };
+    switch (c) {
+      case '(':
+        ++*bracket_depth;
+        Emit(TokenKind::kLParen, "(");
+        break;
+      case ')':
+        --*bracket_depth;
+        Emit(TokenKind::kRParen, ")");
+        break;
+      case '[':
+        ++*bracket_depth;
+        Emit(TokenKind::kLBracket, "[");
+        break;
+      case ']':
+        --*bracket_depth;
+        Emit(TokenKind::kRBracket, "]");
+        break;
+      case '{':
+        ++*bracket_depth;
+        Emit(TokenKind::kLBrace, "{");
+        break;
+      case '}':
+        --*bracket_depth;
+        Emit(TokenKind::kRBrace, "}");
+        break;
+      case ',':
+        Emit(TokenKind::kComma, ",");
+        break;
+      case ':':
+        Emit(TokenKind::kColon, ":");
+        break;
+      case '.':
+        Emit(TokenKind::kDot, ".");
+        break;
+      case '=':
+        if (two('=', TokenKind::kEq)) return Status::OK();
+        Emit(TokenKind::kAssign, "=");
+        break;
+      case '!':
+        if (two('=', TokenKind::kNe)) return Status::OK();
+        return Err("unexpected '!'");
+      case '<':
+        if (two('=', TokenKind::kLe)) return Status::OK();
+        Emit(TokenKind::kLt, "<");
+        break;
+      case '>':
+        if (two('=', TokenKind::kGe)) return Status::OK();
+        Emit(TokenKind::kGt, ">");
+        break;
+      case '+':
+        Emit(TokenKind::kPlus, "+");
+        break;
+      case '-':
+        Emit(TokenKind::kMinus, "-");
+        break;
+      case '*':
+        Emit(TokenKind::kStar, "*");
+        break;
+      case '/':
+        Emit(TokenKind::kSlash, "/");
+        break;
+      case '%':
+        Emit(TokenKind::kPercent, "%");
+        break;
+      case '&':
+        Emit(TokenKind::kAmp, "&");
+        break;
+      case '|':
+        Emit(TokenKind::kPipe, "|");
+        break;
+      case '~':
+        Emit(TokenKind::kTilde, "~");
+        break;
+      default:
+        return Err(std::string("unexpected character '") + c + "'");
+    }
+    ++pos_;  // single-char token
+    return Status::OK();
+  }
+
+  Status LexQuoted(char quote, std::string* out) {
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != quote) {
+      char c = src_[pos_];
+      if (c == '\n') return Err("unterminated string");
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        char next = src_[pos_ + 1];
+        switch (next) {
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '\'':
+            out->push_back('\'');
+            break;
+          case '"':
+            out->push_back('"');
+            break;
+          default:
+            out->push_back(next);
+        }
+        pos_ += 2;
+        continue;
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    if (pos_ >= src_.size()) return Err("unterminated string");
+    ++pos_;  // closing quote
+    return Status::OK();
+  }
+
+  Status LexFString() {
+    int col = Column();
+    ++pos_;  // 'f'
+    char quote = src_[pos_];
+    ++pos_;
+    std::vector<std::string> parts;  // even: literal, odd: expression
+    std::string literal;
+    while (pos_ < src_.size() && src_[pos_] != quote) {
+      char c = src_[pos_];
+      if (c == '\n') return Err("unterminated f-string");
+      if (c == '{') {
+        if (pos_ + 1 < src_.size() && src_[pos_ + 1] == '{') {
+          literal.push_back('{');
+          pos_ += 2;
+          continue;
+        }
+        parts.push_back(std::move(literal));
+        literal.clear();
+        ++pos_;
+        std::string expr;
+        int depth = 1;
+        while (pos_ < src_.size() && depth > 0) {
+          if (src_[pos_] == '{') ++depth;
+          if (src_[pos_] == '}') {
+            --depth;
+            if (depth == 0) break;
+          }
+          expr.push_back(src_[pos_]);
+          ++pos_;
+        }
+        if (pos_ >= src_.size()) return Err("unterminated f-string brace");
+        ++pos_;  // '}'
+        parts.push_back(std::move(expr));
+        continue;
+      }
+      if (c == '}' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '}') {
+        literal.push_back('}');
+        pos_ += 2;
+        continue;
+      }
+      literal.push_back(c);
+      ++pos_;
+    }
+    if (pos_ >= src_.size()) return Err("unterminated f-string");
+    ++pos_;  // closing quote
+    parts.push_back(std::move(literal));
+    Token t;
+    t.kind = TokenKind::kFStringStart;
+    t.line = line_;
+    t.column = col;
+    t.fstring_parts = std::move(parts);
+    tokens_.push_back(std::move(t));
+    return Status::OK();
+  }
+
+  void Emit(TokenKind kind, std::string text) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line_;
+    t.column = Column();
+    tokens_.push_back(std::move(t));
+  }
+
+  int Column() const {
+    size_t line_start = src_.rfind('\n', pos_ == 0 ? 0 : pos_ - 1);
+    return static_cast<int>(pos_ -
+                            (line_start == std::string::npos
+                                 ? 0
+                                 : line_start + 1)) +
+           1;
+  }
+
+  Status Err(const std::string& msg) {
+    return Status::ParseError("line " + std::to_string(line_) + ": " + msg);
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  std::vector<int> indents_;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace lafp::script

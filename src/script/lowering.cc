@@ -1,0 +1,536 @@
+#include <sstream>
+
+#include "common/macros.h"
+#include "script/ir.h"
+
+namespace lafp::script {
+
+std::string IRValue::ToSource() const {
+  if (is_var()) return var;
+  switch (ctype) {
+    case ConstType::kInt:
+      return std::to_string(int_value);
+    case ConstType::kFloat: {
+      std::ostringstream os;
+      os << float_value;
+      std::string s = os.str();
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case ConstType::kStr: {
+      std::string out = "\"";
+      for (char c : str_value) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+      }
+      return out + "\"";
+    }
+    case ConstType::kBool:
+      return bool_value ? "True" : "False";
+    case ConstType::kNone:
+      return "None";
+  }
+  return "?";
+}
+
+std::string IRExpr::ToSource() const {
+  std::ostringstream os;
+  switch (kind) {
+    case IRExprKind::kAtom:
+      return atom.ToSource();
+    case IRExprKind::kList: {
+      os << "[";
+      for (size_t i = 0; i < operands.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << operands[i].ToSource();
+      }
+      os << "]";
+      return os.str();
+    }
+    case IRExprKind::kDict: {
+      os << "{";
+      for (size_t i = 0; i < dict_items.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << dict_items[i].first.ToSource() << ": "
+           << dict_items[i].second.ToSource();
+      }
+      os << "}";
+      return os.str();
+    }
+    case IRExprKind::kBinOp:
+    case IRExprKind::kCompare:
+      return operands[0].ToSource() + " " + op + " " +
+             operands[1].ToSource();
+    case IRExprKind::kUnaryOp:
+      if (op == "not") return "not " + operands[0].ToSource();
+      return op + operands[0].ToSource();
+    case IRExprKind::kGetAttr:
+      return object.ToSource() + "." + attr;
+    case IRExprKind::kGetItem:
+      return object.ToSource() + "[" + operands[0].ToSource() + "]";
+    case IRExprKind::kCall: {
+      if (global_name.empty()) {
+        os << object.ToSource() << "." << attr << "(";
+      } else {
+        os << global_name << "(";
+      }
+      bool first = true;
+      for (const auto& arg : operands) {
+        if (!first) os << ", ";
+        first = false;
+        os << arg.ToSource();
+      }
+      for (const auto& [name, value] : kwargs) {
+        if (!first) os << ", ";
+        first = false;
+        os << name << "=" << value.ToSource();
+      }
+      os << ")";
+      return os.str();
+    }
+    case IRExprKind::kFString: {
+      os << "f\"";
+      for (size_t i = 0; i < fstring_literals.size(); ++i) {
+        os << fstring_literals[i];
+        if (i < operands.size()) os << "{" << operands[i].ToSource() << "}";
+      }
+      os << "\"";
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+std::string IRStmt::ToSource() const {
+  switch (kind) {
+    case IRStmtKind::kAssign:
+      return target + " = " + expr.ToSource();
+    case IRStmtKind::kStoreItem:
+      return object.ToSource() + "[" + key.ToSource() +
+             "] = " + value.ToSource();
+    case IRStmtKind::kExprStmt:
+      return expr.ToSource();
+    case IRStmtKind::kLabel:
+      return label + ":";
+    case IRStmtKind::kGoto:
+      return "goto " + label;
+    case IRStmtKind::kBranch:
+      return "if " + cond.ToSource() + " goto " + true_label + " else " +
+             false_label;
+    case IRStmtKind::kImport:
+      if (is_from_import) return "from " + module + " import " + imported_name;
+      return "import " + module + (alias.empty() ? "" : " as " + alias);
+    case IRStmtKind::kNop:
+      return "nop";
+  }
+  return "?";
+}
+
+std::string IRProgram::ToSource() const {
+  std::string out;
+  for (const auto& stmt : stmts) {
+    if (stmt.kind != IRStmtKind::kLabel) out += "  ";
+    out += stmt.ToSource();
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+class Lowerer {
+ public:
+  Result<IRProgram> Run(const Module& module) {
+    for (const auto& stmt : module.stmts) {
+      LAFP_RETURN_NOT_OK(LowerStmt(*stmt));
+    }
+    return std::move(program_);
+  }
+
+ private:
+  std::string NewLabel() {
+    return "L" + std::to_string(label_counter_++);
+  }
+
+  void Emit(IRStmt stmt) { program_.stmts.push_back(std::move(stmt)); }
+
+  void EmitLabel(const std::string& label) {
+    IRStmt stmt;
+    stmt.kind = IRStmtKind::kLabel;
+    stmt.label = label;
+    Emit(std::move(stmt));
+  }
+
+  void EmitGoto(const std::string& label) {
+    IRStmt stmt;
+    stmt.kind = IRStmtKind::kGoto;
+    stmt.label = label;
+    Emit(std::move(stmt));
+  }
+
+  Status LowerStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kImport: {
+        IRStmt out;
+        out.kind = IRStmtKind::kImport;
+        out.module = stmt.module;
+        out.alias = stmt.alias;
+        out.line = stmt.line;
+        Emit(std::move(out));
+        return Status::OK();
+      }
+      case StmtKind::kFromImport: {
+        IRStmt out;
+        out.kind = IRStmtKind::kImport;
+        out.is_from_import = true;
+        out.module = stmt.module;
+        out.imported_name = stmt.imported_name;
+        out.line = stmt.line;
+        Emit(std::move(out));
+        return Status::OK();
+      }
+      case StmtKind::kPass:
+        return Status::OK();
+      case StmtKind::kAssign: {
+        if (stmt.target->kind == ExprKind::kName) {
+          LAFP_ASSIGN_OR_RETURN(IRExpr rhs, LowerExprTop(*stmt.value));
+          IRStmt out;
+          out.kind = IRStmtKind::kAssign;
+          out.target = stmt.target->name;
+          out.expr = std::move(rhs);
+          out.line = stmt.line;
+          Emit(std::move(out));
+          return Status::OK();
+        }
+        if (stmt.target->kind == ExprKind::kSubscript) {
+          LAFP_ASSIGN_OR_RETURN(IRValue object,
+                                LowerToAtom(*stmt.target->lhs));
+          LAFP_ASSIGN_OR_RETURN(IRValue key, LowerToAtom(*stmt.target->rhs));
+          LAFP_ASSIGN_OR_RETURN(IRValue value, LowerToAtom(*stmt.value));
+          IRStmt out;
+          out.kind = IRStmtKind::kStoreItem;
+          out.object = std::move(object);
+          out.key = std::move(key);
+          out.value = std::move(value);
+          out.line = stmt.line;
+          Emit(std::move(out));
+          return Status::OK();
+        }
+        return Status::ParseError("unsupported assignment target: " +
+                                  stmt.target->ToSource());
+      }
+      case StmtKind::kExpr: {
+        LAFP_ASSIGN_OR_RETURN(IRExpr expr, LowerExprTop(*stmt.value));
+        IRStmt out;
+        out.kind = IRStmtKind::kExprStmt;
+        out.expr = std::move(expr);
+        out.line = stmt.line;
+        Emit(std::move(out));
+        return Status::OK();
+      }
+      case StmtKind::kIf: {
+        LAFP_ASSIGN_OR_RETURN(IRValue cond, LowerToAtom(*stmt.value));
+        std::string then_label = NewLabel();
+        std::string else_label = NewLabel();
+        std::string end_label =
+            stmt.else_body.empty() ? else_label : NewLabel();
+        IRStmt branch;
+        branch.kind = IRStmtKind::kBranch;
+        branch.cond = std::move(cond);
+        branch.true_label = then_label;
+        branch.false_label = else_label;
+        branch.line = stmt.line;
+        Emit(std::move(branch));
+        EmitLabel(then_label);
+        for (const auto& s : stmt.body) LAFP_RETURN_NOT_OK(LowerStmt(*s));
+        if (!stmt.else_body.empty()) {
+          EmitGoto(end_label);
+          EmitLabel(else_label);
+          for (const auto& s : stmt.else_body) {
+            LAFP_RETURN_NOT_OK(LowerStmt(*s));
+          }
+          EmitLabel(end_label);
+        } else {
+          EmitLabel(else_label);
+        }
+        return Status::OK();
+      }
+      case StmtKind::kFor: {
+        // Desugared to a while loop. Two forms:
+        //   for i in range(a[, b]):  ->  i = a; while i < b: body; i += 1
+        //   for x in <list>:         ->  index loop over the sequence
+        const Expr& iterable = *stmt.value;
+        bool is_range = iterable.kind == ExprKind::kCall &&
+                        iterable.lhs->kind == ExprKind::kName &&
+                        iterable.lhs->name == "range";
+        std::string counter;   // the loop counter variable
+        IRValue end_value;     // loop bound
+        std::string list_var;  // sequence form only
+        if (is_range) {
+          if (iterable.elements.empty() || iterable.elements.size() > 2) {
+            return Status::ParseError("range() takes 1 or 2 arguments");
+          }
+          counter = stmt.loop_var;
+          IRValue start = IRValue::Int(0);
+          if (iterable.elements.size() == 2) {
+            LAFP_ASSIGN_OR_RETURN(start, LowerToAtom(*iterable.elements[0]));
+            LAFP_ASSIGN_OR_RETURN(end_value,
+                                  LowerToAtom(*iterable.elements[1]));
+          } else {
+            LAFP_ASSIGN_OR_RETURN(end_value,
+                                  LowerToAtom(*iterable.elements[0]));
+          }
+          IRStmt init;
+          init.kind = IRStmtKind::kAssign;
+          init.target = counter;
+          init.expr.kind = IRExprKind::kAtom;
+          init.expr.atom = start;
+          init.line = stmt.line;
+          Emit(std::move(init));
+        } else {
+          LAFP_ASSIGN_OR_RETURN(IRValue seq, LowerToAtom(iterable));
+          if (!seq.is_var()) {
+            return Status::ParseError("for-loop iterable must be a "
+                                      "range() or a sequence value");
+          }
+          list_var = seq.var;
+          // A named local (not a compiler temp): temps are single-use by
+          // convention and would be inlined away by the code generator.
+          counter = "_for_i" + std::to_string(program_.temp_counter++);
+          IRStmt init;
+          init.kind = IRStmtKind::kAssign;
+          init.target = counter;
+          init.expr.kind = IRExprKind::kAtom;
+          init.expr.atom = IRValue::Int(0);
+          init.line = stmt.line;
+          Emit(std::move(init));
+          IRStmt length;
+          length.kind = IRStmtKind::kAssign;
+          length.target = "_for_n" + std::to_string(program_.temp_counter++);
+          length.expr.kind = IRExprKind::kCall;
+          length.expr.global_name = "len";
+          length.expr.operands.push_back(IRValue::Var(list_var));
+          length.line = stmt.line;
+          end_value = IRValue::Var(length.target);
+          Emit(std::move(length));
+        }
+        std::string head_label = NewLabel();
+        std::string body_label = NewLabel();
+        std::string end_label = NewLabel();
+        EmitLabel(head_label);
+        IRStmt cond;
+        cond.kind = IRStmtKind::kAssign;
+        cond.target = program_.NewTemp();
+        cond.expr.kind = IRExprKind::kCompare;
+        cond.expr.op = "<";
+        cond.expr.operands.push_back(IRValue::Var(counter));
+        cond.expr.operands.push_back(end_value);
+        cond.line = stmt.line;
+        std::string cond_var = cond.target;
+        Emit(std::move(cond));
+        IRStmt branch;
+        branch.kind = IRStmtKind::kBranch;
+        branch.cond = IRValue::Var(cond_var);
+        branch.true_label = body_label;
+        branch.false_label = end_label;
+        branch.line = stmt.line;
+        Emit(std::move(branch));
+        EmitLabel(body_label);
+        if (!is_range) {
+          IRStmt bind;
+          bind.kind = IRStmtKind::kAssign;
+          bind.target = stmt.loop_var;
+          bind.expr.kind = IRExprKind::kGetItem;
+          bind.expr.object = IRValue::Var(list_var);
+          bind.expr.operands.push_back(IRValue::Var(counter));
+          bind.line = stmt.line;
+          Emit(std::move(bind));
+        }
+        for (const auto& s : stmt.body) LAFP_RETURN_NOT_OK(LowerStmt(*s));
+        IRStmt increment;
+        increment.kind = IRStmtKind::kAssign;
+        increment.target = counter;
+        increment.expr.kind = IRExprKind::kBinOp;
+        increment.expr.op = "+";
+        increment.expr.operands.push_back(IRValue::Var(counter));
+        increment.expr.operands.push_back(IRValue::Int(1));
+        increment.line = stmt.line;
+        Emit(std::move(increment));
+        EmitGoto(head_label);
+        EmitLabel(end_label);
+        return Status::OK();
+      }
+      case StmtKind::kWhile: {
+        std::string head_label = NewLabel();
+        std::string body_label = NewLabel();
+        std::string end_label = NewLabel();
+        EmitLabel(head_label);
+        LAFP_ASSIGN_OR_RETURN(IRValue cond, LowerToAtom(*stmt.value));
+        IRStmt branch;
+        branch.kind = IRStmtKind::kBranch;
+        branch.cond = std::move(cond);
+        branch.true_label = body_label;
+        branch.false_label = end_label;
+        branch.line = stmt.line;
+        Emit(std::move(branch));
+        EmitLabel(body_label);
+        for (const auto& s : stmt.body) LAFP_RETURN_NOT_OK(LowerStmt(*s));
+        EmitGoto(head_label);
+        EmitLabel(end_label);
+        return Status::OK();
+      }
+    }
+    return Status::ParseError("unsupported statement");
+  }
+
+  /// Lower an expression that may keep one top-level operator (assigned
+  /// directly to the statement target).
+  Result<IRExpr> LowerExprTop(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kName:
+      case ExprKind::kIntLit:
+      case ExprKind::kFloatLit:
+      case ExprKind::kStringLit:
+      case ExprKind::kBoolLit:
+      case ExprKind::kNoneLit: {
+        LAFP_ASSIGN_OR_RETURN(IRValue atom, LowerToAtom(expr));
+        IRExpr out;
+        out.kind = IRExprKind::kAtom;
+        out.atom = std::move(atom);
+        return out;
+      }
+      case ExprKind::kList: {
+        IRExpr out;
+        out.kind = IRExprKind::kList;
+        for (const auto& elem : expr.elements) {
+          LAFP_ASSIGN_OR_RETURN(IRValue v, LowerToAtom(*elem));
+          out.operands.push_back(std::move(v));
+        }
+        return out;
+      }
+      case ExprKind::kDict: {
+        IRExpr out;
+        out.kind = IRExprKind::kDict;
+        for (size_t i = 0; i < expr.dict_keys.size(); ++i) {
+          LAFP_ASSIGN_OR_RETURN(IRValue k, LowerToAtom(*expr.dict_keys[i]));
+          LAFP_ASSIGN_OR_RETURN(IRValue v,
+                                LowerToAtom(*expr.dict_values[i]));
+          out.dict_items.emplace_back(std::move(k), std::move(v));
+        }
+        return out;
+      }
+      case ExprKind::kBinOp:
+      case ExprKind::kCompare: {
+        IRExpr out;
+        out.kind = expr.kind == ExprKind::kBinOp ? IRExprKind::kBinOp
+                                                 : IRExprKind::kCompare;
+        out.op = expr.name;
+        LAFP_ASSIGN_OR_RETURN(IRValue l, LowerToAtom(*expr.lhs));
+        LAFP_ASSIGN_OR_RETURN(IRValue r, LowerToAtom(*expr.rhs));
+        out.operands.push_back(std::move(l));
+        out.operands.push_back(std::move(r));
+        return out;
+      }
+      case ExprKind::kUnaryOp: {
+        IRExpr out;
+        out.kind = IRExprKind::kUnaryOp;
+        out.op = expr.name;
+        LAFP_ASSIGN_OR_RETURN(IRValue v, LowerToAtom(*expr.lhs));
+        out.operands.push_back(std::move(v));
+        return out;
+      }
+      case ExprKind::kAttribute: {
+        IRExpr out;
+        out.kind = IRExprKind::kGetAttr;
+        out.attr = expr.name;
+        LAFP_ASSIGN_OR_RETURN(out.object, LowerToAtom(*expr.lhs));
+        return out;
+      }
+      case ExprKind::kSubscript: {
+        IRExpr out;
+        out.kind = IRExprKind::kGetItem;
+        LAFP_ASSIGN_OR_RETURN(out.object, LowerToAtom(*expr.lhs));
+        LAFP_ASSIGN_OR_RETURN(IRValue idx, LowerToAtom(*expr.rhs));
+        out.operands.push_back(std::move(idx));
+        return out;
+      }
+      case ExprKind::kCall: {
+        IRExpr out;
+        out.kind = IRExprKind::kCall;
+        const Expr& callee = *expr.lhs;
+        if (callee.kind == ExprKind::kName) {
+          out.global_name = callee.name;
+        } else if (callee.kind == ExprKind::kAttribute) {
+          out.attr = callee.name;
+          LAFP_ASSIGN_OR_RETURN(out.object, LowerToAtom(*callee.lhs));
+        } else {
+          return Status::ParseError("unsupported callee: " +
+                                    callee.ToSource());
+        }
+        for (const auto& arg : expr.elements) {
+          LAFP_ASSIGN_OR_RETURN(IRValue v, LowerToAtom(*arg));
+          out.operands.push_back(std::move(v));
+        }
+        for (const auto& kw : expr.kwargs) {
+          LAFP_ASSIGN_OR_RETURN(IRValue v, LowerToAtom(*kw.value));
+          out.kwargs.emplace_back(kw.name, std::move(v));
+        }
+        return out;
+      }
+      case ExprKind::kFString: {
+        IRExpr out;
+        out.kind = IRExprKind::kFString;
+        out.fstring_literals = expr.fstring_literals;
+        for (const auto& embedded : expr.elements) {
+          LAFP_ASSIGN_OR_RETURN(IRValue v, LowerToAtom(*embedded));
+          out.operands.push_back(std::move(v));
+        }
+        return out;
+      }
+    }
+    return Status::ParseError("unsupported expression");
+  }
+
+  /// Lower to a constant or variable, introducing temps as needed.
+  Result<IRValue> LowerToAtom(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kName:
+        return IRValue::Var(expr.name);
+      case ExprKind::kIntLit:
+        return IRValue::Int(expr.int_value);
+      case ExprKind::kFloatLit:
+        return IRValue::Float(expr.float_value);
+      case ExprKind::kStringLit:
+        return IRValue::Str(expr.str_value);
+      case ExprKind::kBoolLit:
+        return IRValue::Bool(expr.bool_value);
+      case ExprKind::kNoneLit:
+        return IRValue::None();
+      default: {
+        LAFP_ASSIGN_OR_RETURN(IRExpr lowered, LowerExprTop(expr));
+        std::string temp = program_.NewTemp();
+        IRStmt stmt;
+        stmt.kind = IRStmtKind::kAssign;
+        stmt.target = temp;
+        stmt.expr = std::move(lowered);
+        stmt.line = expr.line;
+        Emit(std::move(stmt));
+        return IRValue::Var(temp);
+      }
+    }
+  }
+
+  IRProgram program_;
+  int label_counter_ = 0;
+};
+
+}  // namespace
+
+Result<IRProgram> LowerToIR(const Module& module) {
+  return Lowerer().Run(module);
+}
+
+}  // namespace lafp::script

@@ -1,0 +1,281 @@
+#include "script/model.h"
+
+#include "common/string_util.h"
+
+namespace lafp::script {
+
+const VarInfo* ProgramModel::Find(const std::string& var) const {
+  auto it = vars.find(var);
+  return it == vars.end() ? nullptr : &it->second;
+}
+
+VarKind ProgramModel::KindOf(const std::string& var) const {
+  const VarInfo* info = Find(var);
+  return info == nullptr ? VarKind::kUnknown : info->kind;
+}
+
+bool IsSeriesReduction(const std::string& name) {
+  return name == "sum" || name == "mean" || name == "min" ||
+         name == "max" || name == "count" || name == "nunique";
+}
+
+bool IsInformational(const std::string& name) {
+  return name == "head" || name == "info" || name == "describe";
+}
+
+bool IsFrameToFrameMethod(const std::string& name) {
+  return name == "merge" || name == "sort_values" ||
+         name == "drop_duplicates" || name == "fillna" ||
+         name == "dropna" || name == "rename" || name == "drop" ||
+         name == "compute" || name == "head" || name == "describe";
+}
+
+bool IsSeriesToSeriesMethod(const std::string& name) {
+  return name == "astype" || name == "fillna" || name == "abs" ||
+         name == "round" || name == "isna" || name == "unique" ||
+         name == "contains" || name == "to_frame" || name == "isin";
+}
+
+namespace {
+
+bool IsPandasModuleName(const std::string& module) {
+  return module == "pandas" || module == "lazyfatpandas.pandas" ||
+         module == "lazyfatpandas" || StartsWith(module, "pandas.");
+}
+
+/// Definition of a variable from one IR expression.
+VarInfo InferExpr(const IRExpr& expr, ProgramModel* model) {
+  VarInfo out;
+  switch (expr.kind) {
+    case IRExprKind::kAtom:
+      if (expr.atom.is_var()) {
+        const VarInfo* src = model->Find(expr.atom.var);
+        if (src != nullptr) out = *src;
+        out.source_var = expr.atom.var;
+      } else if (expr.atom.kind == IRValue::Kind::kConst) {
+        out.kind = expr.atom.ctype == IRValue::ConstType::kStr
+                       ? VarKind::kUnknown
+                       : VarKind::kScalar;
+      }
+      return out;
+    case IRExprKind::kList: {
+      out.kind = VarKind::kStringList;
+      for (const auto& v : expr.operands) {
+        if (v.is_var()) out.list_vars.push_back(v.var);
+        if (v.is_str()) {
+          out.list_values.push_back(v.str_value);
+        } else {
+          out.kind = VarKind::kUnknown;  // non-constant list
+          out.list_values.clear();
+        }
+      }
+      return out;
+    }
+    case IRExprKind::kDict:
+      out.kind = VarKind::kDict;
+      return out;
+    case IRExprKind::kBinOp: {
+      // Series arithmetic / boolean masks stay series.
+      for (const auto& v : expr.operands) {
+        if (v.is_var() &&
+            model->KindOf(v.var) == VarKind::kSeries) {
+          out.kind = VarKind::kSeries;
+          out.source_var = v.var;
+          const VarInfo* src = model->Find(v.var);
+          if (src != nullptr) out.column = src->column;
+          return out;
+        }
+      }
+      out.kind = VarKind::kScalar;
+      return out;
+    }
+    case IRExprKind::kCompare:
+    case IRExprKind::kUnaryOp: {
+      for (const auto& v : expr.operands) {
+        if (v.is_var() && model->KindOf(v.var) == VarKind::kSeries) {
+          out.kind = VarKind::kSeries;
+          out.source_var = v.var;
+          return out;
+        }
+      }
+      out.kind = VarKind::kScalar;
+      return out;
+    }
+    case IRExprKind::kGetAttr: {
+      if (!expr.object.is_var()) return out;
+      const std::string& base = expr.object.var;
+      VarKind base_kind = model->KindOf(base);
+      if (base_kind == VarKind::kDataFrame) {
+        out.kind = VarKind::kSeries;
+        out.source_var = base;
+        out.column = expr.attr;
+        return out;
+      }
+      if (base_kind == VarKind::kSeries) {
+        if (expr.attr == "dt") {
+          out.kind = VarKind::kDtAccessor;
+          out.source_var = base;
+          return out;
+        }
+        if (expr.attr == "str") {
+          out.kind = VarKind::kStrAccessor;
+          out.source_var = base;
+          return out;
+        }
+        out.kind = VarKind::kSeries;  // .values etc.
+        out.source_var = base;
+        return out;
+      }
+      if (base_kind == VarKind::kDtAccessor) {
+        out.kind = VarKind::kSeries;  // .dayofweek / .hour / ...
+        out.source_var = base;
+        return out;
+      }
+      return out;
+    }
+    case IRExprKind::kGetItem: {
+      if (!expr.object.is_var()) return out;
+      const std::string& base = expr.object.var;
+      VarKind base_kind = model->KindOf(base);
+      const IRValue& index = expr.operands[0];
+      if (base_kind == VarKind::kDataFrame) {
+        if (index.is_str()) {
+          out.kind = VarKind::kSeries;
+          out.source_var = base;
+          out.column = index.str_value;
+          return out;
+        }
+        out.kind = VarKind::kDataFrame;  // select or filter
+        out.source_var = base;
+        return out;
+      }
+      if (base_kind == VarKind::kGroupBy && index.is_str()) {
+        const VarInfo* gb = model->Find(base);
+        out.kind = VarKind::kGroupByCol;
+        out.source_var = base;
+        out.column = index.str_value;
+        if (gb != nullptr) out.groupby_keys = gb->groupby_keys;
+        return out;
+      }
+      return out;
+    }
+    case IRExprKind::kCall: {
+      if (!expr.global_name.empty()) {
+        if (expr.global_name == "len") {
+          out.kind = VarKind::kScalar;
+        }
+        return out;
+      }
+      const std::string& recv = expr.object.is_var() ? expr.object.var : "";
+      VarKind recv_kind = model->KindOf(recv);
+      const std::string& method = expr.attr;
+      if (model->IsPandasModule(recv)) {
+        if (method == "read_csv" || method == "read_parquet") {
+          out.kind = VarKind::kDataFrame;
+        } else if (method == "to_datetime") {
+          out.kind = VarKind::kSeries;
+          if (!expr.operands.empty() && expr.operands[0].is_var()) {
+            out.source_var = expr.operands[0].var;
+          }
+        } else if (method == "concat") {
+          out.kind = VarKind::kDataFrame;
+        }
+        return out;
+      }
+      if (recv_kind == VarKind::kDataFrame) {
+        if (method == "groupby") {
+          out.kind = VarKind::kGroupBy;
+          out.source_var = recv;
+          if (!expr.operands.empty() && expr.operands[0].is_var()) {
+            const VarInfo* keys = model->Find(expr.operands[0].var);
+            if (keys != nullptr) out.groupby_keys = keys->list_values;
+          } else if (!expr.operands.empty() && expr.operands[0].is_str()) {
+            out.groupby_keys = {expr.operands[0].str_value};
+          }
+          return out;
+        }
+        if (IsFrameToFrameMethod(method) || IsInformational(method)) {
+          out.kind = VarKind::kDataFrame;
+          out.source_var = recv;
+          return out;
+        }
+        if (IsSeriesReduction(method)) {
+          out.kind = VarKind::kScalar;
+          return out;
+        }
+        return out;
+      }
+      if (recv_kind == VarKind::kSeries ||
+          recv_kind == VarKind::kStrAccessor) {
+        if (IsSeriesReduction(method)) {
+          out.kind = VarKind::kScalar;
+          return out;
+        }
+        if (method == "value_counts") {
+          out.kind = VarKind::kDataFrame;
+          out.source_var = recv;
+          return out;
+        }
+        if (IsSeriesToSeriesMethod(method) || method == "head") {
+          out.kind = VarKind::kSeries;
+          out.source_var = recv;
+          return out;
+        }
+        return out;
+      }
+      if (recv_kind == VarKind::kGroupByCol && IsSeriesReduction(method)) {
+        out.kind = VarKind::kDataFrame;  // keys + aggregate column
+        out.source_var = recv;
+        return out;
+      }
+      if (recv_kind == VarKind::kScalar && method == "compute") {
+        out.kind = VarKind::kScalar;
+        return out;
+      }
+      return out;
+    }
+    case IRExprKind::kFString:
+      out.kind = VarKind::kUnknown;  // a string value
+      return out;
+  }
+  return out;
+}
+
+}  // namespace
+
+ProgramModel BuildProgramModel(const IRProgram& program) {
+  ProgramModel model;
+  for (const IRStmt& stmt : program.stmts) {
+    switch (stmt.kind) {
+      case IRStmtKind::kImport: {
+        std::string alias = stmt.is_from_import
+                                ? stmt.imported_name
+                                : (stmt.alias.empty() ? stmt.module
+                                                      : stmt.alias);
+        VarInfo info;
+        info.kind = VarKind::kModule;
+        info.module_name = stmt.module;
+        model.vars[alias] = info;
+        if (IsPandasModuleName(stmt.module)) {
+          model.pandas_aliases.insert(alias);
+        } else if (!stmt.is_from_import) {
+          model.external_modules.insert(alias);
+        }
+        break;
+      }
+      case IRStmtKind::kAssign:
+        model.vars[stmt.target] = InferExpr(stmt.expr, &model);
+        break;
+      case IRStmtKind::kStoreItem:
+        if (stmt.key.is_str()) {
+          model.assigned_columns.insert(stmt.key.str_value);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return model;
+}
+
+}  // namespace lafp::script

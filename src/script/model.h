@@ -1,0 +1,73 @@
+#ifndef LAFP_SCRIPT_MODEL_H_
+#define LAFP_SCRIPT_MODEL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "script/ir.h"
+
+namespace lafp::script {
+
+/// Static classification of a program variable — the front-end's type
+/// model (the paper infers dataframe-ness "from the types of the Pandas
+/// API calls", §3.4).
+enum class VarKind : int {
+  kUnknown = 0,
+  kModule,       // import alias (pd, plt, ...)
+  kDataFrame,
+  kSeries,
+  kGroupBy,      // df.groupby(keys)
+  kGroupByCol,   // df.groupby(keys)[col]
+  kDtAccessor,   // series.dt
+  kStrAccessor,  // series.str
+  kScalar,       // reductions, len(), numbers
+  kStringList,   // constant list of strings (usecols, keys, ...)
+  kDict,         // constant dict (rename maps, dtype maps)
+};
+
+struct VarInfo {
+  VarKind kind = VarKind::kUnknown;
+  std::string module_name;                // kModule
+  std::string source_var;                 // derived values: defining var
+  std::string column;                     // series / groupby-col column
+  std::vector<std::string> groupby_keys;  // kGroupBy / kGroupByCol
+  std::vector<std::string> list_values;   // kStringList constants
+  std::vector<std::string> list_vars;     // variable elements of a list
+};
+
+/// Whole-program variable model: var kinds (last definition wins — the
+/// conservative note of §2.1 about Python's dynamism applies), pandas /
+/// external module aliases, and the set of columns ever assigned via
+/// setitem (the read-only check of §3.6).
+struct ProgramModel {
+  std::map<std::string, VarInfo> vars;
+  std::set<std::string> pandas_aliases;    // e.g. "pd"
+  std::set<std::string> external_modules;  // e.g. "plt" -> matplotlib
+  std::set<std::string> assigned_columns;  // setitem targets (any frame)
+
+  const VarInfo* Find(const std::string& var) const;
+  VarKind KindOf(const std::string& var) const;
+  bool IsPandasModule(const std::string& var) const {
+    return pandas_aliases.count(var) > 0;
+  }
+  bool IsExternalModule(const std::string& var) const {
+    return external_modules.count(var) > 0;
+  }
+};
+
+/// Method-name tables shared by the analyses and the interpreter.
+bool IsSeriesReduction(const std::string& name);  // sum/mean/min/max/...
+bool IsInformational(const std::string& name);    // head/info/describe §3.1
+bool IsFrameToFrameMethod(const std::string& name);
+/// Methods whose receiver is a series and result is a series.
+bool IsSeriesToSeriesMethod(const std::string& name);
+
+/// One linear forward pass over the IR (structure-insensitive;
+/// assignments in branches merge last-wins).
+ProgramModel BuildProgramModel(const IRProgram& program);
+
+}  // namespace lafp::script
+
+#endif  // LAFP_SCRIPT_MODEL_H_

@@ -1,0 +1,86 @@
+#ifndef LAFP_SCRIPT_TOKEN_H_
+#define LAFP_SCRIPT_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lafp::script {
+
+/// Token kinds of PdScript, the mini-Python the analyzer front-end
+/// consumes (DESIGN.md substitution for Python source).
+enum class TokenKind : int {
+  kName,
+  kInt,
+  kFloat,
+  kString,
+  kFStringStart,  // f" ... — the lexer splits f-strings into parts
+  kNewline,
+  kIndent,
+  kDedent,
+  kEndOfFile,
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kColon,
+  kDot,
+  kAssign,      // =
+  kEq,          // ==
+  kNe,          // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAmp,         // &
+  kPipe,        // |
+  kTilde,       // ~
+  // keywords
+  kIf,
+  kElse,
+  kElif,
+  kWhile,
+  kFor,
+  kIn,
+  kAnd,
+  kOr,
+  kNot,
+  kTrue,
+  kFalse,
+  kNone,
+  kImport,
+  kFrom,
+  kAs,
+  kPass,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // raw lexeme (unescaped value for strings)
+  int line = 0;
+  int column = 0;
+
+  /// For f-strings: alternating literal parts and expression source
+  /// fragments; fstring_parts[i] is literal when i is even.
+  std::vector<std::string> fstring_parts;
+};
+
+/// Tokenize PdScript source. Indentation produces kIndent/kDedent pairs;
+/// '#' starts a comment; blank lines are skipped.
+Result<std::vector<Token>> Lex(const std::string& source);
+
+}  // namespace lafp::script
+
+#endif  // LAFP_SCRIPT_TOKEN_H_

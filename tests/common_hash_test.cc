@@ -1,0 +1,58 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+namespace lafp {
+namespace {
+
+// Known MD5 vectors from RFC 1321.
+TEST(Md5Test, Rfc1321Vectors) {
+  EXPECT_EQ(Md5::Of(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::Of("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::Of("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::Of("message digest"),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5::Of("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      Md5::Of("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(Md5::Of("1234567890123456789012345678901234567890123456789012345"
+                    "6789012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, IncrementalMatchesOneShot) {
+  Md5 md5;
+  md5.Update("mess");
+  md5.Update("age ");
+  md5.Update("digest");
+  EXPECT_EQ(md5.HexDigest(), Md5::Of("message digest"));
+}
+
+TEST(Md5Test, CrossesBlockBoundary) {
+  std::string long_input(200, 'x');
+  Md5 a;
+  a.Update(long_input);
+  Md5 b;
+  for (char c : long_input) b.Update(&c, 1);
+  EXPECT_EQ(a.HexDigest(), b.HexDigest());
+}
+
+TEST(Fnv1aTest, StableAndDistinct) {
+  EXPECT_EQ(Fnv1a64("hello"), Fnv1a64("hello"));
+  EXPECT_NE(Fnv1a64("hello"), Fnv1a64("hellp"));
+  EXPECT_NE(Fnv1a64(""), Fnv1a64("\0", 1));
+}
+
+TEST(Fnv1aTest, KnownValue) {
+  // FNV-1a 64 of empty input is the offset basis.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+}  // namespace
+}  // namespace lafp

@@ -1,0 +1,127 @@
+#include "common/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace lafp {
+namespace {
+
+TEST(MemoryTrackerTest, ReserveAndRelease) {
+  MemoryTracker t(1000);
+  ASSERT_TRUE(t.Reserve(400).ok());
+  EXPECT_EQ(t.current(), 400);
+  EXPECT_EQ(t.peak(), 400);
+  ASSERT_TRUE(t.Reserve(600).ok());
+  EXPECT_EQ(t.current(), 1000);
+  t.Release(500);
+  EXPECT_EQ(t.current(), 500);
+  EXPECT_EQ(t.peak(), 1000);  // peak is sticky
+}
+
+TEST(MemoryTrackerTest, BudgetEnforced) {
+  MemoryTracker t(100);
+  ASSERT_TRUE(t.Reserve(100).ok());
+  Status st = t.Reserve(1);
+  EXPECT_TRUE(st.IsOutOfMemory());
+  EXPECT_EQ(t.current(), 100);  // failed reservation does not count
+}
+
+TEST(MemoryTrackerTest, UnlimitedBudget) {
+  MemoryTracker t(0);
+  EXPECT_TRUE(t.Reserve(1LL << 40).ok());
+  EXPECT_EQ(t.current(), 1LL << 40);
+}
+
+TEST(MemoryTrackerTest, OverReleaseClamps) {
+  MemoryTracker t(1000);
+  ASSERT_TRUE(t.Reserve(10).ok());
+  t.Release(100);
+  EXPECT_EQ(t.current(), 0);
+  EXPECT_TRUE(t.Reserve(1000).ok());  // accounting still sane
+}
+
+TEST(MemoryTrackerTest, NegativeReservationRejected) {
+  MemoryTracker t(1000);
+  EXPECT_FALSE(t.Reserve(-5).ok());
+}
+
+TEST(MemoryTrackerTest, ResetClearsCountersButNotBudget) {
+  MemoryTracker t(50);
+  ASSERT_TRUE(t.Reserve(50).ok());
+  t.Reset();
+  EXPECT_EQ(t.current(), 0);
+  EXPECT_EQ(t.peak(), 0);
+  EXPECT_EQ(t.budget(), 50);
+  EXPECT_TRUE(t.Reserve(50).ok());
+}
+
+TEST(MemoryTrackerTest, ConcurrentReserveReleaseBalances) {
+  MemoryTracker t(0);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&t] {
+      for (int k = 0; k < kIters; ++k) {
+        ASSERT_TRUE(t.Reserve(16).ok());
+        t.Release(16);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.current(), 0);
+  EXPECT_GE(t.peak(), 16);
+}
+
+TEST(ScopedReservationTest, ReleasesOnDestruction) {
+  MemoryTracker t(100);
+  {
+    ScopedReservation res;
+    ASSERT_TRUE(ScopedReservation::Make(&t, 60, &res).ok());
+    EXPECT_EQ(t.current(), 60);
+    EXPECT_EQ(res.bytes(), 60);
+  }
+  EXPECT_EQ(t.current(), 0);
+}
+
+TEST(ScopedReservationTest, FailedMakeLeavesNothing) {
+  MemoryTracker t(10);
+  ScopedReservation res;
+  EXPECT_TRUE(ScopedReservation::Make(&t, 60, &res).IsOutOfMemory());
+  EXPECT_EQ(t.current(), 0);
+  EXPECT_EQ(res.bytes(), 0);
+}
+
+TEST(ScopedReservationTest, MoveTransfersOwnership) {
+  MemoryTracker t(100);
+  ScopedReservation a;
+  ASSERT_TRUE(ScopedReservation::Make(&t, 40, &a).ok());
+  ScopedReservation b = std::move(a);
+  EXPECT_EQ(a.bytes(), 0);
+  EXPECT_EQ(b.bytes(), 40);
+  EXPECT_EQ(t.current(), 40);
+  b.Free();
+  EXPECT_EQ(t.current(), 0);
+}
+
+TEST(ScopedReservationTest, MoveAssignReleasesOld) {
+  MemoryTracker t(100);
+  ScopedReservation a, b;
+  ASSERT_TRUE(ScopedReservation::Make(&t, 40, &a).ok());
+  ASSERT_TRUE(ScopedReservation::Make(&t, 30, &b).ok());
+  EXPECT_EQ(t.current(), 70);
+  a = std::move(b);  // releases a's 40
+  EXPECT_EQ(t.current(), 30);
+}
+
+TEST(MemoryTrackerTest, DefaultIsUnlimitedSingleton) {
+  MemoryTracker* d = MemoryTracker::Default();
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d, MemoryTracker::Default());
+  EXPECT_EQ(d->budget(), 0);
+}
+
+}  // namespace
+}  // namespace lafp

@@ -1,0 +1,109 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace lafp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::KeyError("no column 'foo'");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kKeyError);
+  EXPECT_EQ(st.message(), "no column 'foo'");
+  EXPECT_TRUE(st.IsKeyError());
+  EXPECT_EQ(st.ToString(), "key error: no column 'foo'");
+}
+
+TEST(StatusTest, PredicatesMatchCodes) {
+  EXPECT_TRUE(Status::OutOfMemory("x").IsOutOfMemory());
+  EXPECT_FALSE(Status::Invalid("x").IsOutOfMemory());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::IOError("disk gone");
+  Status copy = st;
+  EXPECT_EQ(copy.code(), StatusCode::kIOError);
+  EXPECT_EQ(copy.message(), "disk gone");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status st = Status::Invalid("bad arg").WithContext("ReadCsv");
+  EXPECT_EQ(st.message(), "ReadCsv: bad arg");
+  EXPECT_EQ(st.code(), StatusCode::kInvalid);
+  EXPECT_TRUE(Status::OK().WithContext("nope").ok());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 9; ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "unknown");
+  }
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::Invalid("negative");
+  return Status::OK();
+}
+
+Status UsesReturnNotOk(int v) {
+  LAFP_RETURN_NOT_OK(FailIfNegative(v));
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(UsesReturnNotOk(1).ok());
+  EXPECT_EQ(UsesReturnNotOk(-1).code(), StatusCode::kInvalid);
+}
+
+Result<int> HalveEven(int v) {
+  if (v % 2 != 0) return Status::Invalid("odd");
+  return v / 2;
+}
+
+Result<int> QuarterDivisibleBy4(int v) {
+  LAFP_ASSIGN_OR_RETURN(int half, HalveEven(v));
+  LAFP_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return quarter;
+}
+
+TEST(ResultTest, ValueRoundTrip) {
+  Result<int> r = HalveEven(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, ErrorRoundTrip) {
+  Result<int> r = HalveEven(3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalid);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  Result<int> ok = QuarterDivisibleBy4(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_FALSE(QuarterDivisibleBy4(6).ok());  // fails at second halving
+  EXPECT_FALSE(QuarterDivisibleBy4(3).ok());  // fails at first halving
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+}  // namespace
+}  // namespace lafp

@@ -1,0 +1,181 @@
+#include "dataframe/column.h"
+
+#include <gtest/gtest.h>
+
+namespace lafp::df {
+namespace {
+
+class ColumnTest : public ::testing::Test {
+ protected:
+  MemoryTracker tracker_{0};
+};
+
+TEST_F(ColumnTest, IntColumnBasics) {
+  auto col = Column::MakeInt({1, 2, 3}, {}, &tracker_);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->type(), DataType::kInt64);
+  EXPECT_EQ((*col)->size(), 3u);
+  EXPECT_FALSE((*col)->has_nulls());
+  EXPECT_EQ((*col)->IntAt(1), 2);
+  EXPECT_EQ((*col)->ValueString(2), "3");
+}
+
+TEST_F(ColumnTest, ValidityMarksNulls) {
+  auto col = Column::MakeInt({1, 0, 3}, {1, 0, 1}, &tracker_);
+  ASSERT_TRUE(col.ok());
+  EXPECT_TRUE((*col)->has_nulls());
+  EXPECT_EQ((*col)->null_count(), 1u);
+  EXPECT_TRUE((*col)->IsValid(0));
+  EXPECT_FALSE((*col)->IsValid(1));
+  EXPECT_EQ((*col)->ValueString(1), "NaN");
+  EXPECT_TRUE((*col)->ScalarAt(1).is_null());
+  EXPECT_EQ((*col)->ScalarAt(2).int_value(), 3);
+}
+
+TEST_F(ColumnTest, MemoryAccounting) {
+  int64_t before = tracker_.current();
+  {
+    auto col = Column::MakeInt(std::vector<int64_t>(1000, 7), {}, &tracker_);
+    ASSERT_TRUE(col.ok());
+    EXPECT_EQ(tracker_.current() - before, 8000);
+    EXPECT_EQ((*col)->footprint_bytes(), 8000);
+  }
+  EXPECT_EQ(tracker_.current(), before);  // released on destruction
+}
+
+TEST_F(ColumnTest, BudgetExceededFailsConstruction) {
+  MemoryTracker small(100);
+  auto col = Column::MakeInt(std::vector<int64_t>(1000, 7), {}, &small);
+  EXPECT_FALSE(col.ok());
+  EXPECT_TRUE(col.status().IsOutOfMemory());
+  EXPECT_EQ(small.current(), 0);
+}
+
+TEST_F(ColumnTest, StringFootprintCountsPayload) {
+  auto col = Column::MakeString({"aaaa", "bb"}, {}, &tracker_);
+  ASSERT_TRUE(col.ok());
+  // 4 + 2 chars + 2 * 16 overhead = 38.
+  EXPECT_EQ((*col)->footprint_bytes(), 38);
+}
+
+TEST_F(ColumnTest, TakeGathersAndPropagatesNulls) {
+  auto col = Column::MakeDouble({1.5, 2.5, 3.5}, {1, 0, 1}, &tracker_);
+  ASSERT_TRUE(col.ok());
+  auto taken = (*col)->Take({2, 1, 2});
+  ASSERT_TRUE(taken.ok());
+  EXPECT_EQ((*taken)->size(), 3u);
+  EXPECT_DOUBLE_EQ((*taken)->DoubleAt(0), 3.5);
+  EXPECT_FALSE((*taken)->IsValid(1));
+  EXPECT_DOUBLE_EQ((*taken)->DoubleAt(2), 3.5);
+}
+
+TEST_F(ColumnTest, SliceBounds) {
+  auto col = Column::MakeInt({10, 20, 30, 40}, {}, &tracker_);
+  ASSERT_TRUE(col.ok());
+  auto sliced = (*col)->Slice(1, 2);
+  ASSERT_TRUE(sliced.ok());
+  EXPECT_EQ((*sliced)->size(), 2u);
+  EXPECT_EQ((*sliced)->IntAt(0), 20);
+  EXPECT_EQ((*sliced)->IntAt(1), 30);
+}
+
+TEST_F(ColumnTest, ConstantColumn) {
+  auto col = Column::MakeConstant(Scalar::String("x"), 3, &tracker_);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->size(), 3u);
+  EXPECT_EQ((*col)->StringAt(2), "x");
+  auto nulls = Column::MakeConstant(Scalar::Null(), 2, &tracker_);
+  ASSERT_TRUE(nulls.ok());
+  EXPECT_EQ((*nulls)->null_count(), 2u);
+}
+
+TEST_F(ColumnTest, BuilderMixedNulls) {
+  ColumnBuilder b(DataType::kInt64, &tracker_);
+  b.AppendInt(1);
+  b.AppendInt(2);
+  b.AppendNull();
+  b.AppendInt(4);
+  auto col = b.Finish();
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->size(), 4u);
+  EXPECT_EQ((*col)->null_count(), 1u);
+  EXPECT_TRUE((*col)->IsValid(0));
+  EXPECT_FALSE((*col)->IsValid(2));
+  EXPECT_EQ((*col)->IntAt(3), 4);
+}
+
+TEST_F(ColumnTest, BuilderAppendScalarConversions) {
+  ColumnBuilder b(DataType::kDouble, &tracker_);
+  ASSERT_TRUE(b.AppendScalar(Scalar::Int(3)).ok());
+  ASSERT_TRUE(b.AppendScalar(Scalar::Double(0.5)).ok());
+  ASSERT_TRUE(b.AppendScalar(Scalar::Null()).ok());
+  auto col = b.Finish();
+  ASSERT_TRUE(col.ok());
+  EXPECT_DOUBLE_EQ((*col)->DoubleAt(0), 3.0);
+  EXPECT_FALSE((*col)->IsValid(2));
+
+  ColumnBuilder sb(DataType::kBool, &tracker_);
+  EXPECT_FALSE(sb.AppendScalar(Scalar::String("x")).ok());
+}
+
+TEST_F(ColumnTest, CategorizeRoundTrip) {
+  auto strs = Column::MakeString({"NY", "SF", "NY", "LA", "SF"}, {},
+                                 &tracker_);
+  ASSERT_TRUE(strs.ok());
+  auto cat = CategorizeStrings(**strs, &tracker_);
+  ASSERT_TRUE(cat.ok());
+  EXPECT_EQ((*cat)->type(), DataType::kCategory);
+  EXPECT_EQ((*cat)->dictionary()->size(), 3u);  // NY, SF, LA
+  EXPECT_EQ((*cat)->StringAt(0), "NY");
+  EXPECT_EQ((*cat)->StringAt(3), "LA");
+  EXPECT_EQ((*cat)->CodeAt(0), (*cat)->CodeAt(2));  // both NY
+
+  auto back = DecategorizeToStrings(**cat, &tracker_);
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ((*back)->StringAt(i), (*strs)->StringAt(i));
+  }
+}
+
+TEST_F(ColumnTest, CategorySavesMemoryOnLowCardinality) {
+  std::vector<std::string> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(i % 2 == 0 ? "electronics" : "groceries");
+  }
+  auto strs = Column::MakeString(std::move(values), {}, &tracker_);
+  ASSERT_TRUE(strs.ok());
+  auto cat = CategorizeStrings(**strs, &tracker_);
+  ASSERT_TRUE(cat.ok());
+  // 1000 * 4 bytes of codes + tiny dictionary << 1000 * (11..12 + 16).
+  EXPECT_LT((*cat)->footprint_bytes(), (*strs)->footprint_bytes() / 4);
+}
+
+TEST_F(ColumnTest, CategoryNullsPreserved) {
+  auto strs = Column::MakeString({"a", "", "b"}, {1, 0, 1}, &tracker_);
+  ASSERT_TRUE(strs.ok());
+  auto cat = CategorizeStrings(**strs, &tracker_);
+  ASSERT_TRUE(cat.ok());
+  EXPECT_FALSE((*cat)->IsValid(1));
+  EXPECT_EQ((*cat)->null_count(), 1u);
+  EXPECT_EQ((*cat)->dictionary()->size(), 2u);
+}
+
+TEST_F(ColumnTest, TimestampColumnFormatting) {
+  int64_t ts = *ParseTimestamp("2020-06-01 12:00:00");
+  auto col = Column::MakeTimestamp({ts}, {}, &tracker_);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->type(), DataType::kTimestamp);
+  EXPECT_EQ((*col)->ValueString(0), "2020-06-01 12:00:00");
+}
+
+TEST_F(ColumnTest, NumericAtWidens) {
+  auto col = Column::MakeBool({1, 0}, {}, &tracker_);
+  ASSERT_TRUE(col.ok());
+  EXPECT_DOUBLE_EQ(*(*col)->NumericAt(0), 1.0);
+  auto strs = Column::MakeString({"x"}, {}, &tracker_);
+  ASSERT_TRUE(strs.ok());
+  EXPECT_FALSE((*strs)->NumericAt(0).ok());
+}
+
+}  // namespace
+}  // namespace lafp::df

@@ -1,0 +1,279 @@
+// Edge cases and property-style sweeps over the eager engine: empty
+// frames through every kernel, randomized groupby/join cross-checks
+// against naive reference computations, and category interactions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <random>
+#include <set>
+
+#include "dataframe/kahan.h"
+#include "dataframe/ops.h"
+
+namespace lafp::df {
+namespace {
+
+class EmptyFrameTest : public ::testing::Test {
+ protected:
+  DataFrame Empty() {
+    ColumnBuilder a(DataType::kInt64, &tracker_);
+    ColumnBuilder b(DataType::kString, &tracker_);
+    return *DataFrame::Make({"k", "s"}, {*a.Finish(), *b.Finish()});
+  }
+  MemoryTracker tracker_{0};
+};
+
+TEST_F(EmptyFrameTest, KernelsHandleZeroRows) {
+  DataFrame empty = Empty();
+  auto mask = Compare(*(*empty.column("k")), CompareOp::kGt, Scalar::Int(0));
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ((*Filter(empty, **mask)).num_rows(), 0u);
+  EXPECT_EQ((*Head(empty, 5)).num_rows(), 0u);
+  EXPECT_EQ((*SortValues(empty, {"k"}, {true})).num_rows(), 0u);
+  EXPECT_EQ((*DropDuplicates(empty, {"k"})).num_rows(), 0u);
+  EXPECT_EQ((*DropNa(empty)).num_rows(), 0u);
+  EXPECT_EQ((*FillNa(empty, Scalar::Int(0))).num_rows(), 0u);
+  auto grouped =
+      GroupByAgg(empty, {"k"}, {{"k", AggFunc::kSum, "total"}});
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->num_rows(), 0u);
+  auto joined = Merge(empty, empty, {"k"}, JoinType::kInner);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 0u);
+  auto vc = ValueCounts(*(*empty.column("s")), "s");
+  ASSERT_TRUE(vc.ok());
+  EXPECT_EQ(vc->num_rows(), 0u);
+  auto described = Describe(empty);
+  ASSERT_TRUE(described.ok());
+  EXPECT_EQ(described->num_rows(), 5u);  // stat labels, NaN values
+}
+
+TEST_F(EmptyFrameTest, ReducesOnEmpty) {
+  DataFrame empty = Empty();
+  const Column& k = *(*empty.column("k"));
+  EXPECT_EQ((*Reduce(k, AggFunc::kSum)).int_value(), 0);
+  EXPECT_EQ((*Reduce(k, AggFunc::kCount)).int_value(), 0);
+  EXPECT_TRUE((*Reduce(k, AggFunc::kMean)).is_null());
+  EXPECT_TRUE((*Reduce(k, AggFunc::kMin)).is_null());
+  EXPECT_EQ((*Reduce(k, AggFunc::kNunique)).int_value(), 0);
+}
+
+TEST_F(EmptyFrameTest, MergeEmptyAgainstNonEmpty) {
+  MemoryTracker t(0);
+  auto k = *Column::MakeInt({1, 2}, {}, &t);
+  auto s = *Column::MakeString({"a", "b"}, {}, &t);
+  auto full = *DataFrame::Make({"k", "s"}, {k, s});
+  auto inner = Merge(Empty(), full, {"k"}, JoinType::kInner);
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(inner->num_rows(), 0u);
+  auto left = Merge(full, Empty(), {"k"}, JoinType::kLeft);
+  ASSERT_TRUE(left.ok());
+  EXPECT_EQ(left->num_rows(), 2u);
+  EXPECT_FALSE((*left->column("s_y"))->IsValid(0));
+}
+
+/// Property: GroupByAgg(sum/count/min/max/mean) matches a naive
+/// std::map-based reference on random data, across seeds.
+class GroupByPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupByPropertyTest, MatchesNaiveReference) {
+  std::mt19937_64 rng(GetParam());
+  MemoryTracker tracker(0);
+  size_t n = 200 + rng() % 800;
+  std::vector<int64_t> keys(n);
+  std::vector<double> values(n);
+  std::vector<uint8_t> validity(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<int64_t>(rng() % 13);
+    values[i] =
+        static_cast<double>(static_cast<int64_t>(rng() % 2000) - 1000) /
+        8.0;
+    if (rng() % 10 == 0) validity[i] = 0;  // some null values
+  }
+  auto key_col = *Column::MakeInt(keys, {}, &tracker);
+  auto val_col = *Column::MakeDouble(values, validity, &tracker);
+  auto frame = *DataFrame::Make({"k", "v"}, {key_col, val_col});
+
+  auto out = GroupByAgg(frame, {"k"},
+                        {{"v", AggFunc::kSum, "sum"},
+                         {"v", AggFunc::kCount, "count"},
+                         {"v", AggFunc::kMin, "min"},
+                         {"v", AggFunc::kMax, "max"},
+                         {"v", AggFunc::kMean, "mean"}});
+  ASSERT_TRUE(out.ok());
+
+  struct Ref {
+    double sum = 0;
+    int64_t count = 0;
+    double mn = 1e300, mx = -1e300;
+  };
+  std::map<int64_t, Ref> ref;
+  for (size_t i = 0; i < n; ++i) {
+    Ref& r = ref[keys[i]];
+    if (!validity[i]) continue;
+    r.sum += values[i];
+    ++r.count;
+    r.mn = std::min(r.mn, values[i]);
+    r.mx = std::max(r.mx, values[i]);
+  }
+  ASSERT_EQ(out->num_rows(), ref.size());
+  for (size_t r = 0; r < out->num_rows(); ++r) {
+    int64_t key = (*out->column("k"))->IntAt(r);
+    ASSERT_TRUE(ref.count(key) > 0) << key;
+    const Ref& expected = ref[key];
+    EXPECT_NEAR((*out->column("sum"))->DoubleAt(r), expected.sum, 1e-9);
+    EXPECT_EQ((*out->column("count"))->IntAt(r), expected.count);
+    if (expected.count > 0) {
+      EXPECT_DOUBLE_EQ((*out->column("min"))->DoubleAt(r), expected.mn);
+      EXPECT_DOUBLE_EQ((*out->column("max"))->DoubleAt(r), expected.mx);
+      EXPECT_NEAR((*out->column("mean"))->DoubleAt(r),
+                  expected.sum / expected.count, 1e-9);
+    } else {
+      EXPECT_FALSE((*out->column("mean"))->IsValid(r));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupByPropertyTest,
+                         ::testing::Range(1, 9));
+
+/// Property: inner hash join row count matches the naive cross-check.
+class JoinPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoinPropertyTest, InnerJoinCountMatchesNaive) {
+  std::mt19937_64 rng(GetParam() * 7919);
+  MemoryTracker tracker(0);
+  size_t nl = 50 + rng() % 200, nr = 20 + rng() % 100;
+  std::vector<int64_t> lk(nl), rk(nr);
+  for (auto& v : lk) v = static_cast<int64_t>(rng() % 17);
+  for (auto& v : rk) v = static_cast<int64_t>(rng() % 17);
+  auto left = *DataFrame::Make(
+      {"k"}, {*Column::MakeInt(lk, {}, &tracker)});
+  auto right = *DataFrame::Make(
+      {"k"}, {*Column::MakeInt(rk, {}, &tracker)});
+  auto joined = Merge(left, right, {"k"}, JoinType::kInner);
+  ASSERT_TRUE(joined.ok());
+  size_t expected = 0;
+  for (int64_t a : lk) {
+    for (int64_t b : rk) expected += (a == b);
+  }
+  EXPECT_EQ(joined->num_rows(), expected);
+
+  auto left_join = Merge(left, right, {"k"}, JoinType::kLeft);
+  ASSERT_TRUE(left_join.ok());
+  size_t left_expected = 0;
+  for (int64_t a : lk) {
+    size_t matches = 0;
+    for (int64_t b : rk) matches += (a == b);
+    left_expected += std::max<size_t>(1, matches);
+  }
+  EXPECT_EQ(left_join->num_rows(), left_expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinPropertyTest, ::testing::Range(1, 9));
+
+/// Property: sort output is a permutation and is ordered, across key
+/// types and directions.
+class SortPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(SortPropertyTest, OrderedPermutation) {
+  auto [seed, ascending] = GetParam();
+  std::mt19937_64 rng(seed * 104729);
+  MemoryTracker tracker(0);
+  size_t n = 100 + rng() % 400;
+  std::vector<double> values(n);
+  for (auto& v : values) {
+    v = static_cast<double>(static_cast<int64_t>(rng() % 1000)) / 4.0;
+  }
+  auto frame = *DataFrame::Make(
+      {"v"}, {*Column::MakeDouble(values, {}, &tracker)});
+  auto sorted = SortValues(frame, {"v"}, {ascending});
+  ASSERT_TRUE(sorted.ok());
+  ASSERT_EQ(sorted->num_rows(), n);
+  const Column& out = *(*sorted->column("v"));
+  std::multiset<double> expected(values.begin(), values.end());
+  std::multiset<double> got;
+  for (size_t i = 0; i < n; ++i) got.insert(out.DoubleAt(i));
+  EXPECT_EQ(got, expected);  // permutation
+  for (size_t i = 1; i < n; ++i) {
+    if (ascending) {
+      EXPECT_LE(out.DoubleAt(i - 1), out.DoubleAt(i));
+    } else {
+      EXPECT_GE(out.DoubleAt(i - 1), out.DoubleAt(i));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SortPropertyTest,
+    ::testing::Combine(::testing::Range(1, 5), ::testing::Bool()));
+
+TEST(CategoryEdgeTest, FilterAndGroupByOnCategories) {
+  MemoryTracker tracker(0);
+  std::vector<std::string> cities;
+  std::vector<int64_t> values;
+  for (int i = 0; i < 300; ++i) {
+    cities.push_back(i % 3 == 0 ? "NY" : (i % 3 == 1 ? "SF" : "LA"));
+    values.push_back(i);
+  }
+  auto cat = *CategorizeStrings(
+      **Column::MakeString(cities, {}, &tracker), &tracker);
+  auto val = *Column::MakeInt(values, {}, &tracker);
+  auto frame = *DataFrame::Make({"city", "v"}, {cat, val});
+
+  auto mask =
+      Compare(*cat, CompareOp::kEq, Scalar::String("SF"));
+  ASSERT_TRUE(mask.ok());
+  auto sf = Filter(frame, **mask);
+  ASSERT_TRUE(sf.ok());
+  EXPECT_EQ(sf->num_rows(), 100u);
+  EXPECT_EQ((*sf->column("city"))->type(), DataType::kCategory);
+
+  auto grouped = GroupByAgg(frame, {"city"},
+                            {{"v", AggFunc::kCount, "n"}});
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->num_rows(), 3u);
+
+  // Sorting by a category column compares decoded strings.
+  auto sorted = SortValues(frame, {"city"}, {true});
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ((*sorted->column("city"))->StringAt(0), "LA");
+}
+
+TEST(KahanTest, CompensatedSumBeatsNaive) {
+  // 1 + 1e-16 added 1e6 times: naive summation loses the small terms.
+  KahanSum kahan;
+  double naive = 1.0;
+  kahan.Add(1.0);
+  for (int i = 0; i < 1000000; ++i) {
+    kahan.Add(1e-16);
+    naive += 1e-16;
+  }
+  EXPECT_DOUBLE_EQ(naive, 1.0);  // the point: naive dropped everything
+  EXPECT_NEAR(kahan.Total(), 1.0 + 1e-10, 1e-14);
+}
+
+TEST(KahanTest, PartitionedSumMatchesSinglePass) {
+  std::mt19937_64 rng(7);
+  std::vector<double> values(100000);
+  for (auto& v : values) {
+    v = static_cast<double>(static_cast<int64_t>(rng() % 1000000)) / 100.0;
+  }
+  KahanSum single;
+  for (double v : values) single.Add(v);
+  // Two-phase: per-chunk sums, then a sum of sums.
+  KahanSum combined;
+  for (size_t off = 0; off < values.size(); off += 8192) {
+    KahanSum chunk;
+    for (size_t i = off; i < std::min(values.size(), off + 8192); ++i) {
+      chunk.Add(values[i]);
+    }
+    combined.Add(chunk.Total());
+  }
+  EXPECT_DOUBLE_EQ(single.Total(), combined.Total());
+}
+
+}  // namespace
+}  // namespace lafp::df

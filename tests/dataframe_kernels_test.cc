@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataframe/ops.h"
+
+namespace lafp::df {
+namespace {
+
+class KernelsTest : public ::testing::Test {
+ protected:
+  ColumnPtr Ints(std::vector<int64_t> v,
+                 std::vector<uint8_t> validity = {}) {
+    return *Column::MakeInt(std::move(v), std::move(validity), &tracker_);
+  }
+  ColumnPtr Doubles(std::vector<double> v,
+                    std::vector<uint8_t> validity = {}) {
+    return *Column::MakeDouble(std::move(v), std::move(validity), &tracker_);
+  }
+  ColumnPtr Strings(std::vector<std::string> v,
+                    std::vector<uint8_t> validity = {}) {
+    return *Column::MakeString(std::move(v), std::move(validity), &tracker_);
+  }
+
+  MemoryTracker tracker_{0};
+};
+
+TEST_F(KernelsTest, CompareIntScalar) {
+  auto mask = Compare(*Ints({1, 5, 3, 7}), CompareOp::kGt, Scalar::Int(3));
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ((*mask)->type(), DataType::kBool);
+  EXPECT_FALSE((*mask)->BoolAt(0));
+  EXPECT_TRUE((*mask)->BoolAt(1));
+  EXPECT_FALSE((*mask)->BoolAt(2));
+  EXPECT_TRUE((*mask)->BoolAt(3));
+}
+
+TEST_F(KernelsTest, CompareAllOps) {
+  auto col = Ints({1, 2, 3});
+  struct Case {
+    CompareOp op;
+    std::vector<bool> expected;
+  };
+  std::vector<Case> cases = {
+      {CompareOp::kEq, {false, true, false}},
+      {CompareOp::kNe, {true, false, true}},
+      {CompareOp::kLt, {true, false, false}},
+      {CompareOp::kLe, {true, true, false}},
+      {CompareOp::kGt, {false, false, true}},
+      {CompareOp::kGe, {false, true, true}},
+  };
+  for (const auto& c : cases) {
+    auto mask = Compare(*col, c.op, Scalar::Int(2));
+    ASSERT_TRUE(mask.ok());
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ((*mask)->BoolAt(i), c.expected[i])
+          << CompareOpSymbol(c.op) << " row " << i;
+    }
+  }
+}
+
+TEST_F(KernelsTest, CompareNullsAreFalse) {
+  auto col = Ints({1, 2, 3}, {1, 0, 1});
+  auto mask = Compare(*col, CompareOp::kGe, Scalar::Int(0));
+  ASSERT_TRUE(mask.ok());
+  EXPECT_TRUE((*mask)->BoolAt(0));
+  EXPECT_FALSE((*mask)->BoolAt(1));  // null row
+  EXPECT_TRUE((*mask)->BoolAt(2));
+}
+
+TEST_F(KernelsTest, CompareStringScalar) {
+  auto mask =
+      Compare(*Strings({"a", "b", "a"}), CompareOp::kEq, Scalar::String("a"));
+  ASSERT_TRUE(mask.ok());
+  EXPECT_TRUE((*mask)->BoolAt(0));
+  EXPECT_FALSE((*mask)->BoolAt(1));
+  EXPECT_FALSE(
+      Compare(*Strings({"a"}), CompareOp::kEq, Scalar::Int(1)).ok());
+}
+
+TEST_F(KernelsTest, CompareCategoryScalar) {
+  auto cat = CategorizeStrings(*Strings({"x", "y", "x"}), &tracker_);
+  ASSERT_TRUE(cat.ok());
+  auto mask = Compare(**cat, CompareOp::kEq, Scalar::String("x"));
+  ASSERT_TRUE(mask.ok());
+  EXPECT_TRUE((*mask)->BoolAt(0));
+  EXPECT_FALSE((*mask)->BoolAt(1));
+  EXPECT_TRUE((*mask)->BoolAt(2));
+}
+
+TEST_F(KernelsTest, CompareTimestampAgainstStringLiteral) {
+  auto ts = Column::MakeTimestamp(
+      {*ParseTimestamp("2024-01-01"), *ParseTimestamp("2024-06-01")}, {},
+      &tracker_);
+  ASSERT_TRUE(ts.ok());
+  auto mask =
+      Compare(**ts, CompareOp::kGe, Scalar::String("2024-03-01"));
+  ASSERT_TRUE(mask.ok());
+  EXPECT_FALSE((*mask)->BoolAt(0));
+  EXPECT_TRUE((*mask)->BoolAt(1));
+}
+
+TEST_F(KernelsTest, CompareColumns) {
+  auto mask =
+      CompareColumns(*Ints({1, 5}), CompareOp::kLt, *Doubles({2.0, 4.0}));
+  ASSERT_TRUE(mask.ok());
+  EXPECT_TRUE((*mask)->BoolAt(0));
+  EXPECT_FALSE((*mask)->BoolAt(1));
+  EXPECT_FALSE(
+      CompareColumns(*Ints({1}), CompareOp::kLt, *Ints({1, 2})).ok());
+}
+
+TEST_F(KernelsTest, BooleanOps) {
+  auto a = *Column::MakeBool({1, 1, 0, 0}, {}, &tracker_);
+  auto b = *Column::MakeBool({1, 0, 1, 0}, {}, &tracker_);
+  auto band = BooleanAnd(*a, *b);
+  auto bor = BooleanOr(*a, *b);
+  auto bnot = BooleanNot(*a);
+  ASSERT_TRUE(band.ok());
+  ASSERT_TRUE(bor.ok());
+  ASSERT_TRUE(bnot.ok());
+  EXPECT_TRUE((*band)->BoolAt(0));
+  EXPECT_FALSE((*band)->BoolAt(1));
+  EXPECT_TRUE((*bor)->BoolAt(2));
+  EXPECT_FALSE((*bor)->BoolAt(3));
+  EXPECT_FALSE((*bnot)->BoolAt(0));
+  EXPECT_TRUE((*bnot)->BoolAt(2));
+  EXPECT_FALSE(BooleanAnd(*a, *Ints({1, 2, 3, 4})).ok());
+}
+
+TEST_F(KernelsTest, IsNullCoversValidityAndNaN) {
+  auto col = Doubles({1.0, std::nan(""), 3.0}, {1, 1, 0});
+  auto mask = IsNull(*col);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_FALSE((*mask)->BoolAt(0));
+  EXPECT_TRUE((*mask)->BoolAt(1));  // NaN
+  EXPECT_TRUE((*mask)->BoolAt(2));  // validity null
+}
+
+TEST_F(KernelsTest, StrContains) {
+  auto mask = StrContains(*Strings({"taxi ride", "bus", "taxicab"}), "taxi");
+  ASSERT_TRUE(mask.ok());
+  EXPECT_TRUE((*mask)->BoolAt(0));
+  EXPECT_FALSE((*mask)->BoolAt(1));
+  EXPECT_TRUE((*mask)->BoolAt(2));
+  EXPECT_FALSE(StrContains(*Ints({1}), "x").ok());
+}
+
+TEST_F(KernelsTest, FilterDataFrame) {
+  auto frame = *DataFrame::Make(
+      {"id", "v"}, {Ints({1, 2, 3, 4}), Doubles({1.0, 2.0, 3.0, 4.0})});
+  auto mask = Compare(*frame.column(1), CompareOp::kGt, Scalar::Double(2.0));
+  ASSERT_TRUE(mask.ok());
+  auto filtered = Filter(frame, **mask);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->num_rows(), 2u);
+  EXPECT_EQ((*filtered->column("id"))->IntAt(0), 3);
+}
+
+TEST_F(KernelsTest, HeadClampsToSize) {
+  auto frame = *DataFrame::Make({"id"}, {Ints({1, 2, 3})});
+  auto h = Head(frame, 2);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->num_rows(), 2u);
+  auto all = Head(frame, 99);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->num_rows(), 3u);
+}
+
+TEST_F(KernelsTest, ArithScalar) {
+  auto sum = Arith(*Ints({1, 2}), ArithOp::kAdd, Scalar::Int(10));
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ((*sum)->type(), DataType::kInt64);
+  EXPECT_EQ((*sum)->IntAt(1), 12);
+
+  auto div = Arith(*Ints({7, 8}), ArithOp::kDiv, Scalar::Int(2));
+  ASSERT_TRUE(div.ok());
+  EXPECT_EQ((*div)->type(), DataType::kDouble);  // true division
+  EXPECT_DOUBLE_EQ((*div)->DoubleAt(0), 3.5);
+}
+
+TEST_F(KernelsTest, ArithScalarLeft) {
+  auto r = ArithScalarLeft(Scalar::Double(10.0), ArithOp::kSub,
+                           *Ints({1, 2}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ((*r)->DoubleAt(0), 9.0);
+  EXPECT_DOUBLE_EQ((*r)->DoubleAt(1), 8.0);
+}
+
+TEST_F(KernelsTest, ArithColumnsWidens) {
+  auto r = ArithColumns(*Ints({1, 2}), ArithOp::kMul, *Doubles({1.5, 2.0}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ((*r)->DoubleAt(0), 1.5);
+  EXPECT_DOUBLE_EQ((*r)->DoubleAt(1), 4.0);
+}
+
+TEST_F(KernelsTest, ArithNullPropagation) {
+  auto r = ArithColumns(*Ints({1, 2}, {1, 0}), ArithOp::kAdd,
+                        *Ints({10, 20}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)->IsValid(0));
+  EXPECT_FALSE((*r)->IsValid(1));
+}
+
+TEST_F(KernelsTest, StringConcatWithScalar) {
+  auto r = Arith(*Strings({"a", "b"}), ArithOp::kAdd, Scalar::String("!"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->StringAt(0), "a!");
+}
+
+TEST_F(KernelsTest, AbsAndRound) {
+  auto a = Abs(*Ints({-3, 4}));
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)->IntAt(0), 3);
+  auto r = Round(*Doubles({1.2345, 2.7}), 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ((*r)->DoubleAt(0), 1.23);
+  EXPECT_DOUBLE_EQ((*r)->DoubleAt(1), 2.7);
+  EXPECT_FALSE(Abs(*Strings({"x"})).ok());
+}
+
+TEST_F(KernelsTest, FillNaColumn) {
+  auto col = Ints({1, 0, 3}, {1, 0, 1});
+  auto filled = FillNaColumn(*col, Scalar::Int(-1));
+  ASSERT_TRUE(filled.ok());
+  EXPECT_FALSE((*filled)->has_nulls());
+  EXPECT_EQ((*filled)->IntAt(1), -1);
+}
+
+TEST_F(KernelsTest, FillNaFrameSkipsIncompatible) {
+  auto frame = *DataFrame::Make(
+      {"n", "s"},
+      {Ints({1, 2}, {1, 0}), Strings({"a", ""}, {1, 0})});
+  auto filled = FillNa(frame, Scalar::Int(0));
+  ASSERT_TRUE(filled.ok());
+  EXPECT_FALSE((*filled->column("n"))->has_nulls());
+  EXPECT_TRUE((*filled->column("s"))->has_nulls());  // untouched
+}
+
+TEST_F(KernelsTest, DropNaRemovesRowsWithAnyNull) {
+  auto frame = *DataFrame::Make(
+      {"a", "b"},
+      {Ints({1, 2, 3}, {1, 0, 1}), Doubles({1.0, 2.0, std::nan("")})});
+  auto clean = DropNa(frame);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->num_rows(), 1u);
+  EXPECT_EQ((*clean->column("a"))->IntAt(0), 1);
+}
+
+TEST_F(KernelsTest, AsTypeNumericAndString) {
+  auto as_double = AsType(*Ints({1, 2}), DataType::kDouble);
+  ASSERT_TRUE(as_double.ok());
+  EXPECT_DOUBLE_EQ((*as_double)->DoubleAt(0), 1.0);
+
+  auto as_str = AsType(*Doubles({1.5}), DataType::kString);
+  ASSERT_TRUE(as_str.ok());
+  EXPECT_EQ((*as_str)->StringAt(0), "1.5");
+
+  auto parsed = AsType(*Strings({"42", "bogus"}), DataType::kInt64);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)->IntAt(0), 42);
+  EXPECT_FALSE((*parsed)->IsValid(1));  // unparseable -> null
+}
+
+TEST_F(KernelsTest, AsTypeCategory) {
+  auto cat = AsType(*Strings({"a", "b", "a"}), DataType::kCategory);
+  ASSERT_TRUE(cat.ok());
+  EXPECT_EQ((*cat)->type(), DataType::kCategory);
+  auto back = AsType(**cat, DataType::kString);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->StringAt(2), "a");
+}
+
+TEST_F(KernelsTest, ToDatetimeParsesAndCoerces) {
+  auto ts = ToDatetime(*Strings({"2024-01-15 08:30:00", "junk"}));
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ((*ts)->type(), DataType::kTimestamp);
+  EXPECT_TRUE((*ts)->IsValid(0));
+  EXPECT_FALSE((*ts)->IsValid(1));  // errors='coerce'
+  EXPECT_EQ((*ts)->ValueString(0), "2024-01-15 08:30:00");
+}
+
+TEST_F(KernelsTest, ToDatetimeFromIntsIsEpoch) {
+  auto ts = ToDatetime(*Ints({0}));
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ((*ts)->ValueString(0), "1970-01-01 00:00:00");
+}
+
+TEST_F(KernelsTest, DtAccessors) {
+  auto ts = ToDatetime(*Strings({"2024-01-01 13:00:00"}));  // Monday
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ((*DtAccessor(**ts, DtField::kDayOfWeek))->IntAt(0), 0);
+  EXPECT_EQ((*DtAccessor(**ts, DtField::kHour))->IntAt(0), 13);
+  EXPECT_EQ((*DtAccessor(**ts, DtField::kMonth))->IntAt(0), 1);
+  EXPECT_EQ((*DtAccessor(**ts, DtField::kYear))->IntAt(0), 2024);
+  EXPECT_EQ((*DtAccessor(**ts, DtField::kDay))->IntAt(0), 1);
+  EXPECT_FALSE(DtAccessor(*Ints({1}), DtField::kHour).ok());
+}
+
+TEST_F(KernelsTest, DtFieldNames) {
+  EXPECT_EQ(*DtFieldFromName("dayofweek"), DtField::kDayOfWeek);
+  EXPECT_EQ(*DtFieldFromName("hour"), DtField::kHour);
+  EXPECT_FALSE(DtFieldFromName("nanosecond").ok());
+}
+
+}  // namespace
+}  // namespace lafp::df

@@ -1,0 +1,143 @@
+#include "dataframe/dataframe.h"
+
+#include <gtest/gtest.h>
+
+namespace lafp::df {
+namespace {
+
+class DataFrameTest : public ::testing::Test {
+ protected:
+  DataFrame MakeSample() {
+    auto id = Column::MakeInt({1, 2, 3}, {}, &tracker_);
+    auto fare = Column::MakeDouble({10.5, 20.0, 7.25}, {}, &tracker_);
+    auto city = Column::MakeString({"NY", "SF", "NY"}, {}, &tracker_);
+    return *DataFrame::Make({"id", "fare", "city"},
+                            {*id, *fare, *city});
+  }
+
+  MemoryTracker tracker_{0};
+};
+
+TEST_F(DataFrameTest, BasicShape) {
+  DataFrame frame = MakeSample();
+  EXPECT_EQ(frame.num_rows(), 3u);
+  EXPECT_EQ(frame.num_columns(), 3u);
+  EXPECT_EQ(frame.names(),
+            (std::vector<std::string>{"id", "fare", "city"}));
+  EXPECT_TRUE(frame.HasColumn("fare"));
+  EXPECT_FALSE(frame.HasColumn("nope"));
+  EXPECT_EQ(frame.ColumnIndex("city"), 2);
+}
+
+TEST_F(DataFrameTest, MakeRejectsBadInputs) {
+  auto a = Column::MakeInt({1, 2}, {}, &tracker_);
+  auto b = Column::MakeInt({1, 2, 3}, {}, &tracker_);
+  EXPECT_FALSE(DataFrame::Make({"a", "b"}, {*a, *b}).ok());  // length
+  EXPECT_FALSE(DataFrame::Make({"a", "a"}, {*a, *a}).ok());  // dup names
+  EXPECT_FALSE(DataFrame::Make({"a"}, {*a, *b}).ok());       // arity
+}
+
+TEST_F(DataFrameTest, ColumnLookup) {
+  DataFrame frame = MakeSample();
+  auto col = frame.column("fare");
+  ASSERT_TRUE(col.ok());
+  EXPECT_DOUBLE_EQ((*col)->DoubleAt(1), 20.0);
+  EXPECT_TRUE(frame.column("missing").status().IsKeyError());
+}
+
+TEST_F(DataFrameTest, SelectProjectsAndReorders) {
+  DataFrame frame = MakeSample();
+  auto sel = frame.Select({"city", "id"});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->names(), (std::vector<std::string>{"city", "id"}));
+  EXPECT_EQ(sel->num_rows(), 3u);
+  EXPECT_FALSE(frame.Select({"ghost"}).ok());
+}
+
+TEST_F(DataFrameTest, WithColumnReplacesOrAppends) {
+  DataFrame frame = MakeSample();
+  auto doubled = Column::MakeDouble({21.0, 40.0, 14.5}, {}, &tracker_);
+  auto replaced = frame.WithColumn("fare", *doubled);
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ(replaced->num_columns(), 3u);
+  EXPECT_DOUBLE_EQ((*replaced->column("fare"))->DoubleAt(0), 21.0);
+
+  auto appended = frame.WithColumn("tip", *doubled);
+  ASSERT_TRUE(appended.ok());
+  EXPECT_EQ(appended->num_columns(), 4u);
+
+  auto bad = Column::MakeInt({1}, {}, &tracker_);
+  EXPECT_FALSE(frame.WithColumn("short", *bad).ok());
+}
+
+TEST_F(DataFrameTest, DropAndRename) {
+  DataFrame frame = MakeSample();
+  auto dropped = frame.Drop({"fare"});
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped->names(), (std::vector<std::string>{"id", "city"}));
+  EXPECT_FALSE(frame.Drop({"ghost"}).ok());
+
+  auto renamed = frame.Rename({{"city", "location"}});
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_TRUE(renamed->HasColumn("location"));
+  EXPECT_FALSE(renamed->HasColumn("city"));
+  // Unknown keys ignored (pandas behavior).
+  EXPECT_TRUE(frame.Rename({{"ghost", "x"}}).ok());
+  // Collision rejected.
+  EXPECT_FALSE(frame.Rename({{"city", "id"}}).ok());
+}
+
+TEST_F(DataFrameTest, SliceAndTakeRows) {
+  DataFrame frame = MakeSample();
+  auto sliced = frame.SliceRows(1, 5);  // clamps to available rows
+  ASSERT_TRUE(sliced.ok());
+  EXPECT_EQ(sliced->num_rows(), 2u);
+  EXPECT_EQ((*sliced->column("id"))->IntAt(0), 2);
+
+  auto taken = frame.TakeRows({2, 0});
+  ASSERT_TRUE(taken.ok());
+  EXPECT_EQ(taken->num_rows(), 2u);
+  EXPECT_EQ((*taken->column("id"))->IntAt(0), 3);
+  EXPECT_EQ((*taken->column("city"))->StringAt(1), "NY");
+}
+
+TEST_F(DataFrameTest, EmptyFrame) {
+  DataFrame empty;
+  EXPECT_EQ(empty.num_rows(), 0u);
+  EXPECT_EQ(empty.num_columns(), 0u);
+  EXPECT_EQ(empty.footprint_bytes(), 0);
+  EXPECT_NE(empty.tracker(), nullptr);
+}
+
+TEST_F(DataFrameTest, FootprintSumsColumns) {
+  DataFrame frame = MakeSample();
+  int64_t total = 0;
+  for (const auto& c : frame.columns()) total += c->footprint_bytes();
+  EXPECT_EQ(frame.footprint_bytes(), total);
+  EXPECT_GT(total, 0);
+}
+
+TEST_F(DataFrameTest, ToStringShowsHeaderAndElision) {
+  DataFrame frame = MakeSample();
+  std::string repr = frame.ToString(2);
+  EXPECT_NE(repr.find("id"), std::string::npos);
+  EXPECT_NE(repr.find("fare"), std::string::npos);
+  EXPECT_NE(repr.find("..."), std::string::npos);  // 3 rows, 2 shown
+  std::string full = frame.ToString(10);
+  EXPECT_EQ(full.find("..."), std::string::npos);
+}
+
+TEST_F(DataFrameTest, CanonicalStringDeterministicAndSortable) {
+  DataFrame frame = MakeSample();
+  std::string a = frame.CanonicalString(false);
+  EXPECT_EQ(a, frame.CanonicalString(false));
+  // Row-sorted form is invariant under row permutation.
+  auto shuffled = frame.TakeRows({2, 0, 1});
+  ASSERT_TRUE(shuffled.ok());
+  EXPECT_EQ(frame.CanonicalString(true), shuffled->CanonicalString(true));
+  EXPECT_NE(frame.CanonicalString(false),
+            shuffled->CanonicalString(false));
+}
+
+}  // namespace
+}  // namespace lafp::df

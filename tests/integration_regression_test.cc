@@ -1,0 +1,86 @@
+// The §5.2 regression framework as a test: every benchmark program runs
+// under all six configurations at the small scale; all successful runs
+// must produce checksum lines identical to the plain-Pandas reference.
+// Also a failure-injection sweep: under shrinking memory budgets every
+// run must either succeed with the right answer or fail cleanly with
+// kOutOfMemory — never crash, never return a wrong result.
+#include <gtest/gtest.h>
+
+#include "bench/datagen.h"
+#include "bench/harness.h"
+#include "bench/programs.h"
+
+namespace lafp::bench {
+namespace {
+
+class RegressionTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static std::string ScratchDir() {
+    static std::string dir =
+        ::testing::TempDir() + "lafp_integration_bench";
+    return dir;
+  }
+};
+
+TEST_P(RegressionTest, AllConfigurationsAgreeWithPandas) {
+  const std::string& program = GetParam();
+  auto paths = GenerateForProgram(program, ScratchDir(), /*scale=*/1);
+  ASSERT_TRUE(paths.ok()) << paths.status().ToString();
+
+  std::string reference;
+  for (const auto& config : AllConfigs(/*budget=*/0)) {
+    BenchResult r = RunBenchmark(program, *paths, config, ScratchDir());
+    ASSERT_TRUE(r.success)
+        << ConfigName(config) << ": " << r.status.ToString();
+    ASSERT_FALSE(r.checksums.empty())
+        << program << " emits no checksum lines";
+    if (reference.empty()) {
+      reference = r.checksums;
+    } else {
+      EXPECT_EQ(r.checksums, reference) << ConfigName(config);
+    }
+  }
+}
+
+TEST_P(RegressionTest, BudgetSweepFailsCleanlyOrAgrees) {
+  const std::string& program = GetParam();
+  auto paths = GenerateForProgram(program, ScratchDir(), /*scale=*/1);
+  ASSERT_TRUE(paths.ok());
+
+  // Reference at unlimited budget on plain Pandas.
+  BenchConfig reference_config;
+  reference_config.backend = exec::BackendKind::kPandas;
+  BenchResult reference =
+      RunBenchmark(program, *paths, reference_config, ScratchDir());
+  ASSERT_TRUE(reference.success);
+
+  for (int64_t budget : {int64_t{200'000}, int64_t{2'000'000},
+                         int64_t{8'000'000}, int64_t{64'000'000}}) {
+    for (auto backend :
+         {exec::BackendKind::kPandas, exec::BackendKind::kDask}) {
+      for (bool optimized : {false, true}) {
+        BenchConfig config;
+        config.backend = backend;
+        config.optimized = optimized;
+        config.memory_budget = budget;
+        BenchResult r = RunBenchmark(program, *paths, config, ScratchDir());
+        if (r.success) {
+          EXPECT_EQ(r.checksums, reference.checksums)
+              << ConfigName(config) << " @" << budget;
+        } else {
+          // The only acceptable failure is a clean budget rejection.
+          EXPECT_TRUE(r.status.IsOutOfMemory())
+              << ConfigName(config) << " @" << budget << ": "
+              << r.status.ToString();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, RegressionTest,
+                         ::testing::ValuesIn(ProgramNames()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace lafp::bench

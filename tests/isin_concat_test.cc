@@ -1,0 +1,210 @@
+// Coverage for the isin / pd.concat additions across every layer:
+// kernel, lazy API on all backends, predicate pushdown, and PdScript.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/macros.h"
+#include "lazy/fat_dataframe.h"
+#include "optimizer/passes.h"
+#include "script/analyze.h"
+
+namespace lafp {
+namespace {
+
+using df::CompareOp;
+using df::DataType;
+using df::Scalar;
+using exec::BackendKind;
+using lazy::ExecutionMode;
+using lazy::FatDataFrame;
+using lazy::Session;
+using lazy::SessionOptions;
+
+TEST(IsInKernelTest, NumericMembership) {
+  MemoryTracker tracker(0);
+  auto col = *df::Column::MakeInt({1, 2, 3, 4, 2}, {1, 1, 0, 1, 1},
+                                  &tracker);
+  auto mask =
+      df::IsIn(*col, {Scalar::Int(2), Scalar::Double(4.0)});
+  ASSERT_TRUE(mask.ok());
+  EXPECT_FALSE((*mask)->BoolAt(0));
+  EXPECT_TRUE((*mask)->BoolAt(1));
+  EXPECT_FALSE((*mask)->BoolAt(2));  // null is never a member
+  EXPECT_TRUE((*mask)->BoolAt(3));   // int 4 matches double 4.0
+  EXPECT_TRUE((*mask)->BoolAt(4));
+}
+
+TEST(IsInKernelTest, StringAndCategoryMembership) {
+  MemoryTracker tracker(0);
+  auto strs = *df::Column::MakeString({"NY", "SF", "LA"}, {}, &tracker);
+  auto mask = df::IsIn(*strs, {Scalar::String("NY"), Scalar::String("LA")});
+  ASSERT_TRUE(mask.ok());
+  EXPECT_TRUE((*mask)->BoolAt(0));
+  EXPECT_FALSE((*mask)->BoolAt(1));
+  EXPECT_TRUE((*mask)->BoolAt(2));
+
+  auto cat = *df::CategorizeStrings(*strs, &tracker);
+  auto cat_mask = df::IsIn(*cat, {Scalar::String("SF")});
+  ASSERT_TRUE(cat_mask.ok());
+  EXPECT_TRUE((*cat_mask)->BoolAt(1));
+
+  // Type-mismatched membership values simply never match.
+  auto none = df::IsIn(*strs, {Scalar::Int(7)});
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE((*none)->BoolAt(0));
+}
+
+class IsInConcatLazyTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "isin_test_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::create_directories(dir_);
+    for (int part = 0; part < 2; ++part) {
+      std::string path = dir_ + "/part" + std::to_string(part) + ".csv";
+      std::ofstream out(path);
+      out << "city,v\n";
+      for (int i = 0; i < 60; ++i) {
+        out << (i % 3 == 0 ? "NY" : (i % 3 == 1 ? "SF" : "LA")) << ","
+            << (part * 1000 + i) << "\n";
+      }
+      paths_.push_back(path);
+    }
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<Session> MakeSession() {
+    SessionOptions opts;
+    opts.backend = GetParam();
+    opts.backend_config.partition_rows = 16;
+    opts.mode = ExecutionMode::kLazy;
+    opts.tracker = &tracker_;
+    return std::make_unique<Session>(opts);
+  }
+
+  std::string dir_;
+  std::vector<std::string> paths_;
+  MemoryTracker tracker_{0};
+};
+
+TEST_P(IsInConcatLazyTest, IsInFilterAcrossBackends) {
+  auto session = MakeSession();
+  auto frame = *FatDataFrame::ReadCsv(session.get(), paths_[0]);
+  auto city = *frame.Col("city");
+  auto mask =
+      *city.IsIn({Scalar::String("NY"), Scalar::String("LA")});
+  auto filtered = *frame.FilterBy(mask);
+  auto n = *filtered.Len();
+  auto value = n.Value();
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  EXPECT_EQ(value->int_value(), 40);  // 20 NY + 20 LA of 60
+}
+
+TEST_P(IsInConcatLazyTest, ConcatStacksLazily) {
+  auto session = MakeSession();
+  auto a = *FatDataFrame::ReadCsv(session.get(), paths_[0]);
+  auto b = *FatDataFrame::ReadCsv(session.get(), paths_[1]);
+  auto both = *FatDataFrame::Concat(session.get(), {a, b});
+  auto n = *both.Len();
+  EXPECT_EQ((*n.Value()).int_value(), 120);
+  auto total = *both.Col("v")->Sum();
+  // sum(0..59) + sum(1000..1059) = 1770 + 61770.
+  EXPECT_EQ((*total.Value()).int_value(), 1770 + 61770);
+}
+
+TEST_P(IsInConcatLazyTest, ConcatThenGroupBy) {
+  auto session = MakeSession();
+  auto a = *FatDataFrame::ReadCsv(session.get(), paths_[0]);
+  auto b = *FatDataFrame::ReadCsv(session.get(), paths_[1]);
+  auto both = *FatDataFrame::Concat(session.get(), {a, b});
+  auto grouped =
+      *both.GroupByAgg({"city"}, {{"v", df::AggFunc::kCount, "n"}});
+  auto eager = grouped.ToEager();
+  ASSERT_TRUE(eager.ok()) << eager.status().ToString();
+  EXPECT_EQ(eager->num_rows(), 3u);
+  // Row order may differ per backend; total must be 120.
+  int64_t total = 0;
+  for (size_t r = 0; r < 3; ++r) {
+    total += (*eager->column("n"))->IntAt(r);
+  }
+  EXPECT_EQ(total, 120);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, IsInConcatLazyTest,
+                         ::testing::Values(BackendKind::kPandas,
+                                           BackendKind::kModin,
+                                           BackendKind::kDask),
+                         [](const auto& info) {
+                           return exec::BackendKindName(info.param);
+                         });
+
+TEST(IsInPushdownTest, IsInPredicatePushesBelowSetItem) {
+  std::string dir = ::testing::TempDir() + "isin_push";
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/d.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n";
+    for (int i = 0; i < 30; ++i) out << i << "," << i * 2 << "\n";
+  }
+  SessionOptions opts;
+  opts.mode = ExecutionMode::kLazy;
+  Session session(opts);
+  auto frame = *FatDataFrame::ReadCsv(&session, path);
+  auto doubled = *frame.Col("b")->ArithScalar(df::ArithOp::kMul,
+                                              Scalar::Int(10));
+  auto with_col = *frame.SetCol("b10", doubled);
+  auto mask = *with_col.Col("a")->IsIn({Scalar::Int(3), Scalar::Int(7)});
+  auto filtered = *with_col.FilterBy(mask);
+  opt::PassStats stats;
+  ASSERT_TRUE(
+      opt::PushDownPredicates(&session, {filtered.node()}, &stats).ok());
+  EXPECT_EQ(stats.predicates_pushed, 1);
+  EXPECT_EQ(filtered.node()->desc.kind, exec::OpKind::kSetColumn);
+  auto eager = filtered.ToEager();
+  ASSERT_TRUE(eager.ok());
+  EXPECT_EQ(eager->num_rows(), 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IsInScriptTest, PdScriptIsInAndConcat) {
+  std::string dir = ::testing::TempDir() + "isin_script";
+  std::filesystem::create_directories(dir);
+  std::string p1 = dir + "/a.csv", p2 = dir + "/b.csv";
+  {
+    std::ofstream out(p1);
+    out << "city,v\nNY,1\nSF,2\nLA,3\n";
+  }
+  {
+    std::ofstream out(p2);
+    out << "city,v\nNY,10\nSF,20\n";
+  }
+  std::string source =
+      "import lazyfatpandas.pandas as pd\n"
+      "a = pd.read_csv(\"" + p1 + "\")\n"
+      "b = pd.read_csv(\"" + p2 + "\")\n"
+      "both = pd.concat([a, b])\n"
+      "coastal = both[both.city.isin([\"NY\", \"SF\"])]\n"
+      "total = coastal.v.sum()\n"
+      "print(f\"total: {total}\")\n";
+  for (bool analyze : {false, true}) {
+    SessionOptions opts;
+    opts.mode = analyze ? ExecutionMode::kLazy : ExecutionMode::kEager;
+    std::stringstream output;
+    opts.output = &output;
+    Session session(opts);
+    script::RunOptions run;
+    run.analyze = analyze;
+    Status st = script::RunProgram(source, &session, run);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_NE(output.str().find("total: 33"), std::string::npos)
+        << output.str();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace lafp

@@ -1,0 +1,150 @@
+// Session edge cases: flush semantics, print re-emission guards, mode
+// interactions, and compute on already-computed nodes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lazy/fat_dataframe.h"
+
+namespace lafp::lazy {
+namespace {
+
+using df::AggFunc;
+using df::Scalar;
+using exec::BackendKind;
+
+class SessionEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "session_edge_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::create_directories(dir_);
+    csv_path_ = dir_ + "/d.csv";
+    std::ofstream out(csv_path_);
+    out << "a,b\n";
+    for (int i = 0; i < 50; ++i) out << i << "," << i % 5 << "\n";
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<Session> MakeSession(BackendKind backend,
+                                       ExecutionMode mode,
+                                       bool lazy_print = true) {
+    SessionOptions opts;
+    opts.backend = backend;
+    opts.mode = mode;
+    opts.lazy_print = lazy_print;
+    opts.output = &output_;
+    opts.tracker = &tracker_;
+    return std::make_unique<Session>(opts);
+  }
+
+  std::string dir_, csv_path_;
+  MemoryTracker tracker_{0};
+  std::stringstream output_;
+};
+
+TEST_F(SessionEdgeTest, FlushWithNothingPendingIsANoOp) {
+  auto session = MakeSession(BackendKind::kPandas, ExecutionMode::kLazy);
+  EXPECT_TRUE(session->Flush().ok());
+  EXPECT_TRUE(session->Flush().ok());
+  EXPECT_EQ(output_.str(), "");
+}
+
+TEST_F(SessionEdgeTest, DoubleFlushDoesNotReprint) {
+  auto session = MakeSession(BackendKind::kPandas, ExecutionMode::kLazy);
+  ASSERT_TRUE(
+      session->Print({Session::PrintArg::Literal("once")}).ok());
+  ASSERT_TRUE(session->Flush().ok());
+  ASSERT_TRUE(session->Flush().ok());
+  EXPECT_EQ(output_.str(), "once\n");
+}
+
+TEST_F(SessionEdgeTest, PrintAfterFlushStartsANewChain) {
+  auto session = MakeSession(BackendKind::kPandas, ExecutionMode::kLazy);
+  ASSERT_TRUE(session->Print({Session::PrintArg::Literal("first")}).ok());
+  ASSERT_TRUE(session->Flush().ok());
+  ASSERT_TRUE(session->Print({Session::PrintArg::Literal("second")}).ok());
+  ASSERT_TRUE(session->Flush().ok());
+  EXPECT_EQ(output_.str(), "first\nsecond\n");
+}
+
+TEST_F(SessionEdgeTest, ComputeTwiceReusesKeptResult) {
+  auto session = MakeSession(BackendKind::kPandas, ExecutionMode::kLazy);
+  auto frame = *FatDataFrame::ReadCsv(session.get(), csv_path_);
+  auto grouped = *frame.GroupByAgg({"b"}, {{"a", AggFunc::kSum, "s"}});
+  auto first = grouped.Compute();
+  ASSERT_TRUE(first.ok());
+  int64_t execs = session->num_node_executions();
+  auto second = grouped.Compute();
+  ASSERT_TRUE(second.ok());
+  // The round target kept its result: nothing re-executed.
+  EXPECT_EQ(session->num_node_executions(), execs);
+  EXPECT_EQ(first->frame.CanonicalString(true),
+            second->frame.CanonicalString(true));
+}
+
+TEST_F(SessionEdgeTest, DaskComputeRetainsMaterializedValue) {
+  auto session = MakeSession(BackendKind::kDask, ExecutionMode::kLazy);
+  auto frame = *FatDataFrame::ReadCsv(session.get(), csv_path_);
+  auto grouped = *frame.GroupByAgg({"b"}, {{"a", AggFunc::kSum, "s"}});
+  ASSERT_TRUE(grouped.Compute().ok());
+  // After an explicit compute the node holds a concrete value (pandas
+  // compute() semantics): its footprint is resident.
+  EXPECT_GT(tracker_.current(), 0);
+  auto again = grouped.Compute();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->frame.num_rows(), 5u);
+}
+
+TEST_F(SessionEdgeTest, EagerModeWithLazyPrintFlagStillPrintsEagerly) {
+  // lazy_print only applies to lazy mode; eager sessions print at once.
+  auto session = MakeSession(BackendKind::kPandas, ExecutionMode::kEager,
+                             /*lazy_print=*/true);
+  auto frame = *FatDataFrame::ReadCsv(session.get(), csv_path_);
+  auto n = *frame.Len();
+  ASSERT_TRUE(session
+                  ->Print({Session::PrintArg::Literal("n="),
+                           Session::PrintArg::Value(n.node())})
+                  .ok());
+  EXPECT_NE(output_.str().find("n=50"), std::string::npos);
+}
+
+TEST_F(SessionEdgeTest, MixedLiteralAndValuePrintSegments) {
+  auto session = MakeSession(BackendKind::kPandas, ExecutionMode::kLazy);
+  auto frame = *FatDataFrame::ReadCsv(session.get(), csv_path_);
+  auto lo = *frame.Col("a")->Min();
+  auto hi = *frame.Col("a")->Max();
+  ASSERT_TRUE(session
+                  ->Print({Session::PrintArg::Literal("range ["),
+                           Session::PrintArg::Value(lo.node()),
+                           Session::PrintArg::Literal(", "),
+                           Session::PrintArg::Value(hi.node()),
+                           Session::PrintArg::Literal("]")})
+                  .ok());
+  ASSERT_TRUE(session->Flush().ok());
+  EXPECT_EQ(output_.str(), "range [0, 49]\n");
+}
+
+TEST_F(SessionEdgeTest, ComputeOnEmptyHandleFails) {
+  FatDataFrame empty;
+  EXPECT_FALSE(empty.Compute().ok());
+  LazyScalar no_scalar;
+  EXPECT_FALSE(no_scalar.Value().ok());
+}
+
+TEST_F(SessionEdgeTest, CrossSessionOperandsRejected) {
+  auto s1 = MakeSession(BackendKind::kPandas, ExecutionMode::kLazy);
+  std::stringstream other_out;
+  SessionOptions opts;
+  opts.output = &other_out;
+  Session s2(opts);
+  auto a = *FatDataFrame::ReadCsv(s1.get(), csv_path_);
+  auto b = *FatDataFrame::ReadCsv(&s2, csv_path_);
+  EXPECT_FALSE(a.Merge(b, {"a"}, df::JoinType::kInner).ok());
+  EXPECT_FALSE(FatDataFrame::Concat(s1.get(), {a, b}).ok());
+}
+
+}  // namespace
+}  // namespace lafp::lazy

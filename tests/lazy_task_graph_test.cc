@@ -1,0 +1,137 @@
+#include "lazy/task_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lafp::lazy {
+namespace {
+
+exec::OpDesc Desc(exec::OpKind kind) {
+  exec::OpDesc d;
+  d.kind = kind;
+  return d;
+}
+
+TEST(TaskGraphTest, TopoSortDependenciesFirst) {
+  TaskGraph graph;
+  auto read = graph.NewNode(Desc(exec::OpKind::kReadCsv), {});
+  auto col = graph.NewNode(Desc(exec::OpKind::kGetColumn), {read});
+  auto cmp = graph.NewNode(Desc(exec::OpKind::kCompare), {col});
+  auto filter = graph.NewNode(Desc(exec::OpKind::kFilter), {read, cmp});
+  auto order = TaskGraph::TopoSort({filter});
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](const TaskNodePtr& n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(pos(read), pos(col));
+  EXPECT_LT(pos(col), pos(cmp));
+  EXPECT_LT(pos(cmp), pos(filter));
+  EXPECT_LT(pos(read), pos(filter));
+}
+
+TEST(TaskGraphTest, TopoSortHandlesSharedDiamond) {
+  TaskGraph graph;
+  auto read = graph.NewNode(Desc(exec::OpKind::kReadCsv), {});
+  auto a = graph.NewNode(Desc(exec::OpKind::kGetColumn), {read});
+  auto b = graph.NewNode(Desc(exec::OpKind::kGetColumn), {read});
+  auto join = graph.NewNode(Desc(exec::OpKind::kArith), {a, b});
+  auto order = TaskGraph::TopoSort({join});
+  EXPECT_EQ(order.size(), 4u);  // read appears once
+  EXPECT_EQ(order.front().get(), read.get());
+  EXPECT_EQ(order.back().get(), join.get());
+}
+
+TEST(TaskGraphTest, TopoSortMultipleRootsAndOrderDeps) {
+  TaskGraph graph;
+  auto read = graph.NewNode(Desc(exec::OpKind::kReadCsv), {});
+  auto print1 = graph.NewNode(Desc(exec::OpKind::kPrint), {read});
+  auto print2 = graph.NewNode(Desc(exec::OpKind::kPrint), {read});
+  print2->order_deps.push_back(print1);  // §3.3 ordering edge
+  auto order = TaskGraph::TopoSort({print2, print1});
+  ASSERT_EQ(order.size(), 3u);
+  auto pos = [&](const TaskNodePtr& n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(pos(print1), pos(print2));
+}
+
+TEST(TaskGraphTest, ConsumersTracksLiveNodesOnly) {
+  TaskGraph graph;
+  auto read = graph.NewNode(Desc(exec::OpKind::kReadCsv), {});
+  auto keep = graph.NewNode(Desc(exec::OpKind::kGetColumn), {read});
+  {
+    auto temp = graph.NewNode(Desc(exec::OpKind::kHead), {read});
+    EXPECT_EQ(graph.CountConsumers(read.get()), 2);
+  }
+  // temp dropped: only `keep` still consumes read.
+  EXPECT_EQ(graph.CountConsumers(read.get()), 1);
+  auto consumers = graph.Consumers(read.get());
+  ASSERT_EQ(consumers.size(), 1u);
+  EXPECT_EQ(consumers[0].get(), keep.get());
+}
+
+TEST(TaskGraphTest, LiveNodesCompacts) {
+  TaskGraph graph;
+  auto keep = graph.NewNode(Desc(exec::OpKind::kReadCsv), {});
+  for (int i = 0; i < 100; ++i) {
+    graph.NewNode(Desc(exec::OpKind::kHead), {});  // dropped immediately
+  }
+  auto live = graph.LiveNodes();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].get(), keep.get());
+  EXPECT_EQ(graph.num_created(), 101);
+}
+
+TEST(TaskGraphTest, NodeIdsAreUniqueAndMonotonic) {
+  TaskGraph graph;
+  auto a = graph.NewNode(Desc(exec::OpKind::kReadCsv), {});
+  auto b = graph.NewNode(Desc(exec::OpKind::kHead), {a});
+  auto c = graph.NewNode(Desc(exec::OpKind::kHead), {b});
+  EXPECT_LT(a->id, b->id);
+  EXPECT_LT(b->id, c->id);
+}
+
+TEST(TaskGraphTest, DotOutputContainsNodesAndEdges) {
+  TaskGraph graph;
+  auto read = graph.NewNode(Desc(exec::OpKind::kReadCsv), {});
+  auto head = graph.NewNode(Desc(exec::OpKind::kHead), {read});
+  head->persist = true;
+  std::string dot = TaskGraph::ToDot({head});
+  EXPECT_NE(dot.find("read_csv"), std::string::npos);
+  EXPECT_NE(dot.find("head"), std::string::npos);
+  EXPECT_NE(dot.find("[persist]"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(OpDescTest, FingerprintDistinguishesParameters) {
+  exec::OpDesc a = Desc(exec::OpKind::kHead);
+  a.n = 5;
+  exec::OpDesc b = Desc(exec::OpKind::kHead);
+  b.n = 10;
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  exec::OpDesc c = Desc(exec::OpKind::kHead);
+  c.n = 5;
+  EXPECT_EQ(a.Fingerprint(), c.Fingerprint());
+
+  exec::OpDesc cmp1 = Desc(exec::OpKind::kCompare);
+  cmp1.has_scalar = true;
+  cmp1.scalar = df::Scalar::Int(1);
+  exec::OpDesc cmp2 = cmp1;
+  cmp2.scalar = df::Scalar::Double(1.0);  // same repr, different type
+  EXPECT_NE(cmp1.Fingerprint(), cmp2.Fingerprint());
+}
+
+TEST(OpDescTest, ExpectedArityMatchesShape) {
+  EXPECT_EQ(exec::ExpectedArity(Desc(exec::OpKind::kReadCsv)), 0);
+  EXPECT_EQ(exec::ExpectedArity(Desc(exec::OpKind::kHead)), 1);
+  EXPECT_EQ(exec::ExpectedArity(Desc(exec::OpKind::kMerge)), 2);
+  exec::OpDesc cmp = Desc(exec::OpKind::kCompare);
+  EXPECT_EQ(exec::ExpectedArity(cmp), 2);
+  cmp.has_scalar = true;
+  EXPECT_EQ(exec::ExpectedArity(cmp), 1);
+  EXPECT_EQ(exec::ExpectedArity(Desc(exec::OpKind::kPrint)), -1);
+}
+
+}  // namespace
+}  // namespace lafp::lazy

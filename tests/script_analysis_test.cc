@@ -1,0 +1,243 @@
+#include "script/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "script/rewriter.h"
+
+namespace lafp::script {
+namespace {
+
+/// Helper: run LAA on a source program and return live columns right
+/// after the read_csv assignment to `var`.
+struct LaaRun {
+  std::vector<std::string> live_columns;
+  bool all_columns = false;
+  LivenessResult liveness;
+  IRProgram ir;
+  ProgramModel model;
+  size_t read_stmt = 0;
+};
+
+LaaRun RunLaa(const std::string& source, const std::string& var) {
+  LaaRun run;
+  auto module = Parse(source);
+  EXPECT_TRUE(module.ok()) << module.status().ToString();
+  auto ir = LowerToIR(*module);
+  EXPECT_TRUE(ir.ok()) << ir.status().ToString();
+  run.ir = std::move(*ir);
+  run.model = BuildProgramModel(run.ir);
+  auto cfg = BuildCfg(run.ir);
+  EXPECT_TRUE(cfg.ok());
+  auto liveness = RunLivenessAnalysis(*cfg, run.model);
+  EXPECT_TRUE(liveness.ok()) << liveness.status().ToString();
+  run.liveness = std::move(*liveness);
+  for (size_t i = 0; i < run.ir.stmts.size(); ++i) {
+    const IRStmt& stmt = run.ir.stmts[i];
+    if (stmt.kind == IRStmtKind::kAssign && stmt.target == var &&
+        stmt.expr.kind == IRExprKind::kCall &&
+        stmt.expr.attr == "read_csv") {
+      run.read_stmt = i;
+      run.live_columns = run.liveness.LiveColumnsAfter(
+          i, var, &run.all_columns);
+      std::sort(run.live_columns.begin(), run.live_columns.end());
+      break;
+    }
+  }
+  return run;
+}
+
+/// The paper's Figure 3 program: only fare_amount, pickup_datetime and
+/// passenger_count must be live at the read (paper §3.1 walkthrough).
+TEST(LiveAttributeTest, PaperFigure3Walkthrough) {
+  LaaRun run = RunLaa(
+      "import lazyfatpandas.pandas as pd\n"
+      "df = pd.read_csv(\"test.csv\")\n"
+      "df = df[df.fare_amount > 0]\n"
+      "df[\"day\"] = df.pickup_datetime.dt.dayofweek\n"
+      "p_per_day = df.groupby([\"day\"])[\"passenger_count\"].sum()\n"
+      "print(p_per_day)\n",
+      "df");
+  EXPECT_FALSE(run.all_columns);
+  EXPECT_EQ(run.live_columns,
+            (std::vector<std::string>{"fare_amount", "passenger_count",
+                                      "pickup_datetime"}));
+}
+
+TEST(LiveAttributeTest, WholeFramePrintMakesAllLive) {
+  LaaRun run = RunLaa(
+      "import pandas as pd\n"
+      "df = pd.read_csv(\"t.csv\")\n"
+      "print(df)\n",
+      "df");
+  EXPECT_TRUE(run.all_columns);
+}
+
+TEST(LiveAttributeTest, HeadHeuristicIgnoresAttributeUse) {
+  // §3.1: df.head()/info()/describe() are informational; they do not
+  // force all columns live.
+  LaaRun run = RunLaa(
+      "import pandas as pd\n"
+      "df = pd.read_csv(\"t.csv\")\n"
+      "print(df.head())\n"
+      "x = df.fare.sum()\n"
+      "print(f\"{x}\")\n",
+      "df");
+  EXPECT_FALSE(run.all_columns);
+  EXPECT_EQ(run.live_columns, std::vector<std::string>{"fare"});
+}
+
+TEST(LiveAttributeTest, SetItemKillsColumn) {
+  // `day` is assigned before use, so it is not read from the file.
+  LaaRun run = RunLaa(
+      "import pandas as pd\n"
+      "df = pd.read_csv(\"t.csv\")\n"
+      "df[\"day\"] = df.pickup.dt.dayofweek\n"
+      "out = df.groupby([\"day\"])[\"pax\"].sum()\n"
+      "checksum(out)\n",
+      "df");
+  EXPECT_FALSE(run.all_columns);
+  EXPECT_EQ(run.live_columns,
+            (std::vector<std::string>{"pax", "pickup"}));
+}
+
+TEST(LiveAttributeTest, SelectionRestrictsLiveSet) {
+  LaaRun run = RunLaa(
+      "import pandas as pd\n"
+      "df = pd.read_csv(\"t.csv\")\n"
+      "small = df[[\"a\", \"b\"]]\n"
+      "print(small)\n",
+      "df");
+  EXPECT_FALSE(run.all_columns);
+  EXPECT_EQ(run.live_columns, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(LiveAttributeTest, FilterMaskColumnsAreLive) {
+  LaaRun run = RunLaa(
+      "import pandas as pd\n"
+      "df = pd.read_csv(\"t.csv\")\n"
+      "out = df[(df.a > 0) & (df.b < 5)][[\"c\"]]\n"
+      "print(out)\n",
+      "df");
+  EXPECT_FALSE(run.all_columns);
+  EXPECT_EQ(run.live_columns, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(LiveAttributeTest, MergeGeneratesKeysOnBothSides) {
+  auto module = Parse(
+      "import pandas as pd\n"
+      "a = pd.read_csv(\"a.csv\")\n"
+      "b = pd.read_csv(\"b.csv\")\n"
+      "j = a.merge(b, on=[\"k\"])\n"
+      "out = j[[\"v\"]]\n"
+      "print(out)\n");
+  ASSERT_TRUE(module.ok());
+  auto ir = LowerToIR(*module);
+  ASSERT_TRUE(ir.ok());
+  ProgramModel model = BuildProgramModel(*ir);
+  auto cfg = BuildCfg(*ir);
+  auto liveness = RunLivenessAnalysis(*cfg, model);
+  ASSERT_TRUE(liveness.ok());
+  // At both reads: keys + v live (v could come from either side).
+  for (size_t i = 0; i < ir->stmts.size(); ++i) {
+    const IRStmt& stmt = ir->stmts[i];
+    if (stmt.kind != IRStmtKind::kAssign ||
+        stmt.expr.attr != "read_csv") {
+      continue;
+    }
+    bool all = false;
+    auto cols = liveness->LiveColumnsAfter(i, stmt.target, &all);
+    std::sort(cols.begin(), cols.end());
+    EXPECT_FALSE(all);
+    EXPECT_EQ(cols, (std::vector<std::string>{"k", "v"})) << stmt.target;
+  }
+}
+
+TEST(LiveAttributeTest, ConditionalUseKeepsColumnLive) {
+  // `b` used only in one branch: still live at the read (may-analysis).
+  LaaRun run = RunLaa(
+      "import pandas as pd\n"
+      "df = pd.read_csv(\"t.csv\")\n"
+      "n = len(df)\n"
+      "if n > 100:\n"
+      "    x = df.b.sum()\n"
+      "else:\n"
+      "    x = df.a.sum()\n"
+      "print(f\"{x}\")\n",
+      "df");
+  EXPECT_FALSE(run.all_columns);
+  EXPECT_EQ(run.live_columns, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(LiveAttributeTest, LoopUseStaysLiveAcrossIterations) {
+  LaaRun run = RunLaa(
+      "import pandas as pd\n"
+      "df = pd.read_csv(\"t.csv\")\n"
+      "i = 0\n"
+      "total = 0\n"
+      "while i < 3:\n"
+      "    total = total + df.v.sum()\n"
+      "    i = i + 1\n"
+      "print(f\"{total}\")\n",
+      "df");
+  EXPECT_FALSE(run.all_columns);
+  EXPECT_EQ(run.live_columns, std::vector<std::string>{"v"});
+}
+
+TEST(LiveAttributeTest, ExternalCallForcesAllColumns) {
+  LaaRun run = RunLaa(
+      "import pandas as pd\n"
+      "import matplotlib.pyplot as plt\n"
+      "df = pd.read_csv(\"t.csv\")\n"
+      "plt.plot(df)\n",
+      "df");
+  EXPECT_TRUE(run.all_columns);
+}
+
+TEST(LiveAttributeTest, SortKeysAreLive) {
+  LaaRun run = RunLaa(
+      "import pandas as pd\n"
+      "df = pd.read_csv(\"t.csv\")\n"
+      "s = df.sort_values(by=[\"price\"])\n"
+      "out = s[[\"name\"]]\n"
+      "print(out)\n",
+      "df");
+  EXPECT_FALSE(run.all_columns);
+  EXPECT_EQ(run.live_columns,
+            (std::vector<std::string>{"name", "price"}));
+}
+
+TEST(LiveDataFrameTest, LiveSetAtExternalCall) {
+  // Paper Figure 10/11: at plt.plot, df is live (used later for
+  // avg_fare); p_per_day is not (no later use).
+  auto module = Parse(
+      "import lazyfatpandas.pandas as pd\n"
+      "import matplotlib.pyplot as plt\n"
+      "df = pd.read_csv(\"t.csv\")\n"
+      "p_per_day = df.groupby([\"day\"])[\"pax\"].sum()\n"
+      "plt.plot(p_per_day)\n"
+      "avg = df.fare.mean()\n"
+      "print(f\"{avg}\")\n");
+  ASSERT_TRUE(module.ok());
+  auto ir = LowerToIR(*module);
+  ASSERT_TRUE(ir.ok());
+  ProgramModel model = BuildProgramModel(*ir);
+  auto cfg = BuildCfg(*ir);
+  auto liveness = RunLivenessAnalysis(*cfg, model);
+  ASSERT_TRUE(liveness.ok());
+  // Find the plt.plot statement.
+  for (size_t i = 0; i < ir->stmts.size(); ++i) {
+    const IRStmt& stmt = ir->stmts[i];
+    if (stmt.kind == IRStmtKind::kExprStmt &&
+        stmt.expr.kind == IRExprKind::kCall && stmt.expr.attr == "plot") {
+      auto live = LiveDataFramesAfter(*liveness, model, i);
+      EXPECT_EQ(live, std::vector<std::string>{"df"});
+      return;
+    }
+  }
+  FAIL() << "plot statement not found";
+}
+
+}  // namespace
+}  // namespace lafp::script

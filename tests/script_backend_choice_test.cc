@@ -1,0 +1,150 @@
+#include "script/backend_choice.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace lafp::script {
+namespace {
+
+class BackendChoiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "choice_test_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::create_directories(dir_);
+    csv_path_ = dir_ + "/data.csv";
+    std::ofstream out(csv_path_);
+    out << "a,b,c,d,e,f\n";
+    for (int i = 0; i < 20000; ++i) {
+      out << i << "," << i * 2 << "," << i % 7 << ",xxxxxxxx,yyyyyyyy,"
+          << i * 0.5 << "\n";
+    }
+    store_ = std::make_unique<meta::MetaStore>(dir_ + "/metastore");
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  BackendChoiceOptions Options(int64_t budget) {
+    BackendChoiceOptions options;
+    options.memory_budget = budget;
+    options.metastore = store_.get();
+    return options;
+  }
+
+  std::string Program() const {
+    return "import lazyfatpandas.pandas as pd\n"
+           "df = pd.read_csv(\"" + csv_path_ + "\")\n"
+           "out = df.groupby([\"c\"])[\"a\"].sum()\n"
+           "print(out)\n";
+  }
+
+  std::string dir_, csv_path_;
+  std::unique_ptr<meta::MetaStore> store_;
+};
+
+TEST_F(BackendChoiceTest, SmallDataChoosesPandas) {
+  auto choice = ChooseBackend(Program(), Options(1LL << 30));
+  ASSERT_TRUE(choice.ok()) << choice.status().ToString();
+  EXPECT_EQ(choice->backend, exec::BackendKind::kPandas);
+  EXPECT_GT(choice->estimated_bytes, 0);
+  EXPECT_NE(choice->rationale.find("fits"), std::string::npos);
+}
+
+TEST_F(BackendChoiceTest, TightBudgetChoosesDask) {
+  auto choice = ChooseBackend(Program(), Options(100'000));
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice->backend, exec::BackendKind::kDask);
+  EXPECT_NE(choice->rationale.find("exceeds"), std::string::npos);
+}
+
+TEST_F(BackendChoiceTest, EstimateUsesPrunedColumns) {
+  // The program only touches a and c; the estimate must be far below the
+  // full six-column footprint (d/e are fat strings).
+  auto pruned = ChooseBackend(Program(), Options(0));
+  std::string all_columns_program =
+      "import lazyfatpandas.pandas as pd\n"
+      "df = pd.read_csv(\"" + csv_path_ + "\")\n"
+      "print(df)\n";
+  auto full = ChooseBackend(all_columns_program, Options(0));
+  ASSERT_TRUE(pruned.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_LT(pruned->estimated_bytes, full->estimated_bytes / 2);
+}
+
+TEST_F(BackendChoiceTest, DetectsOrderSensitivity) {
+  std::string sorted_program =
+      "import lazyfatpandas.pandas as pd\n"
+      "df = pd.read_csv(\"" + csv_path_ + "\")\n"
+      "s = df.sort_values(by=[\"a\"])\n"
+      "top = s.head(3)\n"
+      "print(top)\n";
+  auto choice = ChooseBackend(sorted_program, Options(100'000));
+  ASSERT_TRUE(choice.ok());
+  EXPECT_TRUE(choice->order_sensitive);
+  EXPECT_NE(choice->rationale.find("row order"), std::string::npos);
+
+  auto plain = ChooseBackend(Program(), Options(100'000));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->order_sensitive);
+}
+
+TEST_F(BackendChoiceTest, DeadSortIsNotOrderSensitive) {
+  // A sort whose result is never used does not make the program order
+  // dependent.
+  std::string program =
+      "import lazyfatpandas.pandas as pd\n"
+      "df = pd.read_csv(\"" + csv_path_ + "\")\n"
+      "unused = df.sort_values(by=[\"a\"])\n"
+      "out = df.groupby([\"c\"])[\"a\"].sum()\n"
+      "print(out)\n";
+  auto choice = ChooseBackend(program, Options(0));
+  ASSERT_TRUE(choice.ok());
+  EXPECT_FALSE(choice->order_sensitive);
+}
+
+TEST_F(BackendChoiceTest, DynamicPathFallsBackToDask) {
+  std::string program =
+      "import lazyfatpandas.pandas as pd\n"
+      "p = \"" + csv_path_ + "\"\n"
+      "df = pd.read_csv(p)\n"  // path via variable: not a constant
+      "print(df.head())\n";
+  auto choice = ChooseBackend(program, Options(1LL << 30));
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice->backend, exec::BackendKind::kDask);
+  EXPECT_NE(choice->rationale.find("not statically estimable"),
+            std::string::npos);
+}
+
+TEST_F(BackendChoiceTest, RequiresMetastore) {
+  BackendChoiceOptions options;
+  options.metastore = nullptr;
+  EXPECT_FALSE(ChooseBackend(Program(), options).ok());
+}
+
+TEST_F(BackendChoiceTest, MultipleReadsAccumulate) {
+  std::string other_csv = dir_ + "/other.csv";
+  {
+    std::ofstream out(other_csv);
+    out << "k,v\n";
+    for (int i = 0; i < 20000; ++i) out << i << "," << i << "\n";
+  }
+  std::string program =
+      "import lazyfatpandas.pandas as pd\n"
+      "a = pd.read_csv(\"" + csv_path_ + "\")\n"
+      "b = pd.read_csv(\"" + other_csv + "\")\n"
+      "print(a)\n"
+      "print(b)\n";
+  auto both = ChooseBackend(program, Options(0));
+  std::string single =
+      "import lazyfatpandas.pandas as pd\n"
+      "a = pd.read_csv(\"" + csv_path_ + "\")\n"
+      "print(a)\n";
+  auto one = ChooseBackend(single, Options(0));
+  ASSERT_TRUE(both.ok());
+  ASSERT_TRUE(one.ok());
+  EXPECT_GT(both->estimated_bytes, one->estimated_bytes);
+}
+
+}  // namespace
+}  // namespace lafp::script

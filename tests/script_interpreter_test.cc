@@ -1,0 +1,297 @@
+#include "script/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/macros.h"
+#include "optimizer/passes.h"
+#include "script/analyze.h"
+
+namespace lafp::script {
+namespace {
+
+using exec::BackendKind;
+using lazy::ExecutionMode;
+using lazy::Session;
+using lazy::SessionOptions;
+
+class InterpreterTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "interp_test_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::create_directories(dir_);
+    csv_path_ = dir_ + "/taxi.csv";
+    std::ofstream out(csv_path_);
+    out << "fare_amount,pickup_datetime,passenger_count,tip,vendor\n";
+    for (int i = 0; i < 120; ++i) {
+      out << ((i % 10) - 2) << ".5,"
+          << "2024-01-" << (i % 28 + 1 < 10 ? "0" : "") << (i % 28 + 1)
+          << " 0" << (i % 9) << ":00:00," << (i % 4 + 1) << "," << (i % 3)
+          << "," << (i % 2 == 0 ? "acme" : "zoom") << "\n";
+    }
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Run `source` and return the captured stdout.
+  Result<std::string> Run(const std::string& source, bool analyze,
+                          ExecutionMode mode, bool lazy_print = true,
+                          bool optimizer = false) {
+    SessionOptions opts;
+    opts.backend = GetParam();
+    opts.backend_config.partition_rows = 32;
+    opts.mode = mode;
+    opts.lazy_print = lazy_print;
+    std::stringstream output;
+    opts.output = &output;
+    MemoryTracker tracker(0);
+    opts.tracker = &tracker;
+    Session session(opts);
+    if (optimizer) opt::InstallDefaultOptimizer(&session);
+    RunOptions run_opts;
+    run_opts.analyze = analyze;
+    LAFP_RETURN_NOT_OK(RunProgram(source, &session, run_opts));
+    return output.str();
+  }
+
+  std::string Taxi() const {
+    return "import lazyfatpandas.pandas as pd\n"
+           "df = pd.read_csv(\"" + csv_path_ + "\")\n"
+           "df = df[df.fare_amount > 0]\n"
+           "df[\"day\"] = df.pickup_datetime.dt.dayofweek\n"
+           "p_per_day = df.groupby([\"day\"])[\"passenger_count\"].sum()\n"
+           "checksum(p_per_day)\n";
+  }
+
+  std::string dir_, csv_path_;
+};
+
+TEST_P(InterpreterTest, TaxiProgramRunsInAllModes) {
+  auto eager = Run(Taxi(), /*analyze=*/false, ExecutionMode::kEager);
+  ASSERT_TRUE(eager.ok()) << eager.status().ToString();
+  auto lazy_plain = Run(Taxi(), false, ExecutionMode::kLazy, false);
+  ASSERT_TRUE(lazy_plain.ok()) << lazy_plain.status().ToString();
+  auto lafp = Run(Taxi(), true, ExecutionMode::kLazy, true, true);
+  ASSERT_TRUE(lafp.ok()) << lafp.status().ToString();
+  // §5.2 regression methodology: identical checksums across modes.
+  EXPECT_EQ(*eager, *lazy_plain);
+  EXPECT_EQ(*eager, *lafp);
+  EXPECT_NE(eager->find("checksum "), std::string::npos);
+}
+
+TEST_P(InterpreterTest, ArithmeticAndControlFlow) {
+  std::string source =
+      "x = 3\n"
+      "total = 0\n"
+      "while x > 0:\n"
+      "    total = total + x * 2\n"
+      "    x = x - 1\n"
+      "if total == 12:\n"
+      "    print(\"twelve\")\n"
+      "else:\n"
+      "    print(\"bug\")\n";
+  auto out = Run(source, false, ExecutionMode::kEager);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "twelve\n");
+}
+
+TEST_P(InterpreterTest, PaperFigure7MultiplePrints) {
+  std::string source =
+      "import lazyfatpandas.pandas as pd\n"
+      "df = pd.read_csv(\"" + csv_path_ + "\")\n"
+      "print(df.head())\n"
+      "df[\"day\"] = df.pickup_datetime.dt.dayofweek\n"
+      "p_per_day = df.groupby([\"day\"])[\"passenger_count\"].sum()\n"
+      "print(p_per_day)\n"
+      "avg_fare = df.fare_amount.mean()\n"
+      "print(f\"Average fare: {avg_fare}\")\n";
+  auto out = Run(source, true, ExecutionMode::kLazy, true, true);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // All three outputs, in program order.
+  size_t head_pos = out->find("fare_amount");
+  size_t group_pos = out->find("day");
+  size_t avg_pos = out->find("Average fare: 2.8");
+  ASSERT_NE(head_pos, std::string::npos) << *out;
+  ASSERT_NE(group_pos, std::string::npos) << *out;
+  ASSERT_NE(avg_pos, std::string::npos) << *out;
+  EXPECT_LT(head_pos, avg_pos);
+}
+
+TEST_P(InterpreterTest, PaperFigure10ExternalPlotOrdering) {
+  std::string source =
+      "import lazyfatpandas.pandas as pd\n"
+      "import matplotlib.pyplot as plt\n"
+      "df = pd.read_csv(\"" + csv_path_ + "\")\n"
+      "print(df.head())\n"
+      "df[\"day\"] = df.pickup_datetime.dt.dayofweek\n"
+      "p_per_day = df.groupby([\"day\"])[\"passenger_count\"].sum()\n"
+      "print(p_per_day)\n"
+      "plt.plot(p_per_day)\n"
+      "avg_fare = df.fare_amount.mean()\n"
+      "print(f\"Average fare: {avg_fare}\")\n";
+  auto out = Run(source, true, ExecutionMode::kLazy, true, true);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // §3.4: pending prints are flushed before the plot output appears, and
+  // the final print after it.
+  size_t head_pos = out->find("fare_amount");
+  size_t plot_pos = out->find("[plt.plot:");
+  size_t avg_pos = out->find("Average fare:");
+  ASSERT_NE(head_pos, std::string::npos) << *out;
+  ASSERT_NE(plot_pos, std::string::npos) << *out;
+  ASSERT_NE(avg_pos, std::string::npos) << *out;
+  EXPECT_LT(head_pos, plot_pos);
+  EXPECT_LT(plot_pos, avg_pos);
+}
+
+TEST_P(InterpreterTest, MergeProgram) {
+  std::string lookup = dir_ + "/vendors.csv";
+  {
+    std::ofstream out(lookup);
+    out << "vendor,hq\nacme,NY\nzoom,SF\n";
+  }
+  std::string source =
+      "import lazyfatpandas.pandas as pd\n"
+      "trips = pd.read_csv(\"" + csv_path_ + "\")\n"
+      "vendors = pd.read_csv(\"" + lookup + "\")\n"
+      "j = trips.merge(vendors, on=[\"vendor\"], how=\"inner\")\n"
+      "out = j.groupby([\"hq\"])[\"tip\"].sum()\n"
+      "checksum(out)\n";
+  auto plain = Run(source, false, ExecutionMode::kEager);
+  auto lafp = Run(source, true, ExecutionMode::kLazy, true, true);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_TRUE(lafp.ok()) << lafp.status().ToString();
+  EXPECT_EQ(*plain, *lafp);
+}
+
+TEST_P(InterpreterTest, SortAndFilterProgram) {
+  std::string source =
+      "import lazyfatpandas.pandas as pd\n"
+      "df = pd.read_csv(\"" + csv_path_ + "\")\n"
+      "big = df[df.fare_amount > 2]\n"
+      "sel = big[[\"fare_amount\", \"passenger_count\"]]\n"
+      "top = sel.sort_values(by=[\"fare_amount\"], ascending=False)\n"
+      "checksum(top)\n";
+  auto plain = Run(source, false, ExecutionMode::kEager);
+  auto lafp = Run(source, true, ExecutionMode::kLazy, true, true);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_TRUE(lafp.ok()) << lafp.status().ToString();
+  EXPECT_EQ(*plain, *lafp);
+}
+
+TEST_P(InterpreterTest, StringAndCategoryOps) {
+  std::string source =
+      "import lazyfatpandas.pandas as pd\n"
+      "df = pd.read_csv(\"" + csv_path_ + "\")\n"
+      "df[\"vendor\"] = df.vendor.astype(\"category\")\n"
+      "acme = df[df.vendor == \"acme\"]\n"
+      "n = len(acme)\n"
+      "print(f\"acme trips: {n}\")\n";
+  auto out = Run(source, false, ExecutionMode::kEager);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->find("acme trips: 60"), std::string::npos) << *out;
+}
+
+TEST_P(InterpreterTest, ValueCountsAndUnique) {
+  std::string source =
+      "import lazyfatpandas.pandas as pd\n"
+      "df = pd.read_csv(\"" + csv_path_ + "\")\n"
+      "counts = df.vendor.value_counts()\n"
+      "checksum(counts)\n"
+      "u = df.passenger_count.unique()\n"
+      "n = len(u)\n"
+      "print(f\"kinds: {n}\")\n";
+  auto plain = Run(source, false, ExecutionMode::kEager);
+  auto lafp = Run(source, true, ExecutionMode::kLazy, true, true);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_TRUE(lafp.ok()) << lafp.status().ToString();
+  EXPECT_EQ(*plain, *lafp);
+  EXPECT_NE(plain->find("kinds: 4"), std::string::npos);
+}
+
+TEST_P(InterpreterTest, FillnaDropnaPipeline) {
+  std::string gaps = dir_ + "/gaps.csv";
+  {
+    std::ofstream out(gaps);
+    out << "a,b\n1,\n,x\n3,y\n4,z\n";
+  }
+  std::string source =
+      "import lazyfatpandas.pandas as pd\n"
+      "df = pd.read_csv(\"" + gaps + "\")\n"
+      "filled = df.fillna(0)\n"
+      "checksum(filled)\n"
+      "clean = df.dropna()\n"
+      "n = len(clean)\n"
+      "print(f\"clean: {n}\")\n";
+  auto plain = Run(source, false, ExecutionMode::kEager);
+  auto lafp = Run(source, true, ExecutionMode::kLazy, true, true);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_TRUE(lafp.ok()) << lafp.status().ToString();
+  EXPECT_EQ(*plain, *lafp);
+  EXPECT_NE(plain->find("clean: 2"), std::string::npos);
+}
+
+TEST_P(InterpreterTest, ScalarFeedbackFilter) {
+  std::string source =
+      "import lazyfatpandas.pandas as pd\n"
+      "df = pd.read_csv(\"" + csv_path_ + "\")\n"
+      "avg = df.fare_amount.mean()\n"
+      "rich = df[df.fare_amount > avg]\n"
+      "n = len(rich)\n"
+      "print(f\"above mean: {n}\")\n";
+  auto plain = Run(source, false, ExecutionMode::kEager);
+  auto lafp = Run(source, true, ExecutionMode::kLazy, true, true);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_TRUE(lafp.ok()) << lafp.status().ToString();
+  EXPECT_EQ(*plain, *lafp);
+}
+
+TEST_P(InterpreterTest, UndefinedVariableError) {
+  auto out = Run("print(ghost)\n", false, ExecutionMode::kEager);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kExecutionError);
+}
+
+TEST_P(InterpreterTest, MissingColumnSurfacesKeyError) {
+  std::string source =
+      "import lazyfatpandas.pandas as pd\n"
+      "df = pd.read_csv(\"" + csv_path_ + "\")\n"
+      "x = df.no_such_column.sum()\n"
+      "print(f\"{x}\")\n";
+  auto out = Run(source, false, ExecutionMode::kEager);
+  EXPECT_TRUE(out.status().IsKeyError()) << out.status().ToString();
+}
+
+TEST_P(InterpreterTest, RewrittenProgramReadsFewerColumns) {
+  // Observable effect of the §3.1 rewrite: head() after pruning shows
+  // only the used columns.
+  SessionOptions opts;
+  opts.backend = GetParam();
+  opts.mode = ExecutionMode::kLazy;
+  std::stringstream output;
+  opts.output = &output;
+  MemoryTracker tracker(0);
+  opts.tracker = &tracker;
+  Session session(opts);
+  RunOptions run_opts;
+  run_opts.analyze = true;
+  AnalyzeResult analyzed;
+  ASSERT_TRUE(RunProgram(Taxi(), &session, run_opts, nullptr, &analyzed)
+                  .ok());
+  EXPECT_EQ(analyzed.stats.reads_pruned, 1);
+  EXPECT_NE(analyzed.regenerated_source.find("usecols="),
+            std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, InterpreterTest,
+                         ::testing::Values(BackendKind::kPandas,
+                                           BackendKind::kModin,
+                                           BackendKind::kDask),
+                         [](const auto& info) {
+                           return exec::BackendKindName(info.param);
+                         });
+
+}  // namespace
+}  // namespace lafp::script

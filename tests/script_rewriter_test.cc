@@ -1,0 +1,205 @@
+#include "script/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "script/analyze.h"
+#include "script/codegen.h"
+
+namespace lafp::script {
+namespace {
+
+class RewriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "rw_test_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::create_directories(dir_);
+    csv_path_ = dir_ + "/test.csv";
+    std::ofstream out(csv_path_);
+    // 6 columns; programs typically use 3 (paper: 22 columns, 3 used).
+    out << "fare_amount,pickup_datetime,passenger_count,tip,tolls,vendor\n";
+    for (int i = 0; i < 50; ++i) {
+      out << i << ",2024-01-01 08:00:00," << (i % 4) << ",1,0,"
+          << (i % 2 == 0 ? "acme" : "zoom") << "\n";
+    }
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  Result<std::string> RewriteToSource(const std::string& source,
+                                      RewriteOptions options = {},
+                                      RewriteStats* stats = nullptr) {
+    auto module = Parse(source);
+    if (!module.ok()) return module.status();
+    auto ir = LowerToIR(*module);
+    if (!ir.ok()) return ir.status();
+    auto rewritten = Rewrite(*ir, options, stats);
+    if (!rewritten.ok()) return rewritten.status();
+    return GenerateSource(*rewritten);
+  }
+
+  std::string TaxiProgram() const {
+    return "import lazyfatpandas.pandas as pd\n"
+           "df = pd.read_csv(\"" + csv_path_ + "\")\n"
+           "df = df[df.fare_amount > 0]\n"
+           "df[\"day\"] = df.pickup_datetime.dt.dayofweek\n"
+           "p_per_day = df.groupby([\"day\"])[\"passenger_count\"].sum()\n"
+           "print(p_per_day)\n";
+  }
+
+  std::string dir_, csv_path_;
+};
+
+/// Paper Figure 3 -> Figure 4: the rewritten read_csv fetches only the
+/// three used columns via usecols.
+TEST_F(RewriterTest, ColumnSelectionMatchesPaperFigure4) {
+  RewriteStats stats;
+  RewriteOptions options;
+  auto source = RewriteToSource(TaxiProgram(), options, &stats);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  EXPECT_EQ(stats.reads_pruned, 1);
+  EXPECT_NE(
+      source->find("usecols=[\"fare_amount\", \"passenger_count\", "
+                   "\"pickup_datetime\"]"),
+      std::string::npos)
+      << *source;
+  EXPECT_TRUE(stats.flush_inserted);
+  EXPECT_NE(source->find("pd.flush()"), std::string::npos);
+}
+
+TEST_F(RewriterTest, NoPruningWhenWholeFramePrinted) {
+  RewriteStats stats;
+  auto source = RewriteToSource(
+      "import lazyfatpandas.pandas as pd\n"
+      "df = pd.read_csv(\"" + csv_path_ + "\")\n"
+      "print(df)\n",
+      {}, &stats);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(stats.reads_pruned, 0);
+  EXPECT_EQ(source->find("usecols"), std::string::npos);
+}
+
+TEST_F(RewriterTest, ExistingUsecolsNotOverwritten) {
+  RewriteStats stats;
+  auto source = RewriteToSource(
+      "import lazyfatpandas.pandas as pd\n"
+      "df = pd.read_csv(\"" + csv_path_ + "\", usecols=[\"tip\"])\n"
+      "x = df.tip.sum()\n"
+      "print(f\"{x}\")\n",
+      {}, &stats);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(stats.reads_pruned, 0);
+}
+
+/// Paper Figure 10 -> Figure 11: compute(live_df=[df]) inserted before
+/// the external plot call.
+TEST_F(RewriterTest, ForcedComputeWithLiveDfMatchesPaperFigure11) {
+  RewriteStats stats;
+  auto source = RewriteToSource(
+      "import lazyfatpandas.pandas as pd\n"
+      "import matplotlib.pyplot as plt\n"
+      "df = pd.read_csv(\"" + csv_path_ + "\")\n"
+      "p_per_day = df.groupby([\"day\"])[\"passenger_count\"].sum()\n"
+      "plt.plot(p_per_day)\n"
+      "avg_fare = df.fare_amount.mean()\n"
+      "print(f\"Average fare: {avg_fare}\")\n",
+      {}, &stats);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  EXPECT_EQ(stats.computes_inserted, 1);
+  EXPECT_NE(source->find("plt.plot(p_per_day.compute(live_df=[df]))"),
+            std::string::npos)
+      << *source;
+}
+
+TEST_F(RewriterTest, ComputeInsertionDisabled) {
+  RewriteOptions options;
+  options.forced_compute = false;
+  RewriteStats stats;
+  auto source = RewriteToSource(
+      "import lazyfatpandas.pandas as pd\n"
+      "import matplotlib.pyplot as plt\n"
+      "df = pd.read_csv(\"" + csv_path_ + "\")\n"
+      "plt.plot(df)\n",
+      options, &stats);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(stats.computes_inserted, 0);
+  EXPECT_EQ(source->find(".compute("), std::string::npos);
+}
+
+TEST_F(RewriterTest, MetadataDtypesAddCategoryForReadOnlyLowCardinality) {
+  meta::MetaStore store(dir_ + "/metastore");
+  RewriteOptions options;
+  options.metastore = &store;
+  options.category_max_distinct = 8;
+  RewriteStats stats;
+  auto source = RewriteToSource(
+      "import lazyfatpandas.pandas as pd\n"
+      "df = pd.read_csv(\"" + csv_path_ + "\")\n"
+      "out = df.groupby([\"vendor\"])[\"fare_amount\"].sum()\n"
+      "print(out)\n",
+      options, &stats);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  EXPECT_EQ(stats.dtype_hints_added, 1);
+  EXPECT_GE(stats.category_columns, 1);
+  // vendor: 2 distinct strings, never assigned -> category.
+  EXPECT_NE(source->find("\"vendor\": \"category\""), std::string::npos)
+      << *source;
+}
+
+TEST_F(RewriterTest, AssignedColumnNotCategorized) {
+  meta::MetaStore store(dir_ + "/metastore");
+  RewriteOptions options;
+  options.metastore = &store;
+  options.category_max_distinct = 8;
+  RewriteStats stats;
+  auto source = RewriteToSource(
+      "import lazyfatpandas.pandas as pd\n"
+      "df = pd.read_csv(\"" + csv_path_ + "\")\n"
+      "df[\"vendor\"] = \"other\"\n"
+      "out = df.groupby([\"vendor\"])[\"fare_amount\"].sum()\n"
+      "print(out)\n",
+      options, &stats);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  // vendor is assigned by the program: categorizing it would be unsafe
+  // (§3.6); it must stay a plain string.
+  EXPECT_EQ(source->find("\"vendor\": \"category\""), std::string::npos)
+      << *source;
+}
+
+TEST_F(RewriterTest, AnalyzePipelineReportsTiming) {
+  AnalyzeOptions options;
+  auto result = Analyze(TaxiProgram(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->analysis_seconds, 0.0);
+  EXPECT_LT(result->analysis_seconds, 1.0);  // paper: 0.04-0.59s
+  EXPECT_FALSE(result->regenerated_source.empty());
+  EXPECT_EQ(result->stats.reads_pruned, 1);
+  // The regenerated program is itself parseable (SCIRPy -> Python).
+  EXPECT_TRUE(Parse(result->regenerated_source).ok());
+}
+
+TEST_F(RewriterTest, RewritePreservesControlFlow) {
+  RewriteStats stats;
+  auto source = RewriteToSource(
+      "import lazyfatpandas.pandas as pd\n"
+      "df = pd.read_csv(\"" + csv_path_ + "\")\n"
+      "n = len(df)\n"
+      "if n > 10:\n"
+      "    x = df.tip.sum()\n"
+      "else:\n"
+      "    x = df.tolls.sum()\n"
+      "print(f\"{x}\")\n",
+      {}, &stats);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  EXPECT_EQ(stats.reads_pruned, 1);
+  EXPECT_NE(source->find("usecols=[\"tip\", \"tolls\"]"),
+            std::string::npos)
+      << *source;
+  EXPECT_NE(source->find("if"), std::string::npos);
+  EXPECT_NE(source->find("else:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lafp::script
