@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_spill.dir/bench_ablation_spill.cc.o"
+  "CMakeFiles/bench_ablation_spill.dir/bench_ablation_spill.cc.o.d"
+  "bench_ablation_spill"
+  "bench_ablation_spill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_spill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

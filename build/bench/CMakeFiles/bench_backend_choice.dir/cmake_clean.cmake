@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backend_choice.dir/bench_backend_choice.cc.o"
+  "CMakeFiles/bench_backend_choice.dir/bench_backend_choice.cc.o.d"
+  "bench_backend_choice"
+  "bench_backend_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backend_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

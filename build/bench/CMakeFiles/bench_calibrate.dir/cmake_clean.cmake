@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_calibrate.dir/bench_calibrate.cc.o"
+  "CMakeFiles/bench_calibrate.dir/bench_calibrate.cc.o.d"
+  "bench_calibrate"
+  "bench_calibrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_calibrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_success.dir/bench_fig12_success.cc.o"
+  "CMakeFiles/bench_fig12_success.dir/bench_fig12_success.cc.o.d"
+  "bench_fig12_success"
+  "bench_fig12_success.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

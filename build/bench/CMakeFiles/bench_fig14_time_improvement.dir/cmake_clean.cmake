@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_time_improvement.dir/bench_fig14_time_improvement.cc.o"
+  "CMakeFiles/bench_fig14_time_improvement.dir/bench_fig14_time_improvement.cc.o.d"
+  "bench_fig14_time_improvement"
+  "bench_fig14_time_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_time_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jit_overhead.dir/bench_jit_overhead.cc.o"
+  "CMakeFiles/bench_jit_overhead.dir/bench_jit_overhead.cc.o.d"
+  "bench_jit_overhead"
+  "bench_jit_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jit_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lafp_benchlib.dir/datagen.cc.o"
+  "CMakeFiles/lafp_benchlib.dir/datagen.cc.o.d"
+  "CMakeFiles/lafp_benchlib.dir/harness.cc.o"
+  "CMakeFiles/lafp_benchlib.dir/harness.cc.o.d"
+  "CMakeFiles/lafp_benchlib.dir/programs.cc.o"
+  "CMakeFiles/lafp_benchlib.dir/programs.cc.o.d"
+  "liblafp_benchlib.a"
+  "liblafp_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lafp_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_comparison.dir/backend_comparison.cpp.o"
+  "CMakeFiles/backend_comparison.dir/backend_comparison.cpp.o.d"
+  "backend_comparison"
+  "backend_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/script_pipeline.cpp" "examples/CMakeFiles/script_pipeline.dir/script_pipeline.cpp.o" "gcc" "examples/CMakeFiles/script_pipeline.dir/script_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/script/CMakeFiles/lafp_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/lafp_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/lazy/CMakeFiles/lafp_lazy.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/lafp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/lafp_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/lafp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataframe/CMakeFiles/lafp_dataframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lafp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_pipeline.dir/script_pipeline.cpp.o"
+  "CMakeFiles/script_pipeline.dir/script_pipeline.cpp.o.d"
+  "script_pipeline"
+  "script_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_analysis.dir/taxi_analysis.cpp.o"
+  "CMakeFiles/taxi_analysis.dir/taxi_analysis.cpp.o.d"
+  "taxi_analysis"
+  "taxi_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

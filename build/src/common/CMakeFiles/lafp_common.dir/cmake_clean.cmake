@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lafp_common.dir/hash.cc.o"
+  "CMakeFiles/lafp_common.dir/hash.cc.o.d"
+  "CMakeFiles/lafp_common.dir/logging.cc.o"
+  "CMakeFiles/lafp_common.dir/logging.cc.o.d"
+  "CMakeFiles/lafp_common.dir/memory_tracker.cc.o"
+  "CMakeFiles/lafp_common.dir/memory_tracker.cc.o.d"
+  "CMakeFiles/lafp_common.dir/status.cc.o"
+  "CMakeFiles/lafp_common.dir/status.cc.o.d"
+  "CMakeFiles/lafp_common.dir/string_util.cc.o"
+  "CMakeFiles/lafp_common.dir/string_util.cc.o.d"
+  "CMakeFiles/lafp_common.dir/thread_pool.cc.o"
+  "CMakeFiles/lafp_common.dir/thread_pool.cc.o.d"
+  "liblafp_common.a"
+  "liblafp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lafp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

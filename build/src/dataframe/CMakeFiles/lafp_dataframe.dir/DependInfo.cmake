@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataframe/column.cc" "src/dataframe/CMakeFiles/lafp_dataframe.dir/column.cc.o" "gcc" "src/dataframe/CMakeFiles/lafp_dataframe.dir/column.cc.o.d"
+  "/root/repo/src/dataframe/dataframe.cc" "src/dataframe/CMakeFiles/lafp_dataframe.dir/dataframe.cc.o" "gcc" "src/dataframe/CMakeFiles/lafp_dataframe.dir/dataframe.cc.o.d"
+  "/root/repo/src/dataframe/kernels_agg.cc" "src/dataframe/CMakeFiles/lafp_dataframe.dir/kernels_agg.cc.o" "gcc" "src/dataframe/CMakeFiles/lafp_dataframe.dir/kernels_agg.cc.o.d"
+  "/root/repo/src/dataframe/kernels_arith.cc" "src/dataframe/CMakeFiles/lafp_dataframe.dir/kernels_arith.cc.o" "gcc" "src/dataframe/CMakeFiles/lafp_dataframe.dir/kernels_arith.cc.o.d"
+  "/root/repo/src/dataframe/kernels_compare.cc" "src/dataframe/CMakeFiles/lafp_dataframe.dir/kernels_compare.cc.o" "gcc" "src/dataframe/CMakeFiles/lafp_dataframe.dir/kernels_compare.cc.o.d"
+  "/root/repo/src/dataframe/kernels_datetime.cc" "src/dataframe/CMakeFiles/lafp_dataframe.dir/kernels_datetime.cc.o" "gcc" "src/dataframe/CMakeFiles/lafp_dataframe.dir/kernels_datetime.cc.o.d"
+  "/root/repo/src/dataframe/kernels_join.cc" "src/dataframe/CMakeFiles/lafp_dataframe.dir/kernels_join.cc.o" "gcc" "src/dataframe/CMakeFiles/lafp_dataframe.dir/kernels_join.cc.o.d"
+  "/root/repo/src/dataframe/kernels_sort.cc" "src/dataframe/CMakeFiles/lafp_dataframe.dir/kernels_sort.cc.o" "gcc" "src/dataframe/CMakeFiles/lafp_dataframe.dir/kernels_sort.cc.o.d"
+  "/root/repo/src/dataframe/types.cc" "src/dataframe/CMakeFiles/lafp_dataframe.dir/types.cc.o" "gcc" "src/dataframe/CMakeFiles/lafp_dataframe.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lafp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lafp_dataframe.dir/column.cc.o"
+  "CMakeFiles/lafp_dataframe.dir/column.cc.o.d"
+  "CMakeFiles/lafp_dataframe.dir/dataframe.cc.o"
+  "CMakeFiles/lafp_dataframe.dir/dataframe.cc.o.d"
+  "CMakeFiles/lafp_dataframe.dir/kernels_agg.cc.o"
+  "CMakeFiles/lafp_dataframe.dir/kernels_agg.cc.o.d"
+  "CMakeFiles/lafp_dataframe.dir/kernels_arith.cc.o"
+  "CMakeFiles/lafp_dataframe.dir/kernels_arith.cc.o.d"
+  "CMakeFiles/lafp_dataframe.dir/kernels_compare.cc.o"
+  "CMakeFiles/lafp_dataframe.dir/kernels_compare.cc.o.d"
+  "CMakeFiles/lafp_dataframe.dir/kernels_datetime.cc.o"
+  "CMakeFiles/lafp_dataframe.dir/kernels_datetime.cc.o.d"
+  "CMakeFiles/lafp_dataframe.dir/kernels_join.cc.o"
+  "CMakeFiles/lafp_dataframe.dir/kernels_join.cc.o.d"
+  "CMakeFiles/lafp_dataframe.dir/kernels_sort.cc.o"
+  "CMakeFiles/lafp_dataframe.dir/kernels_sort.cc.o.d"
+  "CMakeFiles/lafp_dataframe.dir/types.cc.o"
+  "CMakeFiles/lafp_dataframe.dir/types.cc.o.d"
+  "liblafp_dataframe.a"
+  "liblafp_dataframe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lafp_dataframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lafp_dataframe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/agg_twophase.cc" "src/exec/CMakeFiles/lafp_exec.dir/agg_twophase.cc.o" "gcc" "src/exec/CMakeFiles/lafp_exec.dir/agg_twophase.cc.o.d"
+  "/root/repo/src/exec/backend.cc" "src/exec/CMakeFiles/lafp_exec.dir/backend.cc.o" "gcc" "src/exec/CMakeFiles/lafp_exec.dir/backend.cc.o.d"
+  "/root/repo/src/exec/dask_backend.cc" "src/exec/CMakeFiles/lafp_exec.dir/dask_backend.cc.o" "gcc" "src/exec/CMakeFiles/lafp_exec.dir/dask_backend.cc.o.d"
+  "/root/repo/src/exec/eager_ops.cc" "src/exec/CMakeFiles/lafp_exec.dir/eager_ops.cc.o" "gcc" "src/exec/CMakeFiles/lafp_exec.dir/eager_ops.cc.o.d"
+  "/root/repo/src/exec/modin_backend.cc" "src/exec/CMakeFiles/lafp_exec.dir/modin_backend.cc.o" "gcc" "src/exec/CMakeFiles/lafp_exec.dir/modin_backend.cc.o.d"
+  "/root/repo/src/exec/op.cc" "src/exec/CMakeFiles/lafp_exec.dir/op.cc.o" "gcc" "src/exec/CMakeFiles/lafp_exec.dir/op.cc.o.d"
+  "/root/repo/src/exec/pandas_backend.cc" "src/exec/CMakeFiles/lafp_exec.dir/pandas_backend.cc.o" "gcc" "src/exec/CMakeFiles/lafp_exec.dir/pandas_backend.cc.o.d"
+  "/root/repo/src/exec/partition.cc" "src/exec/CMakeFiles/lafp_exec.dir/partition.cc.o" "gcc" "src/exec/CMakeFiles/lafp_exec.dir/partition.cc.o.d"
+  "/root/repo/src/exec/spill.cc" "src/exec/CMakeFiles/lafp_exec.dir/spill.cc.o" "gcc" "src/exec/CMakeFiles/lafp_exec.dir/spill.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/lafp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lafp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataframe/CMakeFiles/lafp_dataframe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lafp_exec.dir/agg_twophase.cc.o"
+  "CMakeFiles/lafp_exec.dir/agg_twophase.cc.o.d"
+  "CMakeFiles/lafp_exec.dir/backend.cc.o"
+  "CMakeFiles/lafp_exec.dir/backend.cc.o.d"
+  "CMakeFiles/lafp_exec.dir/dask_backend.cc.o"
+  "CMakeFiles/lafp_exec.dir/dask_backend.cc.o.d"
+  "CMakeFiles/lafp_exec.dir/eager_ops.cc.o"
+  "CMakeFiles/lafp_exec.dir/eager_ops.cc.o.d"
+  "CMakeFiles/lafp_exec.dir/modin_backend.cc.o"
+  "CMakeFiles/lafp_exec.dir/modin_backend.cc.o.d"
+  "CMakeFiles/lafp_exec.dir/op.cc.o"
+  "CMakeFiles/lafp_exec.dir/op.cc.o.d"
+  "CMakeFiles/lafp_exec.dir/pandas_backend.cc.o"
+  "CMakeFiles/lafp_exec.dir/pandas_backend.cc.o.d"
+  "CMakeFiles/lafp_exec.dir/partition.cc.o"
+  "CMakeFiles/lafp_exec.dir/partition.cc.o.d"
+  "CMakeFiles/lafp_exec.dir/spill.cc.o"
+  "CMakeFiles/lafp_exec.dir/spill.cc.o.d"
+  "liblafp_exec.a"
+  "liblafp_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lafp_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lafp_io.dir/csv.cc.o"
+  "CMakeFiles/lafp_io.dir/csv.cc.o.d"
+  "liblafp_io.a"
+  "liblafp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lafp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

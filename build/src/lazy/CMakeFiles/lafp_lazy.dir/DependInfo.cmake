@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lazy/fat_dataframe.cc" "src/lazy/CMakeFiles/lafp_lazy.dir/fat_dataframe.cc.o" "gcc" "src/lazy/CMakeFiles/lafp_lazy.dir/fat_dataframe.cc.o.d"
+  "/root/repo/src/lazy/session.cc" "src/lazy/CMakeFiles/lafp_lazy.dir/session.cc.o" "gcc" "src/lazy/CMakeFiles/lafp_lazy.dir/session.cc.o.d"
+  "/root/repo/src/lazy/task_graph.cc" "src/lazy/CMakeFiles/lafp_lazy.dir/task_graph.cc.o" "gcc" "src/lazy/CMakeFiles/lafp_lazy.dir/task_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/lafp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/lafp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataframe/CMakeFiles/lafp_dataframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lafp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lafp_lazy.dir/fat_dataframe.cc.o"
+  "CMakeFiles/lafp_lazy.dir/fat_dataframe.cc.o.d"
+  "CMakeFiles/lafp_lazy.dir/session.cc.o"
+  "CMakeFiles/lafp_lazy.dir/session.cc.o.d"
+  "CMakeFiles/lafp_lazy.dir/task_graph.cc.o"
+  "CMakeFiles/lafp_lazy.dir/task_graph.cc.o.d"
+  "liblafp_lazy.a"
+  "liblafp_lazy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lafp_lazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

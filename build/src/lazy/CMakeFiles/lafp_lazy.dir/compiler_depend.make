@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lafp_lazy.
+# This may be replaced when dependencies are built.

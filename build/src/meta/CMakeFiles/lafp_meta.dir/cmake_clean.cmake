@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lafp_meta.dir/metadata.cc.o"
+  "CMakeFiles/lafp_meta.dir/metadata.cc.o.d"
+  "liblafp_meta.a"
+  "liblafp_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lafp_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblafp_meta.a"
+)

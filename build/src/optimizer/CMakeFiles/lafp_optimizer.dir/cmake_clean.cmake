@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lafp_optimizer.dir/passes.cc.o"
+  "CMakeFiles/lafp_optimizer.dir/passes.cc.o.d"
+  "CMakeFiles/lafp_optimizer.dir/predicate.cc.o"
+  "CMakeFiles/lafp_optimizer.dir/predicate.cc.o.d"
+  "liblafp_optimizer.a"
+  "liblafp_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lafp_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/script/analysis.cc" "src/script/CMakeFiles/lafp_script.dir/analysis.cc.o" "gcc" "src/script/CMakeFiles/lafp_script.dir/analysis.cc.o.d"
+  "/root/repo/src/script/analyze.cc" "src/script/CMakeFiles/lafp_script.dir/analyze.cc.o" "gcc" "src/script/CMakeFiles/lafp_script.dir/analyze.cc.o.d"
+  "/root/repo/src/script/ast_printer.cc" "src/script/CMakeFiles/lafp_script.dir/ast_printer.cc.o" "gcc" "src/script/CMakeFiles/lafp_script.dir/ast_printer.cc.o.d"
+  "/root/repo/src/script/backend_choice.cc" "src/script/CMakeFiles/lafp_script.dir/backend_choice.cc.o" "gcc" "src/script/CMakeFiles/lafp_script.dir/backend_choice.cc.o.d"
+  "/root/repo/src/script/cfg.cc" "src/script/CMakeFiles/lafp_script.dir/cfg.cc.o" "gcc" "src/script/CMakeFiles/lafp_script.dir/cfg.cc.o.d"
+  "/root/repo/src/script/codegen.cc" "src/script/CMakeFiles/lafp_script.dir/codegen.cc.o" "gcc" "src/script/CMakeFiles/lafp_script.dir/codegen.cc.o.d"
+  "/root/repo/src/script/interpreter.cc" "src/script/CMakeFiles/lafp_script.dir/interpreter.cc.o" "gcc" "src/script/CMakeFiles/lafp_script.dir/interpreter.cc.o.d"
+  "/root/repo/src/script/lexer.cc" "src/script/CMakeFiles/lafp_script.dir/lexer.cc.o" "gcc" "src/script/CMakeFiles/lafp_script.dir/lexer.cc.o.d"
+  "/root/repo/src/script/lowering.cc" "src/script/CMakeFiles/lafp_script.dir/lowering.cc.o" "gcc" "src/script/CMakeFiles/lafp_script.dir/lowering.cc.o.d"
+  "/root/repo/src/script/model.cc" "src/script/CMakeFiles/lafp_script.dir/model.cc.o" "gcc" "src/script/CMakeFiles/lafp_script.dir/model.cc.o.d"
+  "/root/repo/src/script/parser.cc" "src/script/CMakeFiles/lafp_script.dir/parser.cc.o" "gcc" "src/script/CMakeFiles/lafp_script.dir/parser.cc.o.d"
+  "/root/repo/src/script/rewriter.cc" "src/script/CMakeFiles/lafp_script.dir/rewriter.cc.o" "gcc" "src/script/CMakeFiles/lafp_script.dir/rewriter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lazy/CMakeFiles/lafp_lazy.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/lafp_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/lafp_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/lafp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/lafp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataframe/CMakeFiles/lafp_dataframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lafp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lafp_script.dir/analysis.cc.o"
+  "CMakeFiles/lafp_script.dir/analysis.cc.o.d"
+  "CMakeFiles/lafp_script.dir/analyze.cc.o"
+  "CMakeFiles/lafp_script.dir/analyze.cc.o.d"
+  "CMakeFiles/lafp_script.dir/ast_printer.cc.o"
+  "CMakeFiles/lafp_script.dir/ast_printer.cc.o.d"
+  "CMakeFiles/lafp_script.dir/backend_choice.cc.o"
+  "CMakeFiles/lafp_script.dir/backend_choice.cc.o.d"
+  "CMakeFiles/lafp_script.dir/cfg.cc.o"
+  "CMakeFiles/lafp_script.dir/cfg.cc.o.d"
+  "CMakeFiles/lafp_script.dir/codegen.cc.o"
+  "CMakeFiles/lafp_script.dir/codegen.cc.o.d"
+  "CMakeFiles/lafp_script.dir/interpreter.cc.o"
+  "CMakeFiles/lafp_script.dir/interpreter.cc.o.d"
+  "CMakeFiles/lafp_script.dir/lexer.cc.o"
+  "CMakeFiles/lafp_script.dir/lexer.cc.o.d"
+  "CMakeFiles/lafp_script.dir/lowering.cc.o"
+  "CMakeFiles/lafp_script.dir/lowering.cc.o.d"
+  "CMakeFiles/lafp_script.dir/model.cc.o"
+  "CMakeFiles/lafp_script.dir/model.cc.o.d"
+  "CMakeFiles/lafp_script.dir/parser.cc.o"
+  "CMakeFiles/lafp_script.dir/parser.cc.o.d"
+  "CMakeFiles/lafp_script.dir/rewriter.cc.o"
+  "CMakeFiles/lafp_script.dir/rewriter.cc.o.d"
+  "liblafp_script.a"
+  "liblafp_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lafp_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lafp_script.
+# This may be replaced when dependencies are built.

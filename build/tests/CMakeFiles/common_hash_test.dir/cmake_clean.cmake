@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_hash_test.dir/common_hash_test.cc.o"
+  "CMakeFiles/common_hash_test.dir/common_hash_test.cc.o.d"
+  "common_hash_test"
+  "common_hash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

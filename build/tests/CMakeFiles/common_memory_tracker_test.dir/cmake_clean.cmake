@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_memory_tracker_test.dir/common_memory_tracker_test.cc.o"
+  "CMakeFiles/common_memory_tracker_test.dir/common_memory_tracker_test.cc.o.d"
+  "common_memory_tracker_test"
+  "common_memory_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_memory_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataframe_column_test.dir/dataframe_column_test.cc.o"
+  "CMakeFiles/dataframe_column_test.dir/dataframe_column_test.cc.o.d"
+  "dataframe_column_test"
+  "dataframe_column_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataframe_column_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataframe_edge_test.dir/dataframe_edge_test.cc.o"
+  "CMakeFiles/dataframe_edge_test.dir/dataframe_edge_test.cc.o.d"
+  "dataframe_edge_test"
+  "dataframe_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataframe_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataframe_groupby_test.dir/dataframe_groupby_test.cc.o"
+  "CMakeFiles/dataframe_groupby_test.dir/dataframe_groupby_test.cc.o.d"
+  "dataframe_groupby_test"
+  "dataframe_groupby_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataframe_groupby_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

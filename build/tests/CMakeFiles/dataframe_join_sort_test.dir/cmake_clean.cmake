@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataframe_join_sort_test.dir/dataframe_join_sort_test.cc.o"
+  "CMakeFiles/dataframe_join_sort_test.dir/dataframe_join_sort_test.cc.o.d"
+  "dataframe_join_sort_test"
+  "dataframe_join_sort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataframe_join_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

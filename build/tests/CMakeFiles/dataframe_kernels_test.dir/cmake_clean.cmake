@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataframe_kernels_test.dir/dataframe_kernels_test.cc.o"
+  "CMakeFiles/dataframe_kernels_test.dir/dataframe_kernels_test.cc.o.d"
+  "dataframe_kernels_test"
+  "dataframe_kernels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataframe_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

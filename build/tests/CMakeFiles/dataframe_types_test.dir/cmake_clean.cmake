@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataframe_types_test.dir/dataframe_types_test.cc.o"
+  "CMakeFiles/dataframe_types_test.dir/dataframe_types_test.cc.o.d"
+  "dataframe_types_test"
+  "dataframe_types_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataframe_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_backend_test.dir/exec_backend_test.cc.o"
+  "CMakeFiles/exec_backend_test.dir/exec_backend_test.cc.o.d"
+  "exec_backend_test"
+  "exec_backend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

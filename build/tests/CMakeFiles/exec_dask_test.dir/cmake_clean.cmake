@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_dask_test.dir/exec_dask_test.cc.o"
+  "CMakeFiles/exec_dask_test.dir/exec_dask_test.cc.o.d"
+  "exec_dask_test"
+  "exec_dask_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_dask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

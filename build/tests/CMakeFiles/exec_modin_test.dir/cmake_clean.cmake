@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_modin_test.dir/exec_modin_test.cc.o"
+  "CMakeFiles/exec_modin_test.dir/exec_modin_test.cc.o.d"
+  "exec_modin_test"
+  "exec_modin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_modin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

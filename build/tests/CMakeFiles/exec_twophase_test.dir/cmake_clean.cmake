@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_twophase_test.dir/exec_twophase_test.cc.o"
+  "CMakeFiles/exec_twophase_test.dir/exec_twophase_test.cc.o.d"
+  "exec_twophase_test"
+  "exec_twophase_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_twophase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_regression_test.dir/integration_regression_test.cc.o"
+  "CMakeFiles/integration_regression_test.dir/integration_regression_test.cc.o.d"
+  "integration_regression_test"
+  "integration_regression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_csv_edge_test.dir/io_csv_edge_test.cc.o"
+  "CMakeFiles/io_csv_edge_test.dir/io_csv_edge_test.cc.o.d"
+  "io_csv_edge_test"
+  "io_csv_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_csv_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

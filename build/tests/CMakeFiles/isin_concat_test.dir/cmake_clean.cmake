@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isin_concat_test.dir/isin_concat_test.cc.o"
+  "CMakeFiles/isin_concat_test.dir/isin_concat_test.cc.o.d"
+  "isin_concat_test"
+  "isin_concat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isin_concat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_runtime_test.dir/lazy_runtime_test.cc.o"
+  "CMakeFiles/lazy_runtime_test.dir/lazy_runtime_test.cc.o.d"
+  "lazy_runtime_test"
+  "lazy_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

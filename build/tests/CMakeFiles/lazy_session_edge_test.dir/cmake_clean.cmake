@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_session_edge_test.dir/lazy_session_edge_test.cc.o"
+  "CMakeFiles/lazy_session_edge_test.dir/lazy_session_edge_test.cc.o.d"
+  "lazy_session_edge_test"
+  "lazy_session_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_session_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_task_graph_test.dir/lazy_task_graph_test.cc.o"
+  "CMakeFiles/lazy_task_graph_test.dir/lazy_task_graph_test.cc.o.d"
+  "lazy_task_graph_test"
+  "lazy_task_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_task_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_analysis_test.dir/script_analysis_test.cc.o"
+  "CMakeFiles/script_analysis_test.dir/script_analysis_test.cc.o.d"
+  "script_analysis_test"
+  "script_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_backend_choice_test.dir/script_backend_choice_test.cc.o"
+  "CMakeFiles/script_backend_choice_test.dir/script_backend_choice_test.cc.o.d"
+  "script_backend_choice_test"
+  "script_backend_choice_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_backend_choice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for script_backend_choice_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_codegen_property_test.dir/script_codegen_property_test.cc.o"
+  "CMakeFiles/script_codegen_property_test.dir/script_codegen_property_test.cc.o.d"
+  "script_codegen_property_test"
+  "script_codegen_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_codegen_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

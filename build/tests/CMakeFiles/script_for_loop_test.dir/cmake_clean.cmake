@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_for_loop_test.dir/script_for_loop_test.cc.o"
+  "CMakeFiles/script_for_loop_test.dir/script_for_loop_test.cc.o.d"
+  "script_for_loop_test"
+  "script_for_loop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_for_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

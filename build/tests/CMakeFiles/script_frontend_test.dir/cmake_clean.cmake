@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_frontend_test.dir/script_frontend_test.cc.o"
+  "CMakeFiles/script_frontend_test.dir/script_frontend_test.cc.o.d"
+  "script_frontend_test"
+  "script_frontend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_interpreter_test.dir/script_interpreter_test.cc.o"
+  "CMakeFiles/script_interpreter_test.dir/script_interpreter_test.cc.o.d"
+  "script_interpreter_test"
+  "script_interpreter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_interpreter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

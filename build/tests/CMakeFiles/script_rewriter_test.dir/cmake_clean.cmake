@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_rewriter_test.dir/script_rewriter_test.cc.o"
+  "CMakeFiles/script_rewriter_test.dir/script_rewriter_test.cc.o.d"
+  "script_rewriter_test"
+  "script_rewriter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_rewriter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
