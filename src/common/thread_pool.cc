@@ -55,18 +55,15 @@ void ThreadPool::WorkerLoop() {
 void ParallelFor(ThreadPool* pool, int n,
                  const std::function<void(int)>& fn) {
   if (n <= 0) return;
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  int remaining = n;
+  WaitGroup wg;
+  wg.Add(n);
   for (int i = 0; i < n; ++i) {
     pool->Submit([&, i] {
       fn(i);
-      std::lock_guard<std::mutex> lock(done_mu);
-      if (--remaining == 0) done_cv.notify_all();
+      wg.Done();
     });
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining == 0; });
+  wg.Wait();
 }
 
 }  // namespace lafp

@@ -41,6 +41,41 @@ class ThreadPool {
   bool shutdown_ = false;
 };
 
+/// Completion counter for dynamic task sets (Go's sync.WaitGroup): Add()
+/// before submitting a task, Done() as the task's last action, Wait()
+/// blocks until the count returns to zero. Unlike ThreadPool::WaitIdle,
+/// which drains the whole pool, a WaitGroup tracks one logical group of
+/// tasks, so several independent waiters (e.g. concurrent scheduler
+/// rounds and backend ParallelFor calls) can share a pool. Tasks may
+/// Add() for follow-up tasks they spawn, as long as every Add() happens
+/// before the count could reach zero (i.e. before the spawning task's own
+/// Done()).
+class WaitGroup {
+ public:
+  void Add(int n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ += n;
+  }
+
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Notify while holding the lock: once Wait() observes zero and
+    // returns, the caller may destroy this WaitGroup, so the notify must
+    // not touch cv_ after the unlock that releases the waiter.
+    if (--count_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_ = 0;
+};
+
 /// Run fn(i) for i in [0, n) on the pool, blocking until all are done.
 /// fn must be internally synchronized for any shared state.
 void ParallelFor(ThreadPool* pool, int n, const std::function<void(int)>& fn);

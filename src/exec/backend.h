@@ -13,6 +13,10 @@ namespace lafp::exec {
 /// Tuning and simulation knobs shared by the backends.
 struct BackendConfig {
   /// Worker threads for the Modin backend's partition parallelism.
+  /// Legacy knob: the lazy runtime unifies this with the DAG scheduler's
+  /// worker count via lazy::ExecutionOptions (the session resolves one
+  /// number and writes it back here), so set it through
+  /// SessionOptions::Builder::threads() when a session is involved.
   int num_threads = 4;
   /// Rows per partition for the partitioned backends.
   size_t partition_rows = 65536;
@@ -67,6 +71,16 @@ struct BackendValue {
 /// ops a backend does not support, the runtime materializes the inputs,
 /// runs the eager Pandas-engine kernel, and re-imports the result — the
 /// paper's transparent fallback.
+///
+/// Thread-safety contract (required by the parallel DAG scheduler in
+/// lazy/scheduler.h): for backends where lazy() is false, Execute,
+/// Materialize, FromEager and RowCount may be called concurrently from
+/// multiple scheduler workers, on distinct nodes whose inputs are fully
+/// executed. Inputs are only read; any backend-internal shared state
+/// (thread pools, the memory tracker) must be internally synchronized.
+/// Lazy backends (Dask) are exempt: the scheduler serializes their rounds
+/// because Execute() is cheap plan recording and the plan's persist
+/// caches are deliberately unsynchronized.
 class Backend {
  public:
   Backend(MemoryTracker* tracker, BackendConfig config)
@@ -116,6 +130,14 @@ class Backend {
   virtual Status Unpersist(const BackendValue& value) {
     (void)value;
     return Status::OK();
+  }
+
+  /// Best-effort row count of a value for the execution-stats API: rows
+  /// of a materialized frame, 1 for a scalar, -1 when unknown (an
+  /// unevaluated lazy plan). Must be cheap (no materialization) and
+  /// thread-safe.
+  virtual int64_t RowCount(const BackendValue& value) const {
+    return value.is_scalar ? 1 : -1;
   }
 
   MemoryTracker* tracker() const { return tracker_; }

@@ -249,4 +249,11 @@ Result<BackendValue> ModinBackend::FromEager(const EagerValue& value) {
   return WrapParts(std::move(parts));
 }
 
+int64_t ModinBackend::RowCount(const BackendValue& value) const {
+  if (value.is_scalar) return 1;
+  auto* wrapped = dynamic_cast<ModinFrame*>(value.frame.get());
+  if (wrapped == nullptr) return -1;
+  return static_cast<int64_t>(wrapped->parts().num_rows());
+}
+
 }  // namespace lafp::exec

@@ -16,6 +16,13 @@ namespace lafp::exec {
 /// CPU, not memory — and every partition task pays a simulated dispatch
 /// overhead (config.task_overhead_us), which is why it trails plain
 /// Pandas at small sizes (paper Fig. 13).
+///
+/// Thread-safe for concurrent Execute calls (the DAG scheduler's
+/// contract): the only shared state is the partition pool, whose queue is
+/// mutex-protected, and each ParallelFor call synchronizes its own
+/// completion — so two scheduler workers can run partitioned ops on the
+/// same pool simultaneously. The pool is distinct from the scheduler's,
+/// so a scheduler worker blocking in ParallelFor cannot starve it.
 class ModinBackend : public Backend {
  public:
   ModinBackend(MemoryTracker* tracker, const BackendConfig& config);
@@ -28,6 +35,7 @@ class ModinBackend : public Backend {
       const OpDesc& desc, const std::vector<BackendValue>& inputs) override;
   Result<EagerValue> Materialize(const BackendValue& value) override;
   Result<BackendValue> FromEager(const EagerValue& value) override;
+  int64_t RowCount(const BackendValue& value) const override;
 
  private:
   /// One partition task's simulated scheduling cost.

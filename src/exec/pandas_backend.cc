@@ -51,4 +51,11 @@ Result<BackendValue> PandasBackend::FromEager(const EagerValue& value) {
       std::make_shared<EagerBackendFrame>(value.frame));
 }
 
+int64_t PandasBackend::RowCount(const BackendValue& value) const {
+  if (value.is_scalar) return 1;
+  auto* wrapped = dynamic_cast<EagerBackendFrame*>(value.frame.get());
+  if (wrapped == nullptr) return -1;
+  return static_cast<int64_t>(wrapped->frame().num_rows());
+}
+
 }  // namespace lafp::exec

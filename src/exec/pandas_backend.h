@@ -10,6 +10,11 @@ namespace lafp::exec {
 /// The plain eager engine: every op materializes immediately via the
 /// dataframe kernels, everything lives in (tracked) memory. This is the
 /// "Pandas" of the reproduction — fastest in-memory, first to OOM.
+///
+/// Thread-safe for concurrent Execute/Materialize/FromEager: the backend
+/// itself is stateless (kernels allocate fresh outputs; the shared
+/// MemoryTracker is internally synchronized), which is what lets the DAG
+/// scheduler run independent nodes in parallel.
 class PandasBackend : public Backend {
  public:
   PandasBackend(MemoryTracker* tracker, const BackendConfig& config)
@@ -23,6 +28,7 @@ class PandasBackend : public Backend {
       const OpDesc& desc, const std::vector<BackendValue>& inputs) override;
   Result<EagerValue> Materialize(const BackendValue& value) override;
   Result<BackendValue> FromEager(const EagerValue& value) override;
+  int64_t RowCount(const BackendValue& value) const override;
 };
 
 }  // namespace lafp::exec

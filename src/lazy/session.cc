@@ -2,8 +2,10 @@
 
 #include <iostream>
 #include <unordered_set>
+#include <utility>
 
 #include "common/macros.h"
+#include "common/timer.h"
 
 namespace lafp::lazy {
 
@@ -11,8 +13,48 @@ std::string PrintPlaceholder(size_t input_index) {
   return "\x01" + std::to_string(input_index) + "\x02";
 }
 
+namespace {
+
+/// Resolve the unified thread knob: ExecutionOptions::num_threads wins;
+/// 0 inherits the legacy BackendConfig::num_threads. The resolved count is
+/// written back into both so the backend (Modin partition pool) and the
+/// scheduler agree on one number.
+SessionOptions NormalizeOptions(SessionOptions options) {
+  int threads = options.exec.num_threads > 0
+                    ? options.exec.num_threads
+                    : options.backend_config.num_threads;
+  if (threads < 1) threads = 1;
+  options.exec.num_threads = threads;
+  options.backend_config.num_threads = threads;
+  return options;
+}
+
+class FunctionPass : public OptimizerPass {
+ public:
+  FunctionPass(std::string name, Session::OptimizerHook hook)
+      : name_(std::move(name)), hook_(std::move(hook)) {}
+
+  const std::string& name() const override { return name_; }
+
+  Status Run(Session* session, const std::vector<TaskNodePtr>& roots,
+             const std::vector<TaskNodePtr>& live) override {
+    return hook_(session, roots, live);
+  }
+
+ private:
+  std::string name_;
+  Session::OptimizerHook hook_;
+};
+
+}  // namespace
+
+std::unique_ptr<OptimizerPass> MakeFunctionPass(std::string name,
+                                                Session::OptimizerHook hook) {
+  return std::make_unique<FunctionPass>(std::move(name), std::move(hook));
+}
+
 Session::Session(SessionOptions options)
-    : options_(std::move(options)),
+    : options_(NormalizeOptions(std::move(options))),
       tracker_(options_.tracker != nullptr ? options_.tracker
                                            : MemoryTracker::Default()),
       backend_(exec::MakeBackend(options_.backend, tracker_,
@@ -24,11 +66,25 @@ std::ostream& Session::out() {
   return options_.output != nullptr ? *options_.output : std::cout;
 }
 
+int Session::effective_threads() const { return options_.exec.num_threads; }
+
+void Session::RegisterOptimizerPass(std::unique_ptr<OptimizerPass> pass) {
+  if (pass != nullptr) optimizer_passes_.push_back(std::move(pass));
+}
+
+void Session::ClearOptimizerPasses() { optimizer_passes_.clear(); }
+
+void Session::set_optimizer_hook(OptimizerHook hook) {
+  ClearOptimizerPasses();
+  if (hook == nullptr) return;
+  RegisterOptimizerPass(MakeFunctionPass("custom-hook", std::move(hook)));
+}
+
 Result<TaskNodePtr> Session::AddNode(exec::OpDesc desc,
                                      std::vector<TaskNodePtr> inputs) {
   TaskNodePtr node = graph_.NewNode(std::move(desc), std::move(inputs));
   if (options_.mode == ExecutionMode::kEager) {
-    LAFP_RETURN_NOT_OK(ExecNode(node));
+    LAFP_RETURN_NOT_OK(ExecNode(node, nullptr));
     // Plain-Pandas memory semantics: intermediate results are freed when
     // the program drops its handle, so the node must not pin its inputs.
     node->inputs.clear();
@@ -143,47 +199,16 @@ void Session::MarkSharedForPersist(const std::vector<TaskNodePtr>& roots,
 
 Status Session::ExecuteRound(const std::vector<TaskNodePtr>& roots,
                              const std::vector<TaskNodePtr>& live) {
-  if (optimizer_hook_) {
-    LAFP_RETURN_NOT_OK(optimizer_hook_(this, roots, live));
+  Timer round_timer;
+  ExecutionReport report;
+  report.backend = backend_->name();
+
+  for (const auto& pass : optimizer_passes_) {
+    Timer pass_timer;
+    LAFP_RETURN_NOT_OK(pass->Run(this, roots, live));
+    report.passes.push_back({pass->name(), pass_timer.ElapsedMicros()});
   }
   MarkSharedForPersist(roots, live);
-
-  std::vector<TaskNodePtr> order = TaskGraph::TopoSort(roots);
-
-  // Restrict to nodes that actually need evaluation: stop descending at
-  // nodes that still hold a result (persisted or round targets of earlier
-  // computes).
-  std::unordered_set<const TaskNode*> needed;
-  std::unordered_set<const TaskNode*> reused;  // results carried over
-  {
-    std::vector<TaskNodePtr> stack(roots.begin(), roots.end());
-    while (!stack.empty()) {
-      TaskNodePtr n = stack.back();
-      stack.pop_back();
-      if (n == nullptr || needed.count(n.get()) > 0) continue;
-      if (n->has_result() && n->executed) {
-        needed.insert(n.get());  // leaf: reuse, do not descend
-        reused.insert(n.get());
-        continue;
-      }
-      needed.insert(n.get());
-      for (const auto& in : n->inputs) stack.push_back(in);
-      for (const auto& dep : n->order_deps) stack.push_back(dep);
-    }
-  }
-
-  // Consumer counting for result clearing (§2.6), within this round.
-  for (const auto& n : order) {
-    if (needed.count(n.get()) == 0) continue;
-    n->pending_consumers = 0;
-  }
-  for (const auto& n : order) {
-    if (needed.count(n.get()) == 0) continue;
-    if (reused.count(n.get()) > 0) continue;  // reused: inputs not consumed
-    for (const auto& in : n->inputs) ++in->pending_consumers;
-  }
-  std::unordered_set<const TaskNode*> protected_nodes;
-  for (const auto& r : roots) protected_nodes.insert(r.get());
 
   // §2.6 result clearing applies to lazy execution on eager backends.
   // In eager mode program variables own their results (clearing would
@@ -191,34 +216,42 @@ Status Session::ExecuteRound(const std::vector<TaskNodePtr>& roots,
   // on a lazy backend results are cheap plan handles.
   const bool clear_results =
       options_.mode == ExecutionMode::kLazy && !backend_->lazy();
-  for (const auto& n : order) {
-    if (needed.count(n.get()) == 0) continue;
-    if (reused.count(n.get()) > 0) continue;  // carried over, nothing to do
-    if (n->is_print()) {
-      if (!n->print_done) {
-        LAFP_RETURN_NOT_OK(EmitPrint(n));
-        n->print_done = true;
-        n->executed = true;
-      }
-    } else if (!n->has_result()) {
-      LAFP_RETURN_NOT_OK(ExecNode(n));
-    }
-    // Release inputs whose consumers in this round are all done.
-    for (const auto& in : n->inputs) {
-      if (--in->pending_consumers > 0) continue;
-      if (!clear_results) continue;
-      if (in->persist || protected_nodes.count(in.get()) > 0) continue;
-      if (in->has_result()) {
-        in->result = exec::BackendValue{};
-        in->executed = false;
-        ++num_results_cleared_;
-      }
-    }
+
+  // Graph-level parallelism applies to eager backends: their Execute()
+  // does real work per node. A lazy backend's Execute() merely records a
+  // plan node (microseconds), and its plan caches are not synchronized,
+  // so those rounds stay on the deterministic serial path.
+  int threads = effective_threads();
+  const bool parallel = threads > 1 && !options_.exec.serial_scheduler &&
+                        !backend_->lazy();
+  if (parallel && scheduler_pool_ == nullptr) {
+    scheduler_pool_ = std::make_unique<ThreadPool>(threads);
   }
-  return Status::OK();
+
+  Scheduler::Options sched_options;
+  sched_options.num_threads = parallel ? threads : 1;
+  sched_options.clear_results = clear_results;
+  sched_options.collect_stats = options_.exec.collect_stats;
+  Scheduler::Callbacks callbacks;
+  callbacks.exec_node = [this](const TaskNodePtr& node, NodeStats* stats) {
+    return ExecNode(node, stats);
+  };
+  callbacks.emit_print = [this](const TaskNodePtr& node, NodeStats* stats) {
+    return EmitPrint(node, stats);
+  };
+  Scheduler scheduler(parallel ? scheduler_pool_.get() : nullptr,
+                      sched_options, std::move(callbacks));
+  Status status = scheduler.Run(roots, &report);
+
+  num_results_cleared_ += report.results_cleared;
+  report.wall_micros = round_timer.ElapsedMicros();
+  report.peak_tracked_bytes = tracker_->peak();
+  last_report_ = std::move(report);
+  ++num_rounds_;
+  return status;
 }
 
-Status Session::ExecNode(const TaskNodePtr& node) {
+Status Session::ExecNode(const TaskNodePtr& node, NodeStats* stats) {
   std::vector<exec::BackendValue> inputs;
   inputs.reserve(node->inputs.size());
   for (const auto& in : node->inputs) {
@@ -228,13 +261,24 @@ Status Session::ExecNode(const TaskNodePtr& node) {
     }
     inputs.push_back(in->result);
   }
-  ++num_node_executions_;
+  if (stats != nullptr) {
+    stats->op = node->desc.ToString();
+    stats->backend = backend_->name();
+    for (const auto& in : inputs) {
+      int64_t rows = backend_->RowCount(in);
+      if (rows >= 0) {
+        stats->rows_in = (stats->rows_in < 0 ? 0 : stats->rows_in) + rows;
+      }
+    }
+  }
+  num_node_executions_.fetch_add(1, std::memory_order_relaxed);
   if (backend_->SupportsOp(node->desc)) {
     LAFP_ASSIGN_OR_RETURN(node->result,
                           backend_->Execute(node->desc, inputs));
   } else {
     // Paper §5.2 fallback: convert to eager Pandas frames, apply the
     // Pandas-engine kernel, convert back.
+    if (stats != nullptr) stats->fallback = true;
     std::vector<exec::EagerValue> eager_inputs;
     for (const auto& in : inputs) {
       LAFP_ASSIGN_OR_RETURN(exec::EagerValue v, backend_->Materialize(in));
@@ -246,13 +290,18 @@ Status Session::ExecNode(const TaskNodePtr& node) {
     LAFP_ASSIGN_OR_RETURN(node->result, backend_->FromEager(out));
   }
   node->executed = true;
+  if (stats != nullptr) stats->rows_out = backend_->RowCount(node->result);
   if (node->persist) {
     LAFP_RETURN_NOT_OK(backend_->Persist(node->result));
   }
   return Status::OK();
 }
 
-Status Session::EmitPrint(const TaskNodePtr& node) {
+Status Session::EmitPrint(const TaskNodePtr& node, NodeStats* stats) {
+  if (stats != nullptr) {
+    stats->op = node->desc.ToString();
+    stats->backend = backend_->name();
+  }
   // Substitute each placeholder with the display form of the
   // corresponding input (f-string escape IDs, §3.3).
   std::string rendered;

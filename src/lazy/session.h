@@ -1,6 +1,7 @@
 #ifndef LAFP_LAZY_SESSION_H_
 #define LAFP_LAZY_SESSION_H_
 
+#include <atomic>
 #include <functional>
 #include <iosfwd>
 #include <memory>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "exec/backend.h"
+#include "lazy/scheduler.h"
 #include "lazy/task_graph.h"
 
 namespace lafp::lazy {
@@ -16,6 +18,26 @@ namespace lafp::lazy {
 /// optimize, execute on demand); kEager reproduces plain Pandas/Modin
 /// semantics: every API call materializes immediately.
 enum class ExecutionMode : int { kLazy = 0, kEager = 1 };
+
+/// Unified execution tuning (the single home for threading knobs). The
+/// same worker count drives graph-level scheduling and the Modin
+/// backend's partition parallelism, replacing the old split where
+/// BackendConfig::num_threads only meant "Modin workers".
+struct ExecutionOptions {
+  /// Worker threads for the parallel DAG scheduler and backend partition
+  /// parallelism. 0 = inherit the legacy BackendConfig::num_threads knob
+  /// (so aggregate-initialized SessionOptions keep their old meaning);
+  /// 1 = serial scheduling.
+  int num_threads = 0;
+  /// Collect per-node statistics into Session::last_report(). Cheap
+  /// (microseconds per node); disable for benchmark inner loops.
+  bool collect_stats = true;
+  /// Force the deterministic serial reference scheduler even when
+  /// num_threads > 1 (debugging / A-B testing aid). Lazy backends (Dask)
+  /// always schedule serially: their Execute() is cheap plan recording,
+  /// and plan caches are not synchronized.
+  bool serial_scheduler = false;
+};
 
 struct SessionOptions {
   exec::BackendKind backend = exec::BackendKind::kPandas;
@@ -29,6 +51,93 @@ struct SessionOptions {
   /// Destination for print output; std::cout when null. Tests inject a
   /// stringstream; the regression harness hashes it.
   std::ostream* output = nullptr;
+  /// Scheduler / threading knobs (see ExecutionOptions).
+  ExecutionOptions exec;
+
+  class Builder;
+};
+
+/// Fluent construction of SessionOptions:
+///   SessionOptions::Builder().backend(kModin).threads(8)
+///       .lazy_print(false).Build()
+/// The plain aggregate-init path keeps working; the builder is the
+/// recommended surface because `threads()` sets the unified knob in one
+/// place.
+class SessionOptions::Builder {
+ public:
+  Builder() = default;
+
+  Builder& backend(exec::BackendKind kind) {
+    opts_.backend = kind;
+    return *this;
+  }
+  Builder& backend_config(exec::BackendConfig config) {
+    opts_.backend_config = std::move(config);
+    return *this;
+  }
+  /// Unified worker count: DAG scheduler + backend partitions.
+  Builder& threads(int n) {
+    opts_.exec.num_threads = n;
+    return *this;
+  }
+  Builder& partition_rows(size_t rows) {
+    opts_.backend_config.partition_rows = rows;
+    return *this;
+  }
+  Builder& task_overhead_us(int64_t us) {
+    opts_.backend_config.task_overhead_us = us;
+    return *this;
+  }
+  Builder& spill_dir(std::string dir) {
+    opts_.backend_config.spill_dir = std::move(dir);
+    return *this;
+  }
+  Builder& mode(ExecutionMode m) {
+    opts_.mode = m;
+    return *this;
+  }
+  Builder& eager() { return mode(ExecutionMode::kEager); }
+  Builder& lazy_print(bool on) {
+    opts_.lazy_print = on;
+    return *this;
+  }
+  Builder& collect_stats(bool on) {
+    opts_.exec.collect_stats = on;
+    return *this;
+  }
+  Builder& serial_scheduler(bool on) {
+    opts_.exec.serial_scheduler = on;
+    return *this;
+  }
+  Builder& tracker(MemoryTracker* t) {
+    opts_.tracker = t;
+    return *this;
+  }
+  Builder& output(std::ostream* os) {
+    opts_.output = os;
+    return *this;
+  }
+
+  SessionOptions Build() const { return opts_; }
+
+ private:
+  SessionOptions opts_;
+};
+
+class Session;
+
+/// A named graph-rewriting pass run before each execution round.
+/// Registered passes run in registration order; each round's
+/// ExecutionReport lists them by name with per-pass wall time. Passes run
+/// on the round's calling thread, before any node executes, so they may
+/// freely mutate the reachable task graph (the contract the optimizer
+/// module's passes already rely on).
+class OptimizerPass {
+ public:
+  virtual ~OptimizerPass() = default;
+  virtual const std::string& name() const = 0;
+  virtual Status Run(Session* session, const std::vector<TaskNodePtr>& roots,
+                     const std::vector<TaskNodePtr>& live) = 0;
 };
 
 /// Placeholder markers inside a print template: "\x01<input index>\x02".
@@ -36,7 +145,9 @@ std::string PrintPlaceholder(size_t input_index);
 
 /// The LaFP runtime: owns the task graph, the backend, the pending lazy
 /// prints, and the execution engine with result clearing (paper §2.5-2.6,
-/// §3.3, §3.5).
+/// §3.3, §3.5). Rounds execute through the parallel DAG scheduler
+/// (lazy/scheduler.h) when the unified thread knob is > 1 and the backend
+/// is eager; otherwise through the serial reference path.
 class Session {
  public:
   explicit Session(SessionOptions options);
@@ -78,19 +189,42 @@ class Session {
   Result<exec::EagerValue> Compute(const TaskNodePtr& node,
                                    const std::vector<TaskNodePtr>& live = {});
 
-  /// Graph-rewriting hook run before each execution round; installed by
-  /// the optimizer module. Receives the round's roots and live set.
+  // ---- optimizer pass registry ----
+
+  /// Append a pass to the per-round pipeline (runs after already
+  /// registered passes).
+  void RegisterOptimizerPass(std::unique_ptr<OptimizerPass> pass);
+  /// Remove every registered pass.
+  void ClearOptimizerPasses();
+  const std::vector<std::unique_ptr<OptimizerPass>>& optimizer_passes()
+      const {
+    return optimizer_passes_;
+  }
+
+  /// Legacy hook shim. Equivalent to clearing the pass list and
+  /// registering `hook` as a single pass named "custom-hook" (null hook =
+  /// just clear), preserving the historical replace-the-hook semantics.
+  /// Prefer RegisterOptimizerPass.
   using OptimizerHook =
       std::function<Status(Session* session,
                            const std::vector<TaskNodePtr>& roots,
                            const std::vector<TaskNodePtr>& live)>;
-  void set_optimizer_hook(OptimizerHook hook) {
-    optimizer_hook_ = std::move(hook);
-  }
+  void set_optimizer_hook(OptimizerHook hook);
+
+  // ---- execution statistics ----
+
+  /// Report of the most recent execution round (Flush/Compute/forced
+  /// print). Valid until the next round runs on this session.
+  const ExecutionReport& last_report() const { return last_report_; }
+  /// Number of rounds executed (tests use this to detect that a round
+  /// actually ran).
+  int64_t num_rounds() const { return num_rounds_; }
 
   /// Number of node executions performed so far (tests use this to prove
   /// reuse/clearing behavior).
-  int64_t num_node_executions() const { return num_node_executions_; }
+  int64_t num_node_executions() const {
+    return num_node_executions_.load(std::memory_order_relaxed);
+  }
   /// Number of nodes whose result was cleared by refcounting (§2.6).
   int64_t num_results_cleared() const { return num_results_cleared_; }
 
@@ -99,23 +233,39 @@ class Session {
  private:
   Status ExecuteRound(const std::vector<TaskNodePtr>& roots,
                       const std::vector<TaskNodePtr>& live);
-  Status ExecNode(const TaskNodePtr& node);
-  Status EmitPrint(const TaskNodePtr& node);
+  Status ExecNode(const TaskNodePtr& node, NodeStats* stats);
+  Status EmitPrint(const TaskNodePtr& node, NodeStats* stats);
   /// §3.5: mark the topmost nodes shared between the round's targets and
   /// the live set for persistence.
   void MarkSharedForPersist(const std::vector<TaskNodePtr>& roots,
                             const std::vector<TaskNodePtr>& live);
+  /// Effective unified worker count (ExecutionOptions overriding the
+  /// legacy BackendConfig knob).
+  int effective_threads() const;
 
   SessionOptions options_;
   MemoryTracker* tracker_;
   std::unique_ptr<exec::Backend> backend_;
+  /// Workers for graph-level parallelism. Created once (first parallel
+  /// round) and shared across rounds; distinct from the Modin backend's
+  /// partition pool so a scheduler worker blocking in Backend::Execute can
+  /// never starve the backend's own ParallelFor.
+  std::unique_ptr<ThreadPool> scheduler_pool_;
   TaskGraph graph_;
   std::vector<TaskNodePtr> pending_prints_;
   TaskNodePtr last_print_;
-  OptimizerHook optimizer_hook_;
-  int64_t num_node_executions_ = 0;
+  std::vector<std::unique_ptr<OptimizerPass>> optimizer_passes_;
+  ExecutionReport last_report_;
+  int64_t num_rounds_ = 0;
+  /// Atomic: incremented from scheduler worker threads.
+  std::atomic<int64_t> num_node_executions_{0};
   int64_t num_results_cleared_ = 0;
 };
+
+/// Wrap a plain function as a named OptimizerPass (the bridge the
+/// optimizer module uses to register its passes without subclassing).
+std::unique_ptr<OptimizerPass> MakeFunctionPass(std::string name,
+                                                Session::OptimizerHook hook);
 
 }  // namespace lafp::lazy
 

@@ -211,35 +211,61 @@ Status PushDownPredicates(Session* session,
   return Status::OK();
 }
 
+namespace {
+
+using PassFn = Status (*)(Session*, const std::vector<TaskNodePtr>&,
+                          PassStats*);
+
+/// Adapter from the module's free-function passes to the session's
+/// OptimizerPass registry. The live set participates so shared chains
+/// between the compute target and later uses are physically merged
+/// before the session's persist marking sees them.
+lazy::Session::OptimizerHook WrapPass(PassFn fn, PassStats* stats) {
+  return [fn, stats](Session* s, const std::vector<TaskNodePtr>& roots,
+                     const std::vector<TaskNodePtr>& live) {
+    std::vector<TaskNodePtr> all = roots;
+    all.insert(all.end(), live.begin(), live.end());
+    return fn(s, all, stats);
+  };
+}
+
+}  // namespace
+
 void InstallDefaultOptimizer(Session* session,
                              const OptimizerOptions& options,
                              PassStats* cumulative_stats) {
-  session->set_optimizer_hook(
-      [options, cumulative_stats](Session* s,
-                                  const std::vector<TaskNodePtr>& roots,
-                                  const std::vector<TaskNodePtr>& live) {
-        // The live set participates in dedup so shared chains between the
-        // compute target and later uses are physically merged before the
-        // session's persist marking sees them.
-        std::vector<TaskNodePtr> all = roots;
-        all.insert(all.end(), live.begin(), live.end());
-        PassStats local;
-        PassStats* stats =
-            cumulative_stats != nullptr ? cumulative_stats : &local;
-        if (options.deduplicate) {
-          LAFP_RETURN_NOT_OK(DeduplicateNodes(s, all, stats));
-        }
-        if (options.redundant) {
-          LAFP_RETURN_NOT_OK(EliminateRedundantOps(s, all, stats));
-        }
-        if (options.pushdown) {
-          LAFP_RETURN_NOT_OK(PushDownPredicates(s, all, stats));
-        }
-        if (options.deduplicate) {
-          LAFP_RETURN_NOT_OK(DeduplicateNodes(s, all, stats));
-        }
-        return Status::OK();
-      });
+  // Registered as named passes so each round's ExecutionReport lists
+  // them (with per-pass wall time) under these names.
+  session->ClearOptimizerPasses();
+  // When no cumulative sink is supplied, stats land in a sacrificial
+  // accumulator owned by the pass closures.
+  auto local = std::make_shared<PassStats>();
+  PassStats* stats = cumulative_stats != nullptr ? cumulative_stats
+                                                 : local.get();
+  auto add = [session, local](std::string name,
+                              lazy::Session::OptimizerHook hook) {
+    session->RegisterOptimizerPass(lazy::MakeFunctionPass(
+        std::move(name),
+        [local, hook = std::move(hook)](
+            Session* s, const std::vector<TaskNodePtr>& roots,
+            const std::vector<TaskNodePtr>& live) {
+          return hook(s, roots, live);
+        }));
+  };
+  if (options.deduplicate) {
+    add("dedup", WrapPass(&DeduplicateNodes, stats));
+  }
+  if (options.redundant) {
+    add("redundant-elim", WrapPass(&EliminateRedundantOps, stats));
+  }
+  if (options.pushdown) {
+    add("pushdown", WrapPass(&PushDownPredicates, stats));
+  }
+  if (options.deduplicate) {
+    // Pushdown can re-create structurally identical filter chains; a
+    // final dedup merges them (same shape as the old fused pipeline).
+    add("dedup-final", WrapPass(&DeduplicateNodes, stats));
+  }
 }
 
 }  // namespace lafp::opt

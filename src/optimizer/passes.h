@@ -46,9 +46,11 @@ struct OptimizerOptions {
   bool redundant = true;
 };
 
-/// Install the default pass pipeline as the session's optimizer hook
-/// (dedup -> redundant elimination -> pushdown -> dedup). Cumulative
-/// stats, if provided, must outlive the session.
+/// Register the default pass pipeline with the session's OptimizerPass
+/// registry (named passes "dedup" -> "redundant-elim" -> "pushdown" ->
+/// "dedup-final", visible in each round's ExecutionReport), replacing any
+/// previously registered passes. Cumulative stats, if provided, must
+/// outlive the session.
 void InstallDefaultOptimizer(lazy::Session* session,
                              const OptimizerOptions& options = {},
                              PassStats* cumulative_stats = nullptr);

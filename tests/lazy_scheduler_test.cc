@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+
+#include "lazy/fat_dataframe.h"
+#include "lazy/scheduler.h"
+#include "optimizer/passes.h"
+
+namespace lafp::lazy {
+namespace {
+
+using df::AggFunc;
+using df::CompareOp;
+using df::Scalar;
+using exec::BackendKind;
+
+class LazySchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "lazy_sched_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::create_directories(dir_);
+    csv_path_ = dir_ + "/data.csv";
+    std::ofstream out(csv_path_);
+    out << "fare,day,passengers\n";
+    for (int i = 0; i < 500; ++i) {
+      out << (i % 40) - 5 << "." << (i % 10) << "," << (i % 7) << ","
+          << (i % 5 + 1) << "\n";
+    }
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<Session> MakeSession(int threads,
+                                       std::stringstream* output,
+                                       BackendKind backend =
+                                           BackendKind::kPandas) {
+    return std::make_unique<Session>(SessionOptions::Builder()
+                                         .backend(backend)
+                                         .threads(threads)
+                                         .output(output)
+                                         .tracker(&tracker_)
+                                         .Build());
+  }
+
+  std::string dir_, csv_path_;
+  MemoryTracker tracker_{0};
+};
+
+// (a) A diamond-shaped graph — one shared source feeding two branches that
+// rejoin — must execute every node exactly once under parallelism.
+TEST_F(LazySchedulerTest, DiamondExecutesSharedNodeOnce) {
+  std::stringstream output;
+  auto session = MakeSession(4, &output);
+  auto df = FatDataFrame::ReadCsv(session.get(), csv_path_);
+  ASSERT_TRUE(df.ok());
+  auto left = df->Head(10);
+  ASSERT_TRUE(left.ok());
+  auto right = df->Head(20);
+  ASSERT_TRUE(right.ok());
+  auto joined = FatDataFrame::Concat(session.get(), {*left, *right});
+  ASSERT_TRUE(joined.ok());
+  auto eager = joined->Compute();
+  ASSERT_TRUE(eager.ok()) << eager.status().ToString();
+  EXPECT_EQ(eager->frame.num_rows(), 30u);
+  // read + head + head + concat: the shared read ran exactly once.
+  EXPECT_EQ(session->num_node_executions(), 4);
+
+  const ExecutionReport& report = session->last_report();
+  EXPECT_TRUE(report.parallel);
+  EXPECT_EQ(report.num_threads, 4);
+  EXPECT_EQ(report.nodes_executed, 4);
+  // Per-node stats are sorted and unique by node id.
+  ASSERT_EQ(report.nodes.size(), 4u);
+  for (size_t i = 1; i < report.nodes.size(); ++i) {
+    EXPECT_LT(report.nodes[i - 1].node_id, report.nodes[i].node_id);
+  }
+  // The concat node saw 30 input rows and produced 30.
+  const NodeStats& concat = report.nodes.back();
+  EXPECT_EQ(concat.rows_in, 30);
+  EXPECT_EQ(concat.rows_out, 30);
+}
+
+// (b) Lazy prints must emit in program order regardless of how many
+// scheduler workers execute the (independent) chains feeding them.
+TEST_F(LazySchedulerTest, LazyPrintOrderMatchesSerial) {
+  auto build_and_flush = [&](int threads, std::stringstream* output) {
+    auto session = MakeSession(threads, output);
+    for (int chain = 0; chain < 6; ++chain) {
+      auto df = FatDataFrame::ReadCsv(session.get(), csv_path_);
+      ASSERT_TRUE(df.ok());
+      auto fare = df->Col("fare");
+      auto mask =
+          fare->CompareTo(CompareOp::kGt, Scalar::Double(chain * 2.0));
+      auto filtered = df->FilterBy(*mask);
+      auto grouped = filtered->GroupByAgg(
+          {"day"}, {{"passengers", AggFunc::kSum, "passengers"}});
+      ASSERT_TRUE(grouped.ok());
+      auto sorted = grouped->SortValues({"day"}, {true});
+      ASSERT_TRUE(sorted.ok());
+      ASSERT_TRUE(session
+                      ->Print({Session::PrintArg::Literal(
+                                   "chain " + std::to_string(chain) + ":"),
+                               Session::PrintArg::Value(sorted->node())})
+                      .ok());
+      auto len = filtered->Len();
+      ASSERT_TRUE(len.ok());
+      ASSERT_TRUE(session
+                      ->Print({Session::PrintArg::Literal("len: "),
+                               Session::PrintArg::Value(len->node())})
+                      .ok());
+    }
+    ASSERT_TRUE(session->Flush().ok());
+    EXPECT_EQ(session->last_report().prints_emitted, 12);
+  };
+
+  std::stringstream serial_out, parallel_out;
+  build_and_flush(1, &serial_out);
+  build_and_flush(4, &parallel_out);
+  EXPECT_FALSE(serial_out.str().empty());
+  EXPECT_EQ(serial_out.str(), parallel_out.str());
+}
+
+// (c) Randomized wide graphs: many chains of random ops, flushed together,
+// must produce byte-identical output and identical execution counts under
+// num_threads ∈ {1, 4}.
+TEST_F(LazySchedulerTest, RandomizedWideGraphMatchesSerialReference) {
+  for (uint32_t seed : {7u, 21u, 99u}) {
+    auto run = [&](int threads, std::stringstream* output,
+                   ExecutionReport* report) {
+      std::mt19937 rng(seed);
+      auto session = MakeSession(threads, output);
+      int chains = 8 + static_cast<int>(rng() % 5);
+      for (int c = 0; c < chains; ++c) {
+        auto df = FatDataFrame::ReadCsv(session.get(), csv_path_);
+        ASSERT_TRUE(df.ok());
+        FatDataFrame cur = *df;
+        // After a groupby the frame's columns become {day, p}; the
+        // generator tracks that so every program is valid.
+        bool aggregated = false;
+        int depth = 1 + static_cast<int>(rng() % 4);
+        for (int d = 0; d < depth; ++d) {
+          switch (rng() % 4) {
+            case 0: {
+              auto col = cur.Col(aggregated ? "day" : "fare");
+              ASSERT_TRUE(col.ok());
+              double threshold =
+                  aggregated ? static_cast<double>(rng() % 5)
+                             : static_cast<double>(rng() % 20) - 5.0;
+              auto mask =
+                  col->CompareTo(CompareOp::kGt, Scalar::Double(threshold));
+              ASSERT_TRUE(mask.ok());
+              auto next = cur.FilterBy(*mask);
+              ASSERT_TRUE(next.ok());
+              cur = *next;
+              break;
+            }
+            case 1: {
+              auto next = cur.Head(10 + rng() % 200);
+              ASSERT_TRUE(next.ok());
+              cur = *next;
+              break;
+            }
+            case 2: {
+              auto next = cur.SortValues({aggregated ? "day" : "fare"},
+                                         {rng() % 2 == 0});
+              ASSERT_TRUE(next.ok());
+              cur = *next;
+              break;
+            }
+            default: {
+              auto next = cur.GroupByAgg(
+                  {"day"},
+                  {{aggregated ? "p" : "passengers", AggFunc::kSum, "p"}});
+              ASSERT_TRUE(next.ok());
+              auto sorted = next->SortValues({"day"}, {true});
+              ASSERT_TRUE(sorted.ok());
+              cur = *sorted;
+              aggregated = true;
+              break;
+            }
+          }
+        }
+        ASSERT_TRUE(session
+                        ->Print({Session::PrintArg::Literal(
+                                     "c" + std::to_string(c) + " "),
+                                 Session::PrintArg::Value(cur.node())})
+                        .ok());
+      }
+      ASSERT_TRUE(session->Flush().ok());
+      *report = session->last_report();
+    };
+
+    std::stringstream serial_out, parallel_out;
+    ExecutionReport serial_report, parallel_report;
+    run(1, &serial_out, &serial_report);
+    run(4, &parallel_out, &parallel_report);
+    EXPECT_FALSE(serial_out.str().empty());
+    EXPECT_EQ(serial_out.str(), parallel_out.str()) << "seed " << seed;
+    EXPECT_EQ(serial_report.nodes_executed, parallel_report.nodes_executed)
+        << "seed " << seed;
+    EXPECT_EQ(serial_report.results_cleared, parallel_report.results_cleared)
+        << "seed " << seed;
+    EXPECT_EQ(serial_report.total_rows_out(),
+              parallel_report.total_rows_out())
+        << "seed " << seed;
+    EXPECT_TRUE(parallel_report.parallel);
+    EXPECT_FALSE(serial_report.parallel);
+  }
+}
+
+// Errors from worker threads must surface as the round's status without
+// hanging or executing dependents of the failed node.
+TEST_F(LazySchedulerTest, ParallelErrorPropagates) {
+  std::stringstream output;
+  auto session = MakeSession(4, &output);
+  auto df = FatDataFrame::ReadCsv(session.get(), csv_path_);
+  ASSERT_TRUE(df.ok());
+  auto bogus = df->Col("no_such_column");
+  ASSERT_TRUE(bogus.ok());  // graph building is lazy; failure is at exec
+  auto head = bogus->Head(3);
+  ASSERT_TRUE(head.ok());
+  auto eager = head->Compute();
+  EXPECT_FALSE(eager.ok());
+}
+
+// The unified knob: Builder().threads(n) drives both the scheduler and
+// the backend config; legacy aggregate init keeps working.
+TEST_F(LazySchedulerTest, BuilderUnifiesThreadKnobs) {
+  std::stringstream output;
+  auto session = MakeSession(3, &output, BackendKind::kModin);
+  EXPECT_EQ(session->options().exec.num_threads, 3);
+  EXPECT_EQ(session->options().backend_config.num_threads, 3);
+
+  // Legacy path: aggregate init with only the backend knob set.
+  SessionOptions legacy;
+  legacy.backend_config.num_threads = 2;
+  legacy.output = &output;
+  Session legacy_session(std::move(legacy));
+  EXPECT_EQ(legacy_session.options().exec.num_threads, 2);
+  EXPECT_EQ(legacy_session.options().backend_config.num_threads, 2);
+}
+
+// Dask (lazy backend) rounds stay on the deterministic serial path even
+// when the session asks for parallelism.
+TEST_F(LazySchedulerTest, LazyBackendSchedulesSerially) {
+  std::stringstream output;
+  auto session = MakeSession(4, &output, BackendKind::kDask);
+  auto df = FatDataFrame::ReadCsv(session.get(), csv_path_);
+  ASSERT_TRUE(df.ok());
+  auto head = df->Head(5);
+  ASSERT_TRUE(head.ok());
+  auto eager = head->Compute();
+  ASSERT_TRUE(eager.ok()) << eager.status().ToString();
+  EXPECT_FALSE(session->last_report().parallel);
+  EXPECT_EQ(session->last_report().num_threads, 1);
+}
+
+// Named optimizer passes show up in the round report, in order, with the
+// legacy hook shim still replacing the whole pipeline.
+TEST_F(LazySchedulerTest, OptimizerPassRegistryAndShim) {
+  std::stringstream output;
+  auto session = MakeSession(2, &output);
+  opt::InstallDefaultOptimizer(session.get());
+  ASSERT_EQ(session->optimizer_passes().size(), 4u);
+
+  auto df = FatDataFrame::ReadCsv(session.get(), csv_path_);
+  ASSERT_TRUE(df.ok());
+  auto a = df->Head(7);
+  auto b = df->Head(7);  // structural duplicate; dedup should merge
+  auto joined = FatDataFrame::Concat(session.get(), {*a, *b});
+  ASSERT_TRUE(joined.ok());
+  auto eager = joined->Compute();
+  ASSERT_TRUE(eager.ok()) << eager.status().ToString();
+
+  const ExecutionReport& report = session->last_report();
+  ASSERT_EQ(report.passes.size(), 4u);
+  EXPECT_EQ(report.passes[0].name, "dedup");
+  EXPECT_EQ(report.passes[1].name, "redundant-elim");
+  EXPECT_EQ(report.passes[2].name, "pushdown");
+  EXPECT_EQ(report.passes[3].name, "dedup-final");
+  // Dedup merged the duplicate head: read + head + concat only.
+  EXPECT_EQ(report.nodes_executed, 3);
+
+  // The shim replaces the registered pipeline with one wrapped hook.
+  int hook_runs = 0;
+  session->set_optimizer_hook(
+      [&hook_runs](Session*, const std::vector<TaskNodePtr>&,
+                   const std::vector<TaskNodePtr>&) {
+        ++hook_runs;
+        return Status::OK();
+      });
+  ASSERT_EQ(session->optimizer_passes().size(), 1u);
+  EXPECT_EQ(session->optimizer_passes()[0]->name(), "custom-hook");
+  auto head2 = df->Head(3);
+  ASSERT_TRUE(head2.ok());
+  ASSERT_TRUE(head2->Compute().ok());
+  EXPECT_EQ(hook_runs, 1);
+  EXPECT_EQ(session->last_report().passes.size(), 1u);
+
+  // Null hook clears everything.
+  session->set_optimizer_hook(nullptr);
+  EXPECT_TRUE(session->optimizer_passes().empty());
+}
+
+// Reused results are visible in the stats so tests can prove §3.5 reuse
+// instead of inferring it from execution counts.
+TEST_F(LazySchedulerTest, ReportMarksReusedNodes) {
+  std::stringstream output;
+  auto session = MakeSession(4, &output);
+  auto df = FatDataFrame::ReadCsv(session.get(), csv_path_);
+  ASSERT_TRUE(df.ok());
+  auto head = df->Head(10);
+  ASSERT_TRUE(head.ok());
+  // First compute materializes; persist-marking via live set keeps the
+  // head result alive for the second round.
+  ASSERT_TRUE(head->Compute({*head}).ok());
+  auto sorted = head->SortValues({"fare"}, {true});
+  ASSERT_TRUE(sorted.ok());
+  ASSERT_TRUE(sorted->Compute().ok());
+  const ExecutionReport& report = session->last_report();
+  EXPECT_GT(report.nodes_reused, 0);
+  bool saw_reused = false;
+  for (const auto& n : report.nodes) saw_reused |= n.reused;
+  EXPECT_TRUE(saw_reused);
+}
+
+}  // namespace
+}  // namespace lafp::lazy
