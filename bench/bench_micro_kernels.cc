@@ -2,11 +2,25 @@
 // every backend: CSV parse, filter, group-by, hash join, sort, and the
 // lazy-runtime graph overhead. These are not paper figures; they document
 // the substrate's raw costs for regression tracking.
+//
+// After the google-benchmark suite, main() runs an intra-op thread sweep
+// (1/2/4/8 kernel threads over the morsel-driven kernels) and writes
+// machine-readable results to BENCH_kernels.json — one record per
+// (op, rows, threads) with ns/row and a bit-exact output checksum, which
+// must be identical across the sweep (the kernel determinism contract).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <functional>
 #include <fstream>
+#include <iostream>
 
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "dataframe/kernel_context.h"
 #include "dataframe/ops.h"
 #include "io/csv.h"
 #include "lazy/fat_dataframe.h"
@@ -150,7 +164,172 @@ void BM_OptimizerPass(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimizerPass);
 
+// ---------------- Intra-op thread sweep (BENCH_kernels.json) ----------------
+
+/// Order-independent bit-exact checksum of a column (sum of value bit
+/// patterns + a validity term). Identical checksums across thread counts
+/// certify the morsel layer's determinism contract on real kernel output.
+uint64_t Checksum(const df::Column& col) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL * col.size();
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (!col.IsValid(i)) {
+      h += 0x7f4a7c159e3779b9ULL;
+      continue;
+    }
+    uint64_t bits = 0;
+    switch (col.type()) {
+      case df::DataType::kInt64:
+      case df::DataType::kTimestamp:
+        bits = static_cast<uint64_t>(col.IntAt(i));
+        break;
+      case df::DataType::kDouble: {
+        double v = col.DoubleAt(i);
+        std::memcpy(&bits, &v, sizeof(bits));
+        break;
+      }
+      case df::DataType::kBool:
+        bits = col.BoolAt(i) ? 1 : 2;
+        break;
+      default:
+        bits = std::hash<std::string>{}(col.StringAt(i));
+        break;
+    }
+    h += bits * 0x2545f4914f6cdd1dULL;
+  }
+  return h;
+}
+
+uint64_t Checksum(const df::DataFrame& frame) {
+  uint64_t h = 0;
+  for (size_t c = 0; c < frame.num_columns(); ++c) {
+    h = h * 31 + Checksum(*frame.column(c));
+  }
+  return h;
+}
+
+struct SweepRecord {
+  std::string op;
+  int64_t rows;
+  int threads;
+  double ns_per_row;
+  uint64_t checksum;
+};
+
+int RunKernelThreadSweep() {
+  const bool quick = std::getenv("LAFP_BENCH_QUICK") != nullptr;
+  const int64_t rows = quick ? 200000 : 2000000;
+  const int reps = quick ? 2 : 3;
+
+  MemoryTracker tracker(0);
+  std::vector<double> dbls(rows);
+  std::vector<int64_t> keys(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    dbls[i] = 0.5 * static_cast<double>(i % 997) - 100.0;
+    keys[i] = i % 31;
+  }
+  auto value = *df::Column::MakeDouble(std::move(dbls), {}, &tracker);
+  auto grp = *df::Column::MakeInt(std::move(keys), {}, &tracker);
+  auto frame = *df::DataFrame::Make({"grp", "value"}, {grp, value});
+  std::vector<int64_t> take_idx(rows);
+  for (int64_t i = 0; i < rows; ++i) take_idx[i] = rows - 1 - i;
+
+  struct OpCase {
+    const char* name;
+    std::function<uint64_t()> run;
+  };
+  const std::vector<OpCase> ops = {
+      {"arith_mul_add",
+       [&] {
+         auto sq = *df::ArithColumns(*value, df::ArithOp::kMul, *value);
+         auto out = *df::ArithColumns(*sq, df::ArithOp::kAdd, *value);
+         return Checksum(*out);
+       }},
+      {"compare_gt",
+       [&] {
+         auto out =
+             *df::Compare(*value, df::CompareOp::kGt, df::Scalar::Double(0));
+         return Checksum(*out);
+       }},
+      {"filter",
+       [&] {
+         auto mask =
+             *df::Compare(*value, df::CompareOp::kGt, df::Scalar::Double(0));
+         return Checksum(*df::Filter(frame, *mask));
+       }},
+      {"take",
+       [&] { return Checksum(**value->Take(take_idx)); }},
+      {"sum_kahan",
+       [&] {
+         double v = (*df::Reduce(*value, df::AggFunc::kSum)).double_value();
+         uint64_t bits = 0;
+         std::memcpy(&bits, &v, sizeof(bits));
+         return bits;
+       }},
+      {"groupby_sum_mean",
+       [&] {
+         return Checksum(*df::GroupByAgg(frame, {"grp"},
+                                         {{"value", df::AggFunc::kSum, "s"},
+                                          {"value", df::AggFunc::kMean,
+                                           "m"}}));
+       }},
+  };
+
+  std::vector<SweepRecord> records;
+  bool checksums_agree = true;
+  for (const auto& op : ops) {
+    uint64_t reference = 0;
+    for (int threads : {1, 2, 4, 8}) {
+      std::unique_ptr<ThreadPool> pool;
+      if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+      df::KernelContext ctx(pool.get(), threads,
+                            df::KernelContext::kDefaultMorselRows);
+      df::KernelScope scope(&ctx);
+      uint64_t checksum = 0;
+      int64_t best_micros = 0;
+      for (int r = 0; r < reps; ++r) {
+        Timer timer;
+        checksum = op.run();
+        int64_t us = timer.ElapsedMicros();
+        if (r == 0 || us < best_micros) best_micros = us;
+      }
+      if (threads == 1) {
+        reference = checksum;
+      } else if (checksum != reference) {
+        checksums_agree = false;
+        std::cerr << "CHECKSUM MISMATCH: " << op.name << " threads="
+                  << threads << "\n";
+      }
+      records.push_back({op.name, rows, threads,
+                         1000.0 * static_cast<double>(best_micros) /
+                             static_cast<double>(rows),
+                         checksum});
+    }
+  }
+
+  std::ofstream json("BENCH_kernels.json");
+  json << "[\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    json << "  {\"op\": \"" << r.op << "\", \"rows\": " << r.rows
+         << ", \"threads\": " << r.threads << ", \"ns_per_row\": "
+         << r.ns_per_row << ", \"checksum\": \"" << std::hex << r.checksum
+         << std::dec << "\"}" << (i + 1 < records.size() ? "," : "")
+         << "\n";
+  }
+  json << "]\n";
+  std::cout << "kernel thread sweep: " << records.size()
+            << " records -> BENCH_kernels.json (checksums "
+            << (checksums_agree ? "identical" : "DIVERGED") << ")\n";
+  return checksums_agree ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace lafp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return lafp::RunKernelThreadSweep();
+}

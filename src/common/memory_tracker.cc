@@ -9,13 +9,14 @@ namespace lafp {
 
 Status MemoryTracker::Reserve(int64_t bytes) {
   if (bytes < 0) return Status::Invalid("negative reservation");
+  const int64_t budget = budget_.load(std::memory_order_relaxed);
   int64_t cur = current_.load(std::memory_order_relaxed);
   while (true) {
     int64_t next = cur + bytes;
-    if (budget_ > 0 && next > budget_) {
+    if (budget > 0 && next > budget) {
       std::ostringstream msg;
       msg << "memory budget exceeded: in use " << cur << " + request "
-          << bytes << " > budget " << budget_;
+          << bytes << " > budget " << budget;
       return Status::OutOfMemory(msg.str());
     }
     if (current_.compare_exchange_weak(cur, next,
@@ -51,7 +52,7 @@ void MemoryTracker::Reset() {
 std::string MemoryTracker::ToString() const {
   std::ostringstream os;
   os << "MemoryTracker{current=" << current() << ", peak=" << peak()
-     << ", budget=" << budget_ << "}";
+     << ", budget=" << budget() << "}";
   return os.str();
 }
 

@@ -36,9 +36,11 @@ class MemoryTracker {
 
   int64_t current() const { return current_.load(std::memory_order_relaxed); }
   int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
-  int64_t budget() const { return budget_; }
+  int64_t budget() const { return budget_.load(std::memory_order_relaxed); }
 
-  void set_budget(int64_t budget_bytes) { budget_ = budget_bytes; }
+  void set_budget(int64_t budget_bytes) {
+    budget_.store(budget_bytes, std::memory_order_relaxed);
+  }
 
   /// Reset current and peak usage to zero (between benchmark runs).
   void Reset();
@@ -52,7 +54,11 @@ class MemoryTracker {
  private:
   std::atomic<int64_t> current_{0};
   std::atomic<int64_t> peak_{0};
-  int64_t budget_{0};
+  /// Atomic so Reserve() on kernel/partition workers can race with a
+  /// set_budget() from the driving thread without UB. current_/peak_ use
+  /// CAS loops (peak is a monotonic max), so concurrent reserve/release
+  /// from morsel-parallel column construction stays exact.
+  std::atomic<int64_t> budget_{0};
 };
 
 /// RAII reservation: reserves in the constructor-equivalent factory and

@@ -1,5 +1,9 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
+
+#include "common/macros.h"
+
 namespace lafp {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -64,6 +68,81 @@ void ParallelFor(ThreadPool* pool, int n,
     });
   }
   wg.Wait();
+}
+
+Status ParallelForStatus(ThreadPool* pool, int n,
+                         const std::function<Status(int)>& fn) {
+  if (n <= 0) return Status::OK();
+  std::vector<Status> statuses(n);
+  ParallelFor(pool, n, [&](int i) { statuses[i] = fn(i); });
+  for (auto& st : statuses) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+int64_t NumChunks(int64_t begin, int64_t end, int64_t grain) {
+  if (end <= begin) return 0;
+  if (grain < 1) grain = 1;
+  return (end - begin + grain - 1) / grain;
+}
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (grain < 1) grain = 1;
+  int64_t chunks = NumChunks(begin, end, grain);
+  if (chunks == 0) return;
+  if (pool == nullptr || chunks == 1) {
+    for (int64_t b = begin; b < end; b += grain) {
+      fn(b, std::min(b + grain, end));
+    }
+    return;
+  }
+  WaitGroup wg;
+  wg.Add(static_cast<int>(chunks));
+  for (int64_t b = begin; b < end; b += grain) {
+    int64_t e = std::min(b + grain, end);
+    pool->Submit([&, b, e] {
+      fn(b, e);
+      wg.Done();
+    });
+  }
+  wg.Wait();
+}
+
+Status ParallelForStatus(
+    ThreadPool* pool, int64_t begin, int64_t end, int64_t grain,
+    const std::function<Status(int64_t, int64_t)>& fn) {
+  if (grain < 1) grain = 1;
+  int64_t chunks = NumChunks(begin, end, grain);
+  if (chunks == 0) return Status::OK();
+  if (pool == nullptr || chunks == 1) {
+    for (int64_t b = begin; b < end; b += grain) {
+      LAFP_RETURN_NOT_OK(fn(b, std::min(b + grain, end)));
+    }
+    return Status::OK();
+  }
+  std::vector<Status> statuses(chunks);
+  WaitGroup wg;
+  wg.Add(static_cast<int>(chunks));
+  int64_t chunk = 0;
+  for (int64_t b = begin; b < end; b += grain, ++chunk) {
+    int64_t e = std::min(b + grain, end);
+    Status* slot = &statuses[chunk];
+    pool->Submit([&, b, e, slot] {
+      *slot = fn(b, e);
+      wg.Done();
+    });
+  }
+  wg.Wait();
+  for (auto& st : statuses) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
 }
 
 }  // namespace lafp

@@ -2,11 +2,14 @@
 #define LAFP_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/status.h"
 
 namespace lafp {
 
@@ -79,6 +82,31 @@ class WaitGroup {
 /// Run fn(i) for i in [0, n) on the pool, blocking until all are done.
 /// fn must be internally synchronized for any shared state.
 void ParallelFor(ThreadPool* pool, int n, const std::function<void(int)>& fn);
+
+/// Status-collecting ParallelFor: every fn(i) runs (no early cancellation,
+/// so per-index side effects stay deterministic), and the failure of the
+/// lowest failing index is returned — the same Status the serial loop
+/// `for i: RETURN_NOT_OK(fn(i))` would surface once the earlier iterations
+/// succeed. Use this instead of hand-rolled status vectors so worker
+/// errors can never be dropped on the floor.
+Status ParallelForStatus(ThreadPool* pool, int n,
+                         const std::function<Status(int)>& fn);
+
+/// Range/grain-size overload: split [begin, end) into chunks of at most
+/// `grain` elements ([begin, begin+grain), [begin+grain, ...)) and run
+/// fn(chunk_begin, chunk_end) for each chunk on the pool. Chunk geometry
+/// is a pure function of (begin, end, grain) — never of the pool's thread
+/// count — which is what lets callers (the morsel-driven kernels) promise
+/// bit-identical results for any number of threads. A null pool, or a
+/// range that fits one chunk, degrades to an inline serial loop.
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+/// Status-collecting range variant; returns the failure of the chunk with
+/// the lowest begin index (serial-equivalent error selection).
+Status ParallelForStatus(
+    ThreadPool* pool, int64_t begin, int64_t end, int64_t grain,
+    const std::function<Status(int64_t, int64_t)>& fn);
 
 }  // namespace lafp
 

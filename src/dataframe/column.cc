@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "dataframe/kernel_context.h"
 
 namespace lafp::df {
 
@@ -172,46 +173,58 @@ Result<double> Column::NumericAt(size_t i) const {
   }
 }
 
+namespace {
+
+/// Morsel-parallel gather of `indices` from `src` into a fresh vector.
+/// Each morsel writes a disjoint range of the output, so the result is
+/// positionally identical for any thread count.
+template <typename T>
+Result<std::vector<T>> GatherRows(const std::vector<T>& src,
+                                  const std::vector<int64_t>& indices) {
+  std::vector<T> out(indices.size());
+  LAFP_RETURN_NOT_OK(
+      RunMorsels(indices.size(), [&](size_t begin, size_t end) {
+        for (size_t k = begin; k < end; ++k) out[k] = src[indices[k]];
+        return Status::OK();
+      }));
+  return out;
+}
+
+}  // namespace
+
 Result<ColumnPtr> Column::Take(const std::vector<int64_t>& indices) const {
   std::vector<uint8_t> validity;
   if (!validity_.empty()) {
-    validity.resize(indices.size());
-    for (size_t k = 0; k < indices.size(); ++k) {
-      validity[k] = validity_[indices[k]];
-    }
+    LAFP_ASSIGN_OR_RETURN(validity, GatherRows(validity_, indices));
   }
   switch (type_) {
     case DataType::kInt64:
     case DataType::kTimestamp: {
-      std::vector<int64_t> out(indices.size());
-      for (size_t k = 0; k < indices.size(); ++k) out[k] = ints_[indices[k]];
+      LAFP_ASSIGN_OR_RETURN(std::vector<int64_t> out,
+                            GatherRows(ints_, indices));
       return type_ == DataType::kInt64
                  ? MakeInt(std::move(out), std::move(validity), tracker_)
                  : MakeTimestamp(std::move(out), std::move(validity),
                                  tracker_);
     }
     case DataType::kDouble: {
-      std::vector<double> out(indices.size());
-      for (size_t k = 0; k < indices.size(); ++k) {
-        out[k] = doubles_[indices[k]];
-      }
+      LAFP_ASSIGN_OR_RETURN(std::vector<double> out,
+                            GatherRows(doubles_, indices));
       return MakeDouble(std::move(out), std::move(validity), tracker_);
     }
     case DataType::kString: {
-      std::vector<std::string> out(indices.size());
-      for (size_t k = 0; k < indices.size(); ++k) {
-        out[k] = strings_[indices[k]];
-      }
+      LAFP_ASSIGN_OR_RETURN(std::vector<std::string> out,
+                            GatherRows(strings_, indices));
       return MakeString(std::move(out), std::move(validity), tracker_);
     }
     case DataType::kBool: {
-      std::vector<uint8_t> out(indices.size());
-      for (size_t k = 0; k < indices.size(); ++k) out[k] = bools_[indices[k]];
+      LAFP_ASSIGN_OR_RETURN(std::vector<uint8_t> out,
+                            GatherRows(bools_, indices));
       return MakeBool(std::move(out), std::move(validity), tracker_);
     }
     case DataType::kCategory: {
-      std::vector<int32_t> out(indices.size());
-      for (size_t k = 0; k < indices.size(); ++k) out[k] = codes_[indices[k]];
+      LAFP_ASSIGN_OR_RETURN(std::vector<int32_t> out,
+                            GatherRows(codes_, indices));
       return MakeCategory(std::move(out), std::move(validity), dictionary_,
                           tracker_);
     }

@@ -24,6 +24,17 @@ class KahanSum {
 
   double Total() const { return sum_ + comp_; }
 
+  /// Fold another accumulator's state into this one (morsel/partition
+  /// partial merge). Feeding the partial's running sum and compensation
+  /// through Add keeps the merged compensation meaningful, and — done in a
+  /// fixed order, e.g. morsel order — makes the combined total a pure
+  /// function of the partial states, which is what the kernel layer's
+  /// thread-count-invariance contract rests on.
+  void MergeFrom(const KahanSum& other) {
+    Add(other.sum_);
+    Add(other.comp_);
+  }
+
  private:
   double sum_ = 0.0;
   double comp_ = 0.0;

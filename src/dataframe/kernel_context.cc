@@ -1,0 +1,75 @@
+#include "dataframe/kernel_context.h"
+
+#include "common/timer.h"
+
+namespace lafp::df {
+
+namespace {
+
+thread_local const KernelContext* tls_context = nullptr;
+thread_local KernelCounters* tls_counters = nullptr;
+
+const KernelContext& SerialContext() {
+  static const KernelContext serial;
+  return serial;
+}
+
+}  // namespace
+
+KernelContext::KernelContext(ThreadPool* pool, int num_threads,
+                             size_t morsel_rows)
+    : pool_(num_threads > 1 ? pool : nullptr),
+      num_threads_(num_threads > 1 ? num_threads : 1),
+      morsel_rows_(morsel_rows > 0 ? morsel_rows : kDefaultMorselRows) {}
+
+const KernelContext& KernelContext::Current() {
+  return tls_context != nullptr ? *tls_context : SerialContext();
+}
+
+KernelScope::KernelScope(const KernelContext* ctx) : prev_(tls_context) {
+  tls_context = ctx;
+}
+
+KernelScope::~KernelScope() { tls_context = prev_; }
+
+KernelCountersScope::KernelCountersScope(KernelCounters* sink)
+    : prev_(tls_counters) {
+  tls_counters = sink;
+}
+
+KernelCountersScope::~KernelCountersScope() { tls_counters = prev_; }
+
+size_t NumMorsels(size_t n) {
+  if (n == 0) return 0;
+  const size_t morsel = KernelContext::Current().morsel_rows();
+  if (morsel == 0) return 1;  // serial context: one morsel spans all rows
+  return (n + morsel - 1) / morsel;
+}
+
+Status RunMorsels(size_t n,
+                  const std::function<Status(size_t, size_t)>& body) {
+  if (n == 0) return Status::OK();
+  const KernelContext& ctx = KernelContext::Current();
+  const size_t chunks = NumMorsels(n);
+  Timer timer;
+  Status status;
+  if (chunks == 1) {
+    status = body(0, n);
+  } else {
+    const int64_t grain = static_cast<int64_t>(ctx.morsel_rows());
+    const bool fork = ctx.parallel();
+    status = ParallelForStatus(
+        fork ? ctx.pool() : nullptr, int64_t{0}, static_cast<int64_t>(n),
+        grain, [&body](int64_t begin, int64_t end) {
+          return body(static_cast<size_t>(begin), static_cast<size_t>(end));
+        });
+    if (fork && tls_counters != nullptr) ++tls_counters->parallel_kernels;
+  }
+  if (tls_counters != nullptr) {
+    tls_counters->morsels += static_cast<int64_t>(chunks);
+    tls_counters->kernel_micros += timer.ElapsedMicros();
+  }
+  return status;
+}
+
+}  // namespace lafp::df

@@ -1,0 +1,111 @@
+#ifndef LAFP_DATAFRAME_KERNEL_CONTEXT_H_
+#define LAFP_DATAFRAME_KERNEL_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace lafp::df {
+
+/// Counters describing the kernel work launched from one thread while a
+/// KernelCountersScope is active. The session's ExecNode wraps each
+/// backend Execute in such a scope, which is how ExecutionReport learns
+/// per-node kernel time and morsel counts.
+struct KernelCounters {
+  int64_t morsels = 0;           // morsels executed through RunMorsels
+  int64_t parallel_kernels = 0;  // kernels that actually forked onto a pool
+  int64_t kernel_micros = 0;     // wall time spent inside RunMorsels
+};
+
+/// Intra-operator parallelism context for the kernel layer (morsel-driven
+/// parallelism, HiFrames-style). A backend builds one KernelContext from
+/// its config and installs it thread-locally (KernelScope) around kernel
+/// execution; every hot kernel then drives its row range through
+/// RunMorsels below.
+///
+/// Determinism contract: morsel boundaries are a pure function of
+/// (row count, morsel_rows) — never of num_threads — and merges of morsel
+/// partials always happen in morsel order on the launching thread. So for
+/// a fixed morsel_rows, results are bit-identical for every thread count,
+/// including the Kahan-compensated aggregate sums.
+///
+/// The default-constructed context is serial; threads that never had a
+/// scope installed (e.g. pool workers running morsel bodies or Modin
+/// partition tasks) see the serial context, which is what prevents nested
+/// oversubscription: partition-level parallelism automatically suppresses
+/// kernel-level splitting because the context does not propagate across
+/// threads.
+class KernelContext {
+ public:
+  /// Fixed default morsel size. Matches BackendConfig::partition_rows'
+  /// default so a Modin partition is exactly one morsel.
+  static constexpr size_t kDefaultMorselRows = 65536;
+
+  /// Serial context: kernels run inline, single morsel spans all rows
+  /// (the byte-identical legacy path).
+  KernelContext() = default;
+
+  /// Morsel-driven context. `pool` may be shared with other users (the
+  /// Modin partition pool); RunMorsels only ever blocks the launching
+  /// thread, never a pool worker, so sharing cannot deadlock as long as
+  /// the launching thread is not itself a worker of `pool`.
+  KernelContext(ThreadPool* pool, int num_threads, size_t morsel_rows);
+
+  bool parallel() const { return pool_ != nullptr && num_threads_ > 1; }
+  int num_threads() const { return num_threads_; }
+  size_t morsel_rows() const { return morsel_rows_; }
+  ThreadPool* pool() const { return pool_; }
+
+  /// The context installed on this thread (serial if none).
+  static const KernelContext& Current();
+
+ private:
+  ThreadPool* pool_ = nullptr;
+  int num_threads_ = 1;
+  size_t morsel_rows_ = 0;  // 0 = single morsel spanning all rows (serial)
+};
+
+/// RAII installation of a KernelContext as this thread's Current().
+/// Nestable; restores the previous context on destruction.
+class KernelScope {
+ public:
+  explicit KernelScope(const KernelContext* ctx);
+  ~KernelScope();
+
+  KernelScope(const KernelScope&) = delete;
+  KernelScope& operator=(const KernelScope&) = delete;
+
+ private:
+  const KernelContext* prev_;
+};
+
+/// RAII capture of this thread's kernel counters into `sink` (additive).
+/// Nestable; the innermost scope wins.
+class KernelCountersScope {
+ public:
+  explicit KernelCountersScope(KernelCounters* sink);
+  ~KernelCountersScope();
+
+  KernelCountersScope(const KernelCountersScope&) = delete;
+  KernelCountersScope& operator=(const KernelCountersScope&) = delete;
+
+ private:
+  KernelCounters* prev_;
+};
+
+/// Number of morsels the current context splits `n` rows into (>= 1 for
+/// n > 0). Independent of thread count by construction.
+size_t NumMorsels(size_t n);
+
+/// Run body(begin, end) over every morsel of [0, n), in parallel when the
+/// current context allows, inline (in morsel order) otherwise. Bodies
+/// must write only to disjoint per-range state. All morsels run even
+/// after a failure; the lowest-morsel failure is returned (the Status a
+/// serial loop would surface). Updates the active KernelCounters.
+Status RunMorsels(size_t n, const std::function<Status(size_t, size_t)>& body);
+
+}  // namespace lafp::df
+
+#endif  // LAFP_DATAFRAME_KERNEL_CONTEXT_H_

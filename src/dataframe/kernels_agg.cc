@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "dataframe/kahan.h"
+#include "dataframe/kernel_context.h"
 #include "dataframe/ops.h"
 #include "dataframe/row_key.h"
 
@@ -81,6 +82,32 @@ void Accumulate(AggState* st, AggFunc func, const Column& col, size_t row) {
   if (v > st->dmax) st->dmax = v;
 }
 
+/// Fold a morsel-partial accumulator into `into`. Called serially in fixed
+/// morsel order, so the merged state (including the Kahan compensation) is a
+/// pure function of the morsel geometry, never of the thread count.
+void MergeState(AggState* into, AggState* from) {
+  into->sum.MergeFrom(from->sum);
+  into->isum += from->isum;
+  into->count += from->count;
+  into->dmin = std::min(into->dmin, from->dmin);
+  into->dmax = std::max(into->dmax, from->dmax);
+  if (from->has_str) {
+    if (!into->has_str) {
+      into->smin = std::move(from->smin);
+      into->smax = std::move(from->smax);
+      into->has_str = true;
+    } else {
+      if (from->smin < into->smin) into->smin = std::move(from->smin);
+      if (from->smax > into->smax) into->smax = std::move(from->smax);
+    }
+  }
+  if (into->distinct.empty()) {
+    into->distinct.swap(from->distinct);
+  } else {
+    for (auto& key : from->distinct) into->distinct.insert(key);
+  }
+}
+
 /// Output column type for an aggregate over a source column type.
 DataType AggOutputType(AggFunc func, DataType src) {
   switch (func) {
@@ -153,8 +180,27 @@ Status EmitAgg(ColumnBuilder* builder, const AggState& st, AggFunc func,
 }  // namespace
 
 Result<Scalar> Reduce(const Column& col, AggFunc func) {
+  const size_t n = col.size();
   AggState st;
-  for (size_t i = 0; i < col.size(); ++i) Accumulate(&st, func, col, i);
+  if (NumMorsels(n) <= 1) {
+    // Single morsel: the legacy sequential accumulation, byte-for-byte.
+    for (size_t i = 0; i < n; ++i) Accumulate(&st, func, col, i);
+  } else {
+    // Partial aggregate per morsel, merged serially in morsel order. The
+    // morsel boundaries depend only on (n, morsel_rows), so the result is
+    // bit-identical across thread counts.
+    const size_t morsel_rows = KernelContext::Current().morsel_rows();
+    std::vector<AggState> partials(NumMorsels(n));
+    LAFP_RETURN_NOT_OK(RunMorsels(n, [&](size_t begin, size_t end) {
+      AggState& p = partials[begin / morsel_rows];
+      for (size_t i = begin; i < end; ++i) Accumulate(&p, func, col, i);
+      return Status::OK();
+    }));
+    st = std::move(partials[0]);
+    for (size_t m = 1; m < partials.size(); ++m) {
+      MergeState(&st, &partials[m]);
+    }
+  }
   switch (func) {
     case AggFunc::kCount:
       return Scalar::Int(st.count);
@@ -225,16 +271,66 @@ Result<DataFrame> GroupByAgg(const DataFrame& df,
   std::vector<int64_t> representative_row;  // first row of each group
   std::vector<std::vector<AggState>> states;  // [group][agg]
   const size_t n = df.num_rows();
-  for (size_t r = 0; r < n; ++r) {
-    std::string key = internal::RowKey(key_cols, r);
-    auto [it, inserted] = group_ids.emplace(std::move(key), states.size());
-    if (inserted) {
-      representative_row.push_back(static_cast<int64_t>(r));
-      states.emplace_back(aggs.size());
+  if (NumMorsels(n) <= 1) {
+    // Single morsel: the legacy sequential hash-aggregation, byte-for-byte.
+    for (size_t r = 0; r < n; ++r) {
+      std::string key = internal::RowKey(key_cols, r);
+      auto [it, inserted] = group_ids.emplace(std::move(key), states.size());
+      if (inserted) {
+        representative_row.push_back(static_cast<int64_t>(r));
+        states.emplace_back(aggs.size());
+      }
+      auto& group_states = states[it->second];
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        Accumulate(&group_states[a], aggs[a].func, *agg_cols[a], r);
+      }
     }
-    auto& group_states = states[it->second];
-    for (size_t a = 0; a < aggs.size(); ++a) {
-      Accumulate(&group_states[a], aggs[a].func, *agg_cols[a], r);
+  } else {
+    // Each morsel builds a private hash table over its row range; the
+    // partials are then merged serially in morsel order, which reproduces
+    // the global first-appearance group order (a group's first morsel is
+    // visited first, and within a morsel insertion order is row order) and
+    // keeps every per-group state a pure function of the morsel geometry.
+    struct LocalGroups {
+      std::unordered_map<std::string, size_t> ids;
+      std::vector<const std::string*> key_in_order;  // stable map-node keys
+      std::vector<int64_t> first_row;
+      std::vector<std::vector<AggState>> states;
+    };
+    const size_t morsel_rows = KernelContext::Current().morsel_rows();
+    std::vector<LocalGroups> locals(NumMorsels(n));
+    LAFP_RETURN_NOT_OK(RunMorsels(n, [&](size_t begin, size_t end) {
+      LocalGroups& loc = locals[begin / morsel_rows];
+      for (size_t r = begin; r < end; ++r) {
+        std::string key = internal::RowKey(key_cols, r);
+        auto [it, inserted] = loc.ids.emplace(std::move(key),
+                                              loc.states.size());
+        if (inserted) {
+          loc.key_in_order.push_back(&it->first);
+          loc.first_row.push_back(static_cast<int64_t>(r));
+          loc.states.emplace_back(aggs.size());
+        }
+        auto& group_states = loc.states[it->second];
+        for (size_t a = 0; a < aggs.size(); ++a) {
+          Accumulate(&group_states[a], aggs[a].func, *agg_cols[a], r);
+        }
+      }
+      return Status::OK();
+    }));
+    for (auto& loc : locals) {
+      for (size_t g = 0; g < loc.states.size(); ++g) {
+        auto [it, inserted] =
+            group_ids.emplace(*loc.key_in_order[g], states.size());
+        if (inserted) {
+          representative_row.push_back(loc.first_row[g]);
+          states.push_back(std::move(loc.states[g]));
+        } else {
+          auto& dst = states[it->second];
+          for (size_t a = 0; a < aggs.size(); ++a) {
+            MergeState(&dst[a], &loc.states[g][a]);
+          }
+        }
+      }
     }
   }
 

@@ -2,6 +2,7 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "dataframe/kernel_context.h"
 #include "dataframe/ops.h"
 
 namespace lafp::df {
@@ -54,9 +55,12 @@ Result<ColumnPtr> Arith(const Column& lhs, ArithOp op, const Scalar& rhs) {
       op == ArithOp::kAdd && rhs.type() == DataType::kString) {
     // String concatenation.
     std::vector<std::string> out(n);
-    for (size_t i = 0; i < n; ++i) {
-      if (lhs.IsValid(i)) out[i] = lhs.StringAt(i) + rhs.string_value();
-    }
+    LAFP_RETURN_NOT_OK(RunMorsels(n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        if (lhs.IsValid(i)) out[i] = lhs.StringAt(i) + rhs.string_value();
+      }
+      return Status::OK();
+    }));
     return Column::MakeString(std::move(out), lhs.validity(), lhs.tracker());
   }
   if (!IsNumeric(lhs.type())) {
@@ -71,21 +75,27 @@ Result<ColumnPtr> Arith(const Column& lhs, ArithOp op, const Scalar& rhs) {
                                                      : DataType::kDouble)) {
     std::vector<int64_t> out(n);
     int64_t r = rhs.int_value();
-    for (size_t i = 0; i < n; ++i) {
-      out[i] = ApplyArithInt(op, lhs.IntAt(i), r);
-    }
+    LAFP_RETURN_NOT_OK(RunMorsels(n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        out[i] = ApplyArithInt(op, lhs.IntAt(i), r);
+      }
+      return Status::OK();
+    }));
     return Column::MakeInt(std::move(out), lhs.validity(), lhs.tracker());
   }
   LAFP_ASSIGN_OR_RETURN(double r, rhs.AsDouble());
   std::vector<double> out(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (!lhs.IsValid(i)) {
-      out[i] = std::nan("");
-      continue;
+  LAFP_RETURN_NOT_OK(RunMorsels(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (!lhs.IsValid(i)) {
+        out[i] = std::nan("");
+        continue;
+      }
+      LAFP_ASSIGN_OR_RETURN(double a, lhs.NumericAt(i));
+      out[i] = ApplyArith(op, a, r);
     }
-    LAFP_ASSIGN_OR_RETURN(double a, lhs.NumericAt(i));
-    out[i] = ApplyArith(op, a, r);
-  }
+    return Status::OK();
+  }));
   return Column::MakeDouble(std::move(out), lhs.validity(), lhs.tracker());
 }
 
@@ -101,14 +111,17 @@ Result<ColumnPtr> ArithScalarLeft(const Scalar& lhs, ArithOp op,
   }
   LAFP_ASSIGN_OR_RETURN(double l, lhs.AsDouble());
   std::vector<double> out(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (!rhs.IsValid(i)) {
-      out[i] = std::nan("");
-      continue;
+  LAFP_RETURN_NOT_OK(RunMorsels(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (!rhs.IsValid(i)) {
+        out[i] = std::nan("");
+        continue;
+      }
+      LAFP_ASSIGN_OR_RETURN(double b, rhs.NumericAt(i));
+      out[i] = ApplyArith(op, l, b);
     }
-    LAFP_ASSIGN_OR_RETURN(double b, rhs.NumericAt(i));
-    out[i] = ApplyArith(op, l, b);
-  }
+    return Status::OK();
+  }));
   return Column::MakeDouble(std::move(out), rhs.validity(), rhs.tracker());
 }
 
@@ -127,13 +140,16 @@ Result<ColumnPtr> ArithColumns(const Column& lhs, ArithOp op,
     std::vector<uint8_t> validity;
     bool any_null = lhs.has_nulls() || rhs.has_nulls();
     if (any_null) validity.assign(n, 1);
-    for (size_t i = 0; i < n; ++i) {
-      if (!lhs.IsValid(i) || !rhs.IsValid(i)) {
-        if (any_null) validity[i] = 0;
-        continue;
+    LAFP_RETURN_NOT_OK(RunMorsels(n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        if (!lhs.IsValid(i) || !rhs.IsValid(i)) {
+          if (any_null) validity[i] = 0;
+          continue;
+        }
+        out[i] = lhs.StringAt(i) + rhs.StringAt(i);
       }
-      out[i] = lhs.StringAt(i) + rhs.StringAt(i);
-    }
+      return Status::OK();
+    }));
     return Column::MakeString(std::move(out), std::move(validity),
                               lhs.tracker());
   }
@@ -143,28 +159,30 @@ Result<ColumnPtr> ArithColumns(const Column& lhs, ArithOp op,
   if (BothIntsStayInt(op, lhs.type(), rhs.type()) && !lhs.has_nulls() &&
       !rhs.has_nulls()) {
     std::vector<int64_t> out(n);
-    for (size_t i = 0; i < n; ++i) {
-      out[i] = ApplyArithInt(op, lhs.IntAt(i), rhs.IntAt(i));
-    }
+    LAFP_RETURN_NOT_OK(RunMorsels(n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        out[i] = ApplyArithInt(op, lhs.IntAt(i), rhs.IntAt(i));
+      }
+      return Status::OK();
+    }));
     return Column::MakeInt(std::move(out), {}, lhs.tracker());
   }
   std::vector<double> out(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (!lhs.IsValid(i) || !rhs.IsValid(i)) {
-      out[i] = std::nan("");
-      continue;
-    }
-    LAFP_ASSIGN_OR_RETURN(double a, lhs.NumericAt(i));
-    LAFP_ASSIGN_OR_RETURN(double b, rhs.NumericAt(i));
-    out[i] = ApplyArith(op, a, b);
-  }
   std::vector<uint8_t> validity;
-  if (lhs.has_nulls() || rhs.has_nulls()) {
-    validity.assign(n, 1);
-    for (size_t i = 0; i < n; ++i) {
-      if (!lhs.IsValid(i) || !rhs.IsValid(i)) validity[i] = 0;
+  if (lhs.has_nulls() || rhs.has_nulls()) validity.assign(n, 1);
+  LAFP_RETURN_NOT_OK(RunMorsels(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (!lhs.IsValid(i) || !rhs.IsValid(i)) {
+        out[i] = std::nan("");
+        if (!validity.empty()) validity[i] = 0;
+        continue;
+      }
+      LAFP_ASSIGN_OR_RETURN(double a, lhs.NumericAt(i));
+      LAFP_ASSIGN_OR_RETURN(double b, rhs.NumericAt(i));
+      out[i] = ApplyArith(op, a, b);
     }
-  }
+    return Status::OK();
+  }));
   return Column::MakeDouble(std::move(out), std::move(validity),
                             lhs.tracker());
 }
@@ -173,16 +191,18 @@ Result<ColumnPtr> Abs(const Column& col) {
   switch (col.type()) {
     case DataType::kInt64: {
       std::vector<int64_t> out(col.size());
-      for (size_t i = 0; i < col.size(); ++i) {
-        out[i] = std::abs(col.IntAt(i));
-      }
+      LAFP_RETURN_NOT_OK(RunMorsels(col.size(), [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) out[i] = std::abs(col.IntAt(i));
+        return Status::OK();
+      }));
       return Column::MakeInt(std::move(out), col.validity(), col.tracker());
     }
     case DataType::kDouble: {
       std::vector<double> out(col.size());
-      for (size_t i = 0; i < col.size(); ++i) {
-        out[i] = std::fabs(col.DoubleAt(i));
-      }
+      LAFP_RETURN_NOT_OK(RunMorsels(col.size(), [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) out[i] = std::fabs(col.DoubleAt(i));
+        return Status::OK();
+      }));
       return Column::MakeDouble(std::move(out), col.validity(),
                                 col.tracker());
     }
@@ -200,9 +220,12 @@ Result<ColumnPtr> Round(const Column& col, int digits) {
   }
   double scale = std::pow(10.0, digits);
   std::vector<double> out(col.size());
-  for (size_t i = 0; i < col.size(); ++i) {
-    out[i] = std::round(col.DoubleAt(i) * scale) / scale;
-  }
+  LAFP_RETURN_NOT_OK(RunMorsels(col.size(), [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      out[i] = std::round(col.DoubleAt(i) * scale) / scale;
+    }
+    return Status::OK();
+  }));
   return Column::MakeDouble(std::move(out), col.validity(), col.tracker());
 }
 

@@ -1,8 +1,10 @@
 #include <cmath>
 #include <cstring>
+#include <numeric>
 #include <unordered_set>
 
 #include "common/macros.h"
+#include "dataframe/kernel_context.h"
 #include "dataframe/ops.h"
 
 namespace lafp::df {
@@ -32,6 +34,13 @@ bool IsStringy(DataType t) {
   return t == DataType::kString || t == DataType::kCategory;
 }
 
+/// Drive an elementwise bool-producing row loop over morsels of [0, n).
+/// `body` must write only out-rows in its [begin, end) range.
+Status ForEachRow(size_t n,
+                  const std::function<Status(size_t, size_t)>& body) {
+  return RunMorsels(n, body);
+}
+
 }  // namespace
 
 Result<ColumnPtr> Compare(const Column& col, CompareOp op,
@@ -42,7 +51,10 @@ Result<ColumnPtr> Compare(const Column& col, CompareOp op,
     // Comparisons against null are all-false (pandas NaN semantics),
     // except != which pandas makes all-true for non-null entries.
     if (op == CompareOp::kNe) {
-      for (size_t i = 0; i < n; ++i) out[i] = col.IsValid(i) ? 1 : 0;
+      LAFP_RETURN_NOT_OK(ForEachRow(n, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) out[i] = col.IsValid(i) ? 1 : 0;
+        return Status::OK();
+      }));
     }
     return Column::MakeBool(std::move(out), {}, col.tracker());
   }
@@ -51,19 +63,25 @@ Result<ColumnPtr> Compare(const Column& col, CompareOp op,
       return Status::TypeError("comparing string column with non-string");
     }
     const std::string& needle = rhs.string_value();
-    for (size_t i = 0; i < n; ++i) {
-      if (!col.IsValid(i)) continue;
-      out[i] = ApplyCmp<std::string>(op, col.StringAt(i), needle) ? 1 : 0;
-    }
+    LAFP_RETURN_NOT_OK(ForEachRow(n, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        if (!col.IsValid(i)) continue;
+        out[i] = ApplyCmp<std::string>(op, col.StringAt(i), needle) ? 1 : 0;
+      }
+      return Status::OK();
+    }));
     return Column::MakeBool(std::move(out), {}, col.tracker());
   }
   if (col.type() == DataType::kTimestamp &&
       rhs.type() == DataType::kString) {
     LAFP_ASSIGN_OR_RETURN(int64_t ts, ParseTimestamp(rhs.string_value()));
-    for (size_t i = 0; i < n; ++i) {
-      if (!col.IsValid(i)) continue;
-      out[i] = ApplyCmp<int64_t>(op, col.IntAt(i), ts) ? 1 : 0;
-    }
+    LAFP_RETURN_NOT_OK(ForEachRow(n, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        if (!col.IsValid(i)) continue;
+        out[i] = ApplyCmp<int64_t>(op, col.IntAt(i), ts) ? 1 : 0;
+      }
+      return Status::OK();
+    }));
     return Column::MakeBool(std::move(out), {}, col.tracker());
   }
   LAFP_ASSIGN_OR_RETURN(double r, rhs.AsDouble());
@@ -72,26 +90,36 @@ Result<ColumnPtr> Compare(const Column& col, CompareOp op,
     case DataType::kInt64:
     case DataType::kTimestamp: {
       const auto& vals = col.ints();
-      for (size_t i = 0; i < n; ++i) {
-        if (!col.IsValid(i)) continue;
-        out[i] = ApplyCmp<double>(op, static_cast<double>(vals[i]), r) ? 1 : 0;
-      }
+      LAFP_RETURN_NOT_OK(ForEachRow(n, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+          if (!col.IsValid(i)) continue;
+          out[i] =
+              ApplyCmp<double>(op, static_cast<double>(vals[i]), r) ? 1 : 0;
+        }
+        return Status::OK();
+      }));
       break;
     }
     case DataType::kDouble: {
       const auto& vals = col.doubles();
-      for (size_t i = 0; i < n; ++i) {
-        if (!col.IsValid(i) || std::isnan(vals[i])) continue;
-        out[i] = ApplyCmp<double>(op, vals[i], r) ? 1 : 0;
-      }
+      LAFP_RETURN_NOT_OK(ForEachRow(n, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+          if (!col.IsValid(i) || std::isnan(vals[i])) continue;
+          out[i] = ApplyCmp<double>(op, vals[i], r) ? 1 : 0;
+        }
+        return Status::OK();
+      }));
       break;
     }
     case DataType::kBool: {
       const auto& vals = col.bools();
-      for (size_t i = 0; i < n; ++i) {
-        if (!col.IsValid(i)) continue;
-        out[i] = ApplyCmp<double>(op, vals[i] ? 1.0 : 0.0, r) ? 1 : 0;
-      }
+      LAFP_RETURN_NOT_OK(ForEachRow(n, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+          if (!col.IsValid(i)) continue;
+          out[i] = ApplyCmp<double>(op, vals[i] ? 1.0 : 0.0, r) ? 1 : 0;
+        }
+        return Status::OK();
+      }));
       break;
     }
     default:
@@ -109,11 +137,15 @@ Result<ColumnPtr> CompareColumns(const Column& lhs, CompareOp op,
   const size_t n = lhs.size();
   std::vector<uint8_t> out(n, 0);
   if (IsStringy(lhs.type()) && IsStringy(rhs.type())) {
-    for (size_t i = 0; i < n; ++i) {
-      if (!lhs.IsValid(i) || !rhs.IsValid(i)) continue;
-      out[i] =
-          ApplyCmp<std::string>(op, lhs.StringAt(i), rhs.StringAt(i)) ? 1 : 0;
-    }
+    LAFP_RETURN_NOT_OK(ForEachRow(n, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        if (!lhs.IsValid(i) || !rhs.IsValid(i)) continue;
+        out[i] = ApplyCmp<std::string>(op, lhs.StringAt(i), rhs.StringAt(i))
+                     ? 1
+                     : 0;
+      }
+      return Status::OK();
+    }));
     return Column::MakeBool(std::move(out), {}, lhs.tracker());
   }
   if (!IsNumeric(lhs.type()) || !IsNumeric(rhs.type())) {
@@ -121,13 +153,16 @@ Result<ColumnPtr> CompareColumns(const Column& lhs, CompareOp op,
                              std::string(DataTypeName(lhs.type())) + " and " +
                              DataTypeName(rhs.type()));
   }
-  for (size_t i = 0; i < n; ++i) {
-    if (!lhs.IsValid(i) || !rhs.IsValid(i)) continue;
-    LAFP_ASSIGN_OR_RETURN(double a, lhs.NumericAt(i));
-    LAFP_ASSIGN_OR_RETURN(double b, rhs.NumericAt(i));
-    if (std::isnan(a) || std::isnan(b)) continue;
-    out[i] = ApplyCmp<double>(op, a, b) ? 1 : 0;
-  }
+  LAFP_RETURN_NOT_OK(ForEachRow(n, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      if (!lhs.IsValid(i) || !rhs.IsValid(i)) continue;
+      LAFP_ASSIGN_OR_RETURN(double a, lhs.NumericAt(i));
+      LAFP_ASSIGN_OR_RETURN(double bv, rhs.NumericAt(i));
+      if (std::isnan(a) || std::isnan(bv)) continue;
+      out[i] = ApplyCmp<double>(op, a, bv) ? 1 : 0;
+    }
+    return Status::OK();
+  }));
   return Column::MakeBool(std::move(out), {}, lhs.tracker());
 }
 
@@ -148,22 +183,28 @@ Status CheckBoolPair(const Column& a, const Column& b) {
 Result<ColumnPtr> BooleanAnd(const Column& a, const Column& b) {
   LAFP_RETURN_NOT_OK(CheckBoolPair(a, b));
   std::vector<uint8_t> out(a.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    out[i] = (a.IsValid(i) && b.IsValid(i) && a.BoolAt(i) && b.BoolAt(i))
-                 ? 1
-                 : 0;
-  }
+  LAFP_RETURN_NOT_OK(ForEachRow(a.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = (a.IsValid(i) && b.IsValid(i) && a.BoolAt(i) && b.BoolAt(i))
+                   ? 1
+                   : 0;
+    }
+    return Status::OK();
+  }));
   return Column::MakeBool(std::move(out), {}, a.tracker());
 }
 
 Result<ColumnPtr> BooleanOr(const Column& a, const Column& b) {
   LAFP_RETURN_NOT_OK(CheckBoolPair(a, b));
   std::vector<uint8_t> out(a.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    bool av = a.IsValid(i) && a.BoolAt(i);
-    bool bv = b.IsValid(i) && b.BoolAt(i);
-    out[i] = (av || bv) ? 1 : 0;
-  }
+  LAFP_RETURN_NOT_OK(ForEachRow(a.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      bool av = a.IsValid(i) && a.BoolAt(i);
+      bool bv = b.IsValid(i) && b.BoolAt(i);
+      out[i] = (av || bv) ? 1 : 0;
+    }
+    return Status::OK();
+  }));
   return Column::MakeBool(std::move(out), {}, a.tracker());
 }
 
@@ -172,21 +213,28 @@ Result<ColumnPtr> BooleanNot(const Column& a) {
     return Status::TypeError("boolean not requires a bool column");
   }
   std::vector<uint8_t> out(a.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    out[i] = (a.IsValid(i) && a.BoolAt(i)) ? 0 : 1;
-  }
+  LAFP_RETURN_NOT_OK(ForEachRow(a.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = (a.IsValid(i) && a.BoolAt(i)) ? 0 : 1;
+    }
+    return Status::OK();
+  }));
   return Column::MakeBool(std::move(out), {}, a.tracker());
 }
 
 Result<ColumnPtr> IsNull(const Column& a) {
   std::vector<uint8_t> out(a.size(), 0);
-  for (size_t i = 0; i < a.size(); ++i) {
-    bool null = !a.IsValid(i);
-    if (!null && a.type() == DataType::kDouble && std::isnan(a.DoubleAt(i))) {
-      null = true;
+  LAFP_RETURN_NOT_OK(ForEachRow(a.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      bool null = !a.IsValid(i);
+      if (!null && a.type() == DataType::kDouble &&
+          std::isnan(a.DoubleAt(i))) {
+        null = true;
+      }
+      out[i] = null ? 1 : 0;
     }
-    out[i] = null ? 1 : 0;
-  }
+    return Status::OK();
+  }));
   return Column::MakeBool(std::move(out), {}, a.tracker());
 }
 
@@ -195,10 +243,13 @@ Result<ColumnPtr> StrContains(const Column& col, const std::string& needle) {
     return Status::TypeError("str.contains requires a string column");
   }
   std::vector<uint8_t> out(col.size(), 0);
-  for (size_t i = 0; i < col.size(); ++i) {
-    if (!col.IsValid(i)) continue;
-    out[i] = col.StringAt(i).find(needle) != std::string::npos ? 1 : 0;
-  }
+  LAFP_RETURN_NOT_OK(ForEachRow(col.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (!col.IsValid(i)) continue;
+      out[i] = col.StringAt(i).find(needle) != std::string::npos ? 1 : 0;
+    }
+    return Status::OK();
+  }));
   return Column::MakeBool(std::move(out), {}, col.tracker());
 }
 
@@ -212,10 +263,15 @@ Result<ColumnPtr> IsIn(const Column& col,
         members.insert(v.string_value());
       }
     }
-    for (size_t i = 0; i < col.size(); ++i) {
-      if (!col.IsValid(i)) continue;
-      out[i] = members.count(col.StringAt(i)) > 0 ? 1 : 0;
-    }
+    // The membership set is built once, then only read: morsel bodies may
+    // probe it concurrently.
+    LAFP_RETURN_NOT_OK(ForEachRow(col.size(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        if (!col.IsValid(i)) continue;
+        out[i] = members.count(col.StringAt(i)) > 0 ? 1 : 0;
+      }
+      return Status::OK();
+    }));
     return Column::MakeBool(std::move(out), {}, col.tracker());
   }
   if (!IsNumeric(col.type())) {
@@ -226,14 +282,62 @@ Result<ColumnPtr> IsIn(const Column& col,
     auto d = v.AsDouble();
     if (d.ok()) members.insert(*d);
   }
-  for (size_t i = 0; i < col.size(); ++i) {
-    if (!col.IsValid(i)) continue;
-    LAFP_ASSIGN_OR_RETURN(double v, col.NumericAt(i));
-    if (std::isnan(v)) continue;
-    out[i] = members.count(v) > 0 ? 1 : 0;
-  }
+  LAFP_RETURN_NOT_OK(ForEachRow(col.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (!col.IsValid(i)) continue;
+      LAFP_ASSIGN_OR_RETURN(double v, col.NumericAt(i));
+      if (std::isnan(v)) continue;
+      out[i] = members.count(v) > 0 ? 1 : 0;
+    }
+    return Status::OK();
+  }));
   return Column::MakeBool(std::move(out), {}, col.tracker());
 }
+
+namespace {
+
+/// The mask -> row-index step shared by Filter and FilterColumn, morsel-
+/// parallelized in two passes: count selected rows per morsel, exclusive-
+/// prefix-sum the counts into write offsets, then fill each morsel's
+/// disjoint output range. Output order is ascending row order — exactly
+/// the serial push_back result — for every thread count.
+Result<std::vector<int64_t>> MaskToIndices(const Column& mask) {
+  const size_t n = mask.size();
+  const size_t morsels = NumMorsels(n);
+  auto selected = [&mask](size_t i) {
+    return mask.IsValid(i) && mask.BoolAt(i);
+  };
+  if (morsels <= 1) {
+    std::vector<int64_t> indices;
+    indices.reserve(n / 2);
+    for (size_t i = 0; i < n; ++i) {
+      if (selected(i)) indices.push_back(static_cast<int64_t>(i));
+    }
+    return indices;
+  }
+  const size_t morsel_rows = KernelContext::Current().morsel_rows();
+  std::vector<size_t> counts(morsels, 0);
+  LAFP_RETURN_NOT_OK(RunMorsels(n, [&](size_t begin, size_t end) {
+    size_t c = 0;
+    for (size_t i = begin; i < end; ++i) c += selected(i) ? 1 : 0;
+    counts[begin / morsel_rows] = c;
+    return Status::OK();
+  }));
+  std::vector<size_t> offsets(morsels, 0);
+  std::exclusive_scan(counts.begin(), counts.end(), offsets.begin(),
+                      size_t{0});
+  std::vector<int64_t> indices(offsets.back() + counts.back());
+  LAFP_RETURN_NOT_OK(RunMorsels(n, [&](size_t begin, size_t end) {
+    size_t w = offsets[begin / morsel_rows];
+    for (size_t i = begin; i < end; ++i) {
+      if (selected(i)) indices[w++] = static_cast<int64_t>(i);
+    }
+    return Status::OK();
+  }));
+  return indices;
+}
+
+}  // namespace
 
 Result<ColumnPtr> FilterColumn(const Column& col, const Column& mask) {
   if (mask.type() != DataType::kBool) {
@@ -242,13 +346,7 @@ Result<ColumnPtr> FilterColumn(const Column& col, const Column& mask) {
   if (mask.size() != col.size()) {
     return Status::Invalid("filter mask length mismatch");
   }
-  std::vector<int64_t> indices;
-  indices.reserve(col.size() / 2);
-  for (size_t i = 0; i < mask.size(); ++i) {
-    if (mask.IsValid(i) && mask.BoolAt(i)) {
-      indices.push_back(static_cast<int64_t>(i));
-    }
-  }
+  LAFP_ASSIGN_OR_RETURN(std::vector<int64_t> indices, MaskToIndices(mask));
   return col.Take(indices);
 }
 
@@ -259,12 +357,7 @@ Result<DataFrame> Filter(const DataFrame& df, const Column& mask) {
   if (mask.size() != df.num_rows()) {
     return Status::Invalid("filter mask length mismatch");
   }
-  std::vector<int64_t> indices;
-  for (size_t i = 0; i < mask.size(); ++i) {
-    if (mask.IsValid(i) && mask.BoolAt(i)) {
-      indices.push_back(static_cast<int64_t>(i));
-    }
-  }
+  LAFP_ASSIGN_OR_RETURN(std::vector<int64_t> indices, MaskToIndices(mask));
   return df.TakeRows(indices);
 }
 

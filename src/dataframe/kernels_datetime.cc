@@ -1,5 +1,6 @@
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "dataframe/kernel_context.h"
 #include "dataframe/ops.h"
 
 namespace lafp::df {
@@ -40,21 +41,37 @@ Result<ColumnPtr> ToDatetime(const Column& col) {
                                    col.tracker());
     case DataType::kString:
     case DataType::kCategory: {
-      ColumnBuilder builder(DataType::kTimestamp, col.tracker());
-      builder.Reserve(col.size());
-      for (size_t i = 0; i < col.size(); ++i) {
-        if (!col.IsValid(i)) {
-          builder.AppendNull();
-          continue;
+      // Range-parameterized parse (errors='coerce'): each morsel fills its
+      // disjoint slice of the value/valid arrays; the validity vector is
+      // attached only if some row is null, matching the builder's output.
+      const size_t n = col.size();
+      std::vector<int64_t> out(n, 0);
+      std::vector<uint8_t> valid(n, 1);
+      LAFP_RETURN_NOT_OK(RunMorsels(n, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          if (!col.IsValid(i)) {
+            valid[i] = 0;
+            continue;
+          }
+          auto parsed = ParseTimestamp(col.StringAt(i));
+          if (!parsed.ok()) {
+            valid[i] = 0;
+          } else {
+            out[i] = *parsed;
+          }
         }
-        auto parsed = ParseTimestamp(col.StringAt(i));
-        if (!parsed.ok()) {
-          builder.AppendNull();  // errors='coerce' semantics
-        } else {
-          builder.AppendInt(*parsed);
+        return Status::OK();
+      }));
+      bool any_null = false;
+      for (uint8_t v : valid) {
+        if (v == 0) {
+          any_null = true;
+          break;
         }
       }
-      return builder.Finish();
+      if (!any_null) valid.clear();
+      return Column::MakeTimestamp(std::move(out), std::move(valid),
+                                   col.tracker());
     }
     default:
       return Status::TypeError("to_datetime on column of type " +
@@ -67,27 +84,30 @@ Result<ColumnPtr> DtAccessor(const Column& col, DtField field) {
     return Status::TypeError(".dt accessor requires a datetime column");
   }
   std::vector<int64_t> out(col.size(), 0);
-  for (size_t i = 0; i < col.size(); ++i) {
-    if (!col.IsValid(i)) continue;
-    int64_t ts = col.IntAt(i);
-    switch (field) {
-      case DtField::kDayOfWeek:
-        out[i] = DayOfWeek(ts);
-        break;
-      case DtField::kHour:
-        out[i] = HourOfDay(ts);
-        break;
-      case DtField::kMonth:
-        out[i] = MonthOf(ts);
-        break;
-      case DtField::kYear:
-        out[i] = YearOf(ts);
-        break;
-      case DtField::kDay:
-        out[i] = DayOfMonth(ts);
-        break;
+  LAFP_RETURN_NOT_OK(RunMorsels(col.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (!col.IsValid(i)) continue;
+      int64_t ts = col.IntAt(i);
+      switch (field) {
+        case DtField::kDayOfWeek:
+          out[i] = DayOfWeek(ts);
+          break;
+        case DtField::kHour:
+          out[i] = HourOfDay(ts);
+          break;
+        case DtField::kMonth:
+          out[i] = MonthOf(ts);
+          break;
+        case DtField::kYear:
+          out[i] = YearOf(ts);
+          break;
+        case DtField::kDay:
+          out[i] = DayOfMonth(ts);
+          break;
+      }
     }
-  }
+    return Status::OK();
+  }));
   return Column::MakeInt(std::move(out), col.validity(), col.tracker());
 }
 

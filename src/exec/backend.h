@@ -20,6 +20,17 @@ struct BackendConfig {
   int num_threads = 4;
   /// Rows per partition for the partitioned backends.
   size_t partition_rows = 65536;
+  /// Morsel-driven intra-operator parallelism inside the dataframe kernels
+  /// (df::KernelContext). 0 = off (kernels run as one morsel, the legacy
+  /// sequential path, byte-for-byte); 1 = serial but with the fixed morsel
+  /// geometry applied (useful for determinism testing); >1 = morsel
+  /// parallel on a kernel thread pool. Morsel boundaries depend only on
+  /// (row count, morsel_rows) — never on this knob — so any value >= 1
+  /// produces bit-identical results. Resolved by the session from
+  /// lazy::ExecutionOptions::intra_op_threads.
+  int intra_op_threads = 0;
+  /// Rows per kernel morsel when intra_op_threads >= 1.
+  size_t morsel_rows = 65536;
   /// Source partitions the Dask backend keeps in flight (models worker
   /// prefetch/parallelism): its steady-state memory is roughly
   /// prefetch_partitions x partition width, which is why projection

@@ -38,7 +38,12 @@ BackendValue WrapParts(PartitionedFrame parts) {
 ModinBackend::ModinBackend(MemoryTracker* tracker,
                            const BackendConfig& config)
     : Backend(tracker, config),
-      pool_(std::make_unique<ThreadPool>(config.num_threads)) {}
+      pool_(std::make_unique<ThreadPool>(config.num_threads)) {
+  if (config_.intra_op_threads >= 1) {
+    kernel_ctx_ = df::KernelContext(pool_.get(), config_.intra_op_threads,
+                                    config_.morsel_rows);
+  }
+}
 
 void ModinBackend::PayOverhead() const {
   if (config_.task_overhead_us > 0) {
@@ -109,34 +114,25 @@ Result<BackendValue> ModinBackend::ExecuteMapOp(
   }
   size_t np = primary->num_partitions();
   std::vector<df::DataFrame> results(np);
-  std::vector<Status> statuses(np);
-  ParallelFor(pool_.get(), static_cast<int>(np), [&](int i) {
-    PayOverhead();
-    auto part = primary->partition(i, tracker_);
-    if (!part.ok()) {
-      statuses[i] = part.status();
-      return;
-    }
-    std::vector<EagerValue> eager_inputs;
-    eager_inputs.push_back(EagerValue::Frame(std::move(*part)));
-    if (secondary != nullptr) {
-      auto second = secondary->partition(i, tracker_);
-      if (!second.ok()) {
-        statuses[i] = second.status();
-        return;
-      }
-      eager_inputs.push_back(EagerValue::Frame(std::move(*second)));
-    } else if (second_is_scalar) {
-      eager_inputs.push_back(EagerValue::FromScalar(runtime_scalar));
-    }
-    auto out = ExecuteEagerOp(desc, eager_inputs, tracker_);
-    if (!out.ok()) {
-      statuses[i] = out.status();
-      return;
-    }
-    results[i] = std::move(out->frame);
-  });
-  for (const auto& st : statuses) LAFP_RETURN_NOT_OK(st);
+  LAFP_RETURN_NOT_OK(ParallelForStatus(
+      pool_.get(), static_cast<int>(np), [&](int i) -> Status {
+        PayOverhead();
+        LAFP_ASSIGN_OR_RETURN(df::DataFrame part,
+                              primary->partition(i, tracker_));
+        std::vector<EagerValue> eager_inputs;
+        eager_inputs.push_back(EagerValue::Frame(std::move(part)));
+        if (secondary != nullptr) {
+          LAFP_ASSIGN_OR_RETURN(df::DataFrame second,
+                                secondary->partition(i, tracker_));
+          eager_inputs.push_back(EagerValue::Frame(std::move(second)));
+        } else if (second_is_scalar) {
+          eager_inputs.push_back(EagerValue::FromScalar(runtime_scalar));
+        }
+        LAFP_ASSIGN_OR_RETURN(EagerValue out,
+                              ExecuteEagerOp(desc, eager_inputs, tracker_));
+        results[i] = std::move(out.frame);
+        return Status::OK();
+      }));
   PartitionedFrame out;
   for (auto& r : results) out.Add(std::move(r));
   return WrapParts(std::move(out));
@@ -153,17 +149,14 @@ Result<BackendValue> ModinBackend::ExecuteGroupBy(
   // Partial aggregation is parallel; partials are folded in deterministic
   // partition order for reproducible output.
   std::vector<df::DataFrame> partial_inputs(np);
-  std::vector<Status> statuses(np);
-  ParallelFor(pool_.get(), static_cast<int>(np), [&](int i) {
-    PayOverhead();
-    auto part = parts->partition(i, tracker_);
-    if (!part.ok()) {
-      statuses[i] = part.status();
-      return;
-    }
-    partial_inputs[i] = std::move(*part);
-  });
-  for (const auto& st : statuses) LAFP_RETURN_NOT_OK(st);
+  LAFP_RETURN_NOT_OK(ParallelForStatus(
+      pool_.get(), static_cast<int>(np), [&](int i) -> Status {
+        PayOverhead();
+        LAFP_ASSIGN_OR_RETURN(df::DataFrame part,
+                              parts->partition(i, tracker_));
+        partial_inputs[i] = std::move(part);
+        return Status::OK();
+      }));
   for (const auto& part : partial_inputs) {
     LAFP_RETURN_NOT_OK(combiner.AddPartition(part));
   }
@@ -200,22 +193,17 @@ Result<BackendValue> ModinBackend::ExecuteMerge(const OpDesc& desc,
   LAFP_ASSIGN_OR_RETURN(df::DataFrame right_full, rparts->ToEager(tracker_));
   size_t np = lparts->num_partitions();
   std::vector<df::DataFrame> results(np);
-  std::vector<Status> statuses(np);
-  ParallelFor(pool_.get(), static_cast<int>(np), [&](int i) {
-    PayOverhead();
-    auto part = lparts->partition(i, tracker_);
-    if (!part.ok()) {
-      statuses[i] = part.status();
-      return;
-    }
-    auto joined = df::Merge(*part, right_full, desc.columns, desc.join_type);
-    if (!joined.ok()) {
-      statuses[i] = joined.status();
-      return;
-    }
-    results[i] = std::move(*joined);
-  });
-  for (const auto& st : statuses) LAFP_RETURN_NOT_OK(st);
+  LAFP_RETURN_NOT_OK(ParallelForStatus(
+      pool_.get(), static_cast<int>(np), [&](int i) -> Status {
+        PayOverhead();
+        LAFP_ASSIGN_OR_RETURN(df::DataFrame part,
+                              lparts->partition(i, tracker_));
+        LAFP_ASSIGN_OR_RETURN(
+            df::DataFrame joined,
+            df::Merge(part, right_full, desc.columns, desc.join_type));
+        results[i] = std::move(joined);
+        return Status::OK();
+      }));
   PartitionedFrame out;
   for (auto& r : results) out.Add(std::move(r));
   return WrapParts(std::move(out));
@@ -223,6 +211,10 @@ Result<BackendValue> ModinBackend::ExecuteMerge(const OpDesc& desc,
 
 Result<BackendValue> ModinBackend::ExecuteViaConcat(
     const OpDesc& desc, const std::vector<BackendValue>& inputs) {
+  // Whole-frame ops run on the calling (scheduler) thread, so kernel
+  // morsels can borrow the partition pool without nesting: its workers
+  // never see this thread-local context.
+  df::KernelScope kernel_scope(&kernel_ctx_);
   std::vector<EagerValue> eager_inputs;
   for (const auto& in : inputs) {
     LAFP_ASSIGN_OR_RETURN(EagerValue v, Materialize(in));

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "dataframe/kernel_context.h"
 #include "exec/backend.h"
 #include "exec/partition.h"
 
@@ -23,6 +24,14 @@ namespace lafp::exec {
 /// completion — so two scheduler workers can run partitioned ops on the
 /// same pool simultaneously. The pool is distinct from the scheduler's,
 /// so a scheduler worker blocking in ParallelFor cannot starve it.
+///
+/// Intra-operator kernel parallelism shares that same partition pool (no
+/// second pool, no oversubscription): ops that run on the concatenated
+/// frame install a df::KernelContext over pool_ so their kernel loops go
+/// morsel-parallel, while partitioned ops keep their parallelism at the
+/// partition level — the kernel context is thread-local and does not
+/// propagate into pool workers, so per-partition kernels stay serial
+/// instead of forking nested morsel tasks onto the pool they run on.
 class ModinBackend : public Backend {
  public:
   ModinBackend(MemoryTracker* tracker, const BackendConfig& config);
@@ -57,6 +66,7 @@ class ModinBackend : public Backend {
       const OpDesc& desc, const std::vector<BackendValue>& inputs);
 
   std::unique_ptr<ThreadPool> pool_;
+  df::KernelContext kernel_ctx_;  // over pool_; default if knob is 0
 };
 
 }  // namespace lafp::exec

@@ -19,12 +19,26 @@ class EagerBackendFrame : public BackendFrame {
 
 }  // namespace
 
+PandasBackend::PandasBackend(MemoryTracker* tracker,
+                             const BackendConfig& config)
+    : Backend(tracker, config) {
+  if (config_.intra_op_threads > 1) {
+    kernel_pool_ = std::make_unique<ThreadPool>(config_.intra_op_threads);
+  }
+  if (config_.intra_op_threads >= 1) {
+    kernel_ctx_ = df::KernelContext(kernel_pool_.get(),
+                                    config_.intra_op_threads,
+                                    config_.morsel_rows);
+  }
+}
+
 bool PandasBackend::SupportsOp(const OpDesc& desc) const {
   return desc.kind != OpKind::kPrint;  // print handled by the session
 }
 
 Result<BackendValue> PandasBackend::Execute(
     const OpDesc& desc, const std::vector<BackendValue>& inputs) {
+  df::KernelScope kernel_scope(&kernel_ctx_);
   std::vector<EagerValue> eager_inputs;
   eager_inputs.reserve(inputs.size());
   for (const auto& in : inputs) {

@@ -1,8 +1,11 @@
 #ifndef LAFP_EXEC_PANDAS_BACKEND_H_
 #define LAFP_EXEC_PANDAS_BACKEND_H_
 
+#include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
+#include "dataframe/kernel_context.h"
 #include "exec/backend.h"
 
 namespace lafp::exec {
@@ -11,14 +14,22 @@ namespace lafp::exec {
 /// dataframe kernels, everything lives in (tracked) memory. This is the
 /// "Pandas" of the reproduction — fastest in-memory, first to OOM.
 ///
+/// When config.intra_op_threads >= 1 the backend owns a kernel thread
+/// pool and installs a df::KernelContext for the duration of each
+/// Execute call, so the dataframe kernels split their loops into fixed
+/// morsels (parallel when intra_op_threads > 1). The context lives in
+/// thread-local storage and does not propagate into pool workers, which
+/// is what prevents nested forking.
+///
 /// Thread-safe for concurrent Execute/Materialize/FromEager: the backend
-/// itself is stateless (kernels allocate fresh outputs; the shared
-/// MemoryTracker is internally synchronized), which is what lets the DAG
-/// scheduler run independent nodes in parallel.
+/// holds no mutable per-call state (kernels allocate fresh outputs; the
+/// shared MemoryTracker and the kernel pool's queue are internally
+/// synchronized), which is what lets the DAG scheduler run independent
+/// nodes in parallel. Concurrent Execute calls share the kernel pool;
+/// each call blocks only its own scheduler worker while its morsels run.
 class PandasBackend : public Backend {
  public:
-  PandasBackend(MemoryTracker* tracker, const BackendConfig& config)
-      : Backend(tracker, config) {}
+  PandasBackend(MemoryTracker* tracker, const BackendConfig& config);
 
   const char* name() const override { return "pandas"; }
   bool preserves_row_order() const override { return true; }
@@ -29,6 +40,10 @@ class PandasBackend : public Backend {
   Result<EagerValue> Materialize(const BackendValue& value) override;
   Result<BackendValue> FromEager(const EagerValue& value) override;
   int64_t RowCount(const BackendValue& value) const override;
+
+ private:
+  std::unique_ptr<ThreadPool> kernel_pool_;  // only if intra_op_threads > 1
+  df::KernelContext kernel_ctx_;  // default (single-morsel) if knob is 0
 };
 
 }  // namespace lafp::exec

@@ -26,7 +26,9 @@ std::string ExecutionReport::ToString() const {
      << (parallel ? " parallel" : " serial") << " wall_us=" << wall_micros
      << " executed=" << nodes_executed << " reused=" << nodes_reused
      << " prints=" << prints_emitted << " cleared=" << results_cleared
-     << " peak_bytes=" << peak_tracked_bytes << "]\n";
+     << " peak_bytes=" << peak_tracked_bytes
+     << " kernel_us=" << kernel_micros << " morsels=" << kernel_morsels
+     << " parallel_kernels=" << parallel_kernels << "]\n";
   for (const auto& p : passes) {
     os << "  pass " << p.name << ": " << p.wall_micros << "us\n";
   }
@@ -37,6 +39,12 @@ std::string ExecutionReport::ToString() const {
     if (n.fallback) os << " fallback";
     if (n.rows_in >= 0) os << " rows_in=" << n.rows_in;
     if (n.rows_out >= 0) os << " rows_out=" << n.rows_out;
+    if (n.morsels > 0) {
+      os << " kernel_us=" << n.kernel_micros << " morsels=" << n.morsels;
+      if (n.parallel_kernels > 0) {
+        os << " parallel_kernels=" << n.parallel_kernels;
+      }
+    }
     os << "\n";
   }
   return os.str();
@@ -142,8 +150,11 @@ Status Scheduler::RunSerial(const std::vector<TaskNodePtr>& order,
       if (report != nullptr) ++report->nodes_executed;
     }
     stats.wall_micros = timer.ElapsedMicros();
-    if (report != nullptr && options_.collect_stats) {
-      report->nodes.push_back(std::move(stats));
+    if (report != nullptr) {
+      report->kernel_micros += stats.kernel_micros;
+      report->kernel_morsels += stats.morsels;
+      report->parallel_kernels += stats.parallel_kernels;
+      if (options_.collect_stats) report->nodes.push_back(std::move(stats));
     }
     // Release inputs whose consumers in this round are all done.
     for (const auto& in : n->inputs) {
@@ -273,6 +284,9 @@ Status Scheduler::RunParallel(const std::vector<TaskNodePtr>& order,
         if (report != nullptr) {
           if (emitted_print) ++report->prints_emitted;
           if (executed_node) ++report->nodes_executed;
+          report->kernel_micros += stats.kernel_micros;
+          report->kernel_morsels += stats.morsels;
+          report->parallel_kernels += stats.parallel_kernels;
           if (options_.collect_stats) report->nodes.push_back(stats);
         }
         // Release this node's inputs (per-edge, mirrors the serial path).

@@ -24,6 +24,15 @@ struct NodeStats {
   bool is_print = false;
   int64_t rows_in = -1;      // sum of frame-input rows; -1 = unknown
   int64_t rows_out = -1;     // result rows; -1 = unknown (lazy plan)
+  // Intra-operator kernel activity on the node's executing thread
+  // (df::KernelCounters): time inside kernel morsel loops, morsels
+  // processed (one per invocation when intra_op_threads = 0), and how
+  // many kernel invocations actually forked to the kernel pool. Kernels
+  // run by Modin partition workers are not attributed (no counters sink
+  // propagates across pool threads).
+  int64_t kernel_micros = 0;
+  int64_t morsels = 0;
+  int64_t parallel_kernels = 0;
 };
 
 /// Everything one call to Session::ExecuteRound did: optimizer passes run,
@@ -39,6 +48,10 @@ struct ExecutionReport {
   int64_t prints_emitted = 0;
   int64_t results_cleared = 0;
   int64_t peak_tracked_bytes = 0;
+  // Round-level sums of the per-node kernel counters.
+  int64_t kernel_micros = 0;
+  int64_t kernel_morsels = 0;
+  int64_t parallel_kernels = 0;
 
   struct PassStat {
     std::string name;

@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "common/timer.h"
+#include "dataframe/kernel_context.h"
 
 namespace lafp::lazy {
 
@@ -26,6 +27,15 @@ SessionOptions NormalizeOptions(SessionOptions options) {
   if (threads < 1) threads = 1;
   options.exec.num_threads = threads;
   options.backend_config.num_threads = threads;
+  // Same resolution for the intra-operator knob, then hand both kernel
+  // knobs to the backend, which owns the kernel pool and context.
+  int intra = options.exec.intra_op_threads > 0
+                  ? options.exec.intra_op_threads
+                  : options.backend_config.intra_op_threads;
+  if (intra < 0) intra = 0;
+  options.exec.intra_op_threads = intra;
+  options.backend_config.intra_op_threads = intra;
+  options.backend_config.morsel_rows = options.exec.morsel_rows;
   return options;
 }
 
@@ -272,23 +282,40 @@ Status Session::ExecNode(const TaskNodePtr& node, NodeStats* stats) {
     }
   }
   num_node_executions_.fetch_add(1, std::memory_order_relaxed);
-  if (backend_->SupportsOp(node->desc)) {
-    LAFP_ASSIGN_OR_RETURN(node->result,
-                          backend_->Execute(node->desc, inputs));
-  } else {
-    // Paper §5.2 fallback: convert to eager Pandas frames, apply the
-    // Pandas-engine kernel, convert back.
-    if (stats != nullptr) stats->fallback = true;
-    std::vector<exec::EagerValue> eager_inputs;
-    for (const auto& in : inputs) {
-      LAFP_ASSIGN_OR_RETURN(exec::EagerValue v, backend_->Materialize(in));
-      eager_inputs.push_back(std::move(v));
-    }
-    LAFP_ASSIGN_OR_RETURN(
-        exec::EagerValue out,
-        exec::ExecuteEagerOp(node->desc, eager_inputs, tracker_));
-    LAFP_ASSIGN_OR_RETURN(node->result, backend_->FromEager(out));
+  // Kernel counters accumulate in thread-local storage for the duration
+  // of this node's execution (this thread only — Modin partition workers
+  // are not attributed), then flow into the stats record.
+  df::KernelCounters counters;
+  Status exec_status;
+  {
+    df::KernelCountersScope counters_scope(&counters);
+    exec_status = [&]() -> Status {
+      if (backend_->SupportsOp(node->desc)) {
+        LAFP_ASSIGN_OR_RETURN(node->result,
+                              backend_->Execute(node->desc, inputs));
+        return Status::OK();
+      }
+      // Paper §5.2 fallback: convert to eager Pandas frames, apply the
+      // Pandas-engine kernel, convert back.
+      if (stats != nullptr) stats->fallback = true;
+      std::vector<exec::EagerValue> eager_inputs;
+      for (const auto& in : inputs) {
+        LAFP_ASSIGN_OR_RETURN(exec::EagerValue v, backend_->Materialize(in));
+        eager_inputs.push_back(std::move(v));
+      }
+      LAFP_ASSIGN_OR_RETURN(
+          exec::EagerValue out,
+          exec::ExecuteEagerOp(node->desc, eager_inputs, tracker_));
+      LAFP_ASSIGN_OR_RETURN(node->result, backend_->FromEager(out));
+      return Status::OK();
+    }();
   }
+  if (stats != nullptr) {
+    stats->kernel_micros = counters.kernel_micros;
+    stats->morsels = counters.morsels;
+    stats->parallel_kernels = counters.parallel_kernels;
+  }
+  LAFP_RETURN_NOT_OK(exec_status);
   node->executed = true;
   if (stats != nullptr) stats->rows_out = backend_->RowCount(node->result);
   if (node->persist) {

@@ -37,6 +37,20 @@ struct ExecutionOptions {
   /// always schedule serially: their Execute() is cheap plan recording,
   /// and plan caches are not synchronized.
   bool serial_scheduler = false;
+  /// Morsel-driven parallelism *inside* individual kernels (the
+  /// intra-operator axis, orthogonal to num_threads' inter-operator /
+  /// partition axis). 0 = off (kernels run their legacy sequential loops,
+  /// byte-for-byte); 1 = serial execution over the fixed morsel geometry;
+  /// >1 = morsel-parallel on the backend's kernel pool. Because morsel
+  /// boundaries depend only on row count and morsel_rows, every value
+  /// >= 1 yields bit-identical results. 0 inherits the
+  /// BackendConfig::intra_op_threads knob, mirroring num_threads.
+  int intra_op_threads = 0;
+  /// Rows per kernel morsel when intra_op_threads >= 1. Part of the
+  /// determinism contract: changing it changes morsel boundaries (and may
+  /// perturb compensated sums by ~1 ulp); changing thread counts never
+  /// does.
+  size_t morsel_rows = 65536;
 };
 
 struct SessionOptions {
@@ -82,6 +96,16 @@ class SessionOptions::Builder {
   }
   Builder& partition_rows(size_t rows) {
     opts_.backend_config.partition_rows = rows;
+    return *this;
+  }
+  /// Intra-operator (morsel) parallelism inside kernels; see
+  /// ExecutionOptions::intra_op_threads.
+  Builder& intra_op_threads(int n) {
+    opts_.exec.intra_op_threads = n;
+    return *this;
+  }
+  Builder& morsel_rows(size_t rows) {
+    opts_.exec.morsel_rows = rows;
     return *this;
   }
   Builder& task_overhead_us(int64_t us) {

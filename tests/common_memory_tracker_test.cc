@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "dataframe/column.h"
 
 namespace lafp {
 namespace {
@@ -114,6 +117,54 @@ TEST(ScopedReservationTest, MoveAssignReleasesOld) {
   EXPECT_EQ(t.current(), 70);
   a = std::move(b);  // releases a's 40
   EXPECT_EQ(t.current(), 30);
+}
+
+TEST(MemoryTrackerTest, ConcurrentBudgetReadsDuringReserve) {
+  // Kernel and partition workers read the budget while another thread
+  // reconfigures it; exercised under TSan by the tsan-kernels preset.
+  MemoryTracker t(1 << 20);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&t] {
+      for (int k = 0; k < 500; ++k) {
+        if (t.Reserve(64).ok()) t.Release(64);
+        (void)t.budget();
+      }
+    });
+  }
+  for (int k = 0; k < 200; ++k) t.set_budget((k % 2 != 0) ? 0 : 1 << 20);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.current(), 0);
+}
+
+TEST(MemoryTrackerTest, ConcurrentColumnConstruction) {
+  // Morsel workers and scheduler workers build columns against the same
+  // tracker concurrently (the kernel layer's allocation pattern). The
+  // tracker must account exactly: after all columns die, current() is 0
+  // and peak() is at least one thread's footprint. Run under TSan via
+  // the tsan-kernels preset.
+  MemoryTracker t(0);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&t, i] {
+      for (int k = 0; k < kIters; ++k) {
+        std::vector<int64_t> ints(256, i);
+        std::vector<double> dbls(256, 0.5 * k);
+        std::vector<std::string> strs(32, "row-" + std::to_string(k));
+        auto a = df::Column::MakeInt(std::move(ints), {}, &t);
+        auto b = df::Column::MakeDouble(std::move(dbls), {}, &t);
+        auto c = df::Column::MakeString(std::move(strs), {}, &t);
+        ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+        auto sliced = (*a)->Slice(0, 128);
+        ASSERT_TRUE(sliced.ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.current(), 0);
+  EXPECT_GE(t.peak(), 256 * static_cast<int64_t>(sizeof(int64_t)));
 }
 
 TEST(MemoryTrackerTest, DefaultIsUnlimitedSingleton) {

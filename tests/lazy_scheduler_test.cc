@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <random>
@@ -241,6 +243,66 @@ TEST_F(LazySchedulerTest, BuilderUnifiesThreadKnobs) {
   Session legacy_session(std::move(legacy));
   EXPECT_EQ(legacy_session.options().exec.num_threads, 2);
   EXPECT_EQ(legacy_session.options().backend_config.num_threads, 2);
+}
+
+// End-to-end intra-op parallelism: the builder knob reaches the backend
+// config, kernel morsels engage (forced small via morsel_rows), results
+// match a serial session byte-for-byte, and the report carries kernel
+// counters.
+TEST_F(LazySchedulerTest, IntraOpThreadsProduceIdenticalResultsAndStats) {
+  auto run = [&](int intra_threads, size_t morsel_rows,
+                 ExecutionReport* report) {
+    std::stringstream output;
+    auto session = std::make_unique<Session>(SessionOptions::Builder()
+                                                 .threads(1)
+                                                 .intra_op_threads(intra_threads)
+                                                 .morsel_rows(morsel_rows)
+                                                 .output(&output)
+                                                 .tracker(&tracker_)
+                                                 .Build());
+    EXPECT_EQ(session->options().backend_config.intra_op_threads,
+              intra_threads);
+    EXPECT_EQ(session->options().backend_config.morsel_rows, morsel_rows);
+    auto df = FatDataFrame::ReadCsv(session.get(), csv_path_);
+    auto fare = *df->Col("fare");
+    auto mask = *fare.CompareTo(CompareOp::kGt, Scalar::Double(0.0));
+    auto filtered = *df->FilterBy(mask);
+    auto grouped = *filtered.GroupByAgg(
+        {"day"}, {{"fare", AggFunc::kSum, "total"},
+                  {"fare", AggFunc::kMean, "avg"}});
+    auto sorted = *grouped.SortValues({"day"}, {true});
+    df::DataFrame result = *sorted.ToEager();
+    if (report != nullptr) *report = session->last_report();
+    std::ostringstream os;
+    for (size_t c = 0; c < result.num_columns(); ++c) {
+      const df::Column& col = *result.column(c);
+      for (size_t i = 0; i < col.size(); ++i) {
+        if (col.type() == df::DataType::kDouble) {
+          uint64_t bits = 0;
+          double v = col.DoubleAt(i);
+          std::memcpy(&bits, &v, sizeof(bits));
+          os << bits << ";";
+        } else {
+          os << (col.IsValid(i) ? std::to_string(col.IntAt(i)) : "_") << ";";
+        }
+      }
+    }
+    return os.str();
+  };
+  ExecutionReport serial_report, parallel_report;
+  std::string serial = run(1, 64, &serial_report);
+  std::string parallel = run(4, 64, &parallel_report);
+  EXPECT_EQ(serial, parallel);  // bit-identical across thread counts
+  // 500 rows at 64-row morsels => every kernel splits; counters flow
+  // through NodeStats into the round report.
+  EXPECT_GT(parallel_report.kernel_morsels, 0);
+  EXPECT_GT(parallel_report.parallel_kernels, 0);
+  EXPECT_EQ(serial_report.parallel_kernels, 0);  // no pool at 1 thread
+  bool node_has_kernel_stats = false;
+  for (const auto& n : parallel_report.nodes) {
+    if (n.morsels > 0) node_has_kernel_stats = true;
+  }
+  EXPECT_TRUE(node_has_kernel_stats);
 }
 
 // Dask (lazy backend) rounds stay on the deterministic serial path even
