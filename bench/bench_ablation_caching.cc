@@ -7,7 +7,6 @@
 //        caching off = 1.4x speedup, 0.8x memory.
 #include <cstdio>
 
-#include "bench/datagen.h"
 #include "bench/harness.h"
 #include "bench/programs.h"
 

@@ -3,7 +3,6 @@
 // each one's individual contribution to time and memory.
 #include <cstdio>
 
-#include "bench/datagen.h"
 #include "bench/harness.h"
 #include "bench/programs.h"
 

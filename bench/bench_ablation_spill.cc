@@ -8,7 +8,6 @@
 // memory/speed trade the paper anticipates.
 #include <cstdio>
 
-#include "bench/datagen.h"
 #include "bench/harness.h"
 #include "bench/programs.h"
 

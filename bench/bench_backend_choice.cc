@@ -5,7 +5,6 @@
 // fits, Dask when it does not.
 #include <cstdio>
 
-#include "bench/datagen.h"
 #include "bench/harness.h"
 #include "bench/programs.h"
 #include "script/backend_choice.h"

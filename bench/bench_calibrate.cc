@@ -5,7 +5,6 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "bench/datagen.h"
 #include "bench/harness.h"
 #include "bench/programs.h"
 #include "meta/metadata.h"

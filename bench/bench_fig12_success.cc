@@ -10,7 +10,6 @@
 #include <string>
 #include <vector>
 
-#include "bench/datagen.h"
 #include "bench/harness.h"
 #include "bench/programs.h"
 

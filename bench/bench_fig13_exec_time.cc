@@ -5,7 +5,6 @@
 // is competitive with (often beats) everything.
 #include <cstdio>
 
-#include "bench/datagen.h"
 #include "bench/harness.h"
 #include "bench/programs.h"
 

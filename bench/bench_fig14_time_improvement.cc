@@ -5,7 +5,6 @@
 // as in the paper; "n/a" marks pairs where neither ran.
 #include <cstdio>
 
-#include "bench/datagen.h"
 #include "bench/harness.h"
 #include "bench/programs.h"
 

@@ -5,7 +5,6 @@
 // subexpressions trades memory for speed).
 #include <cstdio>
 
-#include "bench/datagen.h"
 #include "bench/harness.h"
 #include "bench/programs.h"
 

@@ -4,7 +4,6 @@
 // reports 0.04s-0.59s, a small fraction of program run time.
 #include <cstdio>
 
-#include "bench/datagen.h"
 #include "bench/harness.h"
 #include "bench/programs.h"
 #include "script/analyze.h"

@@ -7,8 +7,18 @@
 
 #include "common/result.h"
 #include "exec/backend.h"
+#include "testing/datagen.h"
 
 namespace lafp::bench {
+
+// The synthetic dataset generator is shared with the tests and the
+// differential fuzzer (src/testing/datagen.h); re-exported here so bench
+// code keeps its historical unqualified names.
+using testing::BaseRows;
+using testing::Dataset;
+using testing::DatasetsForProgram;
+using testing::Generate;
+using testing::GenerateForProgram;
 
 /// The six evaluation configurations of the paper's Figures 12-15:
 /// {Pandas, Modin, Dask} x {plain, LaFP-optimized}.

@@ -118,16 +118,36 @@ Result<DataFrame> GroupByCombiner::Finish() {
   }
   LAFP_ASSIGN_OR_RETURN(DataFrame combined,
                         df::GroupByAgg(all, keys_, combine_specs));
-  // Resolve means and project to the requested output schema.
+  // Resolve means and project to the requested output schema. Groups
+  // whose inputs were all null have count 0; pandas (and the single-phase
+  // kernel) yield a null mean there, whereas sum/count division would
+  // produce a *valid* NaN — observably different to checksums and dropna.
   for (size_t i = 0; i < aggs_.size(); ++i) {
     if (aggs_[i].func != AggFunc::kMean) continue;
     LAFP_ASSIGN_OR_RETURN(ColumnPtr sum_col,
                           combined.column(PartialName(i, "sum")));
     LAFP_ASSIGN_OR_RETURN(ColumnPtr cnt_col,
                           combined.column(PartialName(i, "cnt")));
+    const size_t n = combined.num_rows();
+    std::vector<double> values(n);
+    std::vector<uint8_t> validity(n, 1);
+    bool any_empty = false;
+    for (size_t r = 0; r < n; ++r) {
+      int64_t cnt = cnt_col->IsValid(r) ? cnt_col->IntAt(r) : 0;
+      if (cnt == 0) {
+        values[r] = std::nan("");
+        validity[r] = 0;
+        any_empty = true;
+        continue;
+      }
+      LAFP_ASSIGN_OR_RETURN(double sum, sum_col->NumericAt(r));
+      values[r] = sum / static_cast<double>(cnt);
+    }
+    if (!any_empty) validity.clear();
     LAFP_ASSIGN_OR_RETURN(
         ColumnPtr mean_col,
-        df::ArithColumns(*sum_col, df::ArithOp::kDiv, *cnt_col));
+        Column::MakeDouble(std::move(values), std::move(validity),
+                           combined.tracker()));
     LAFP_ASSIGN_OR_RETURN(combined,
                           combined.WithColumn(aggs_[i].out_name, mean_col));
   }

@@ -74,11 +74,12 @@ class PartitionedFrameStream : public PartitionStream {
 class CsvStream : public PartitionStream {
  public:
   CsvStream(std::unique_ptr<io::CsvChunkReader> reader, size_t chunk_rows,
-            int64_t overhead_us, size_t prefetch)
+            int64_t overhead_us, size_t prefetch, MemoryTracker* tracker)
       : reader_(std::move(reader)),
         chunk_rows_(chunk_rows),
         overhead_us_(overhead_us),
-        prefetch_(prefetch == 0 ? 1 : prefetch) {}
+        prefetch_(prefetch == 0 ? 1 : prefetch),
+        tracker_(tracker) {}
 
   Result<std::optional<df::DataFrame>> Next() override {
     // Keep a window of decoded partitions resident, like Dask workers
@@ -94,8 +95,29 @@ class CsvStream : public PartitionStream {
         break;
       }
       buffer_.push_back(std::move(*chunk));
+      ++emitted_;
     }
-    if (buffer_.empty()) return std::optional<df::DataFrame>();
+    if (buffer_.empty()) {
+      // A header-only file yields no chunks. Emit one empty partition
+      // carrying the inferred schema: downstream merges/filters resolve
+      // columns by name and must not see a schemaless frame.
+      if (emitted_ == 0 && !empty_emitted_) {
+        empty_emitted_ = true;
+        const auto& names = reader_->column_names();
+        const auto& types = reader_->column_types();
+        std::vector<df::ColumnPtr> cols;
+        cols.reserve(names.size());
+        for (size_t c = 0; c < names.size(); ++c) {
+          df::ColumnBuilder builder(types[c], tracker_);
+          LAFP_ASSIGN_OR_RETURN(df::ColumnPtr col, builder.Finish());
+          cols.push_back(std::move(col));
+        }
+        LAFP_ASSIGN_OR_RETURN(df::DataFrame empty,
+                              df::DataFrame::Make(names, std::move(cols)));
+        return std::optional<df::DataFrame>(std::move(empty));
+      }
+      return std::optional<df::DataFrame>();
+    }
     df::DataFrame out = std::move(buffer_.front());
     buffer_.pop_front();
     return std::optional<df::DataFrame>(std::move(out));
@@ -106,7 +128,10 @@ class CsvStream : public PartitionStream {
   size_t chunk_rows_;
   int64_t overhead_us_;
   size_t prefetch_;
+  MemoryTracker* tracker_;
   std::deque<df::DataFrame> buffer_;
+  size_t emitted_ = 0;
+  bool empty_emitted_ = false;
   bool eof_ = false;
 };
 
@@ -465,7 +490,7 @@ Result<std::unique_ptr<PartitionStream>> DaskEvaluator::StreamInner(
       return std::unique_ptr<PartitionStream>(std::make_unique<CsvStream>(
           std::move(reader), backend_->config().partition_rows,
           backend_->config().task_overhead_us,
-          backend_->config().prefetch_partitions));
+          backend_->config().prefetch_partitions, tracker_));
     }
     case OpKind::kGroupByAgg: {
       GroupByCombiner combiner(desc.columns, desc.aggs);

@@ -154,14 +154,19 @@ Result<exec::EagerValue> Session::Compute(
   if (node->result.empty() && !node->result.is_scalar) {
     return Status::ExecutionError("compute produced no result");
   }
+  if (backend_->lazy()) {
+    // compute() returns a materialized frame (pandas semantics): persist
+    // the *existing* plan node before materializing so the evaluator
+    // caches the partitions on it and later uses do not re-stream the
+    // plan. The footprint stays charged — that is what forcing costs
+    // (§3.4). Swapping in a fresh backend value here instead would orphan
+    // consumers executed in earlier rounds: they still reference this
+    // node, and a fused zone mixing the old and new plan nodes sees two
+    // sources with different partition geometry for the same frame.
+    LAFP_RETURN_NOT_OK(backend_->Persist(node->result));
+  }
   LAFP_ASSIGN_OR_RETURN(exec::EagerValue value,
                         backend_->Materialize(node->result));
-  if (backend_->lazy() && !value.is_scalar) {
-    // compute() returns a materialized frame (pandas semantics): keep the
-    // concrete value on the node so later uses do not re-stream the plan.
-    // The footprint stays charged — that is what forcing costs (§3.4).
-    LAFP_ASSIGN_OR_RETURN(node->result, backend_->FromEager(value));
-  }
   return value;
 }
 
@@ -215,8 +220,18 @@ Status Session::ExecuteRound(const std::vector<TaskNodePtr>& roots,
 
   for (const auto& pass : optimizer_passes_) {
     Timer pass_timer;
-    LAFP_RETURN_NOT_OK(pass->Run(this, roots, live));
+    Status pass_status = pass->Run(this, roots, live);
     report.passes.push_back({pass->name(), pass_timer.ElapsedMicros()});
+    if (!pass_status.ok()) {
+      // Record the failed round: leaving the previous round's report in
+      // last_report_ makes callers (fuzzer iterations, retry loops)
+      // read stale stats as if this round had succeeded.
+      report.wall_micros = round_timer.ElapsedMicros();
+      report.peak_tracked_bytes = tracker_->peak();
+      last_report_ = std::move(report);
+      ++num_rounds_;
+      return pass_status;
+    }
   }
   MarkSharedForPersist(roots, live);
 

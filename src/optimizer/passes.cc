@@ -1,6 +1,8 @@
 #include "optimizer/passes.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <iostream>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -36,6 +38,11 @@ Status DeduplicateNodes(Session* session,
     }
     auto [it, inserted] = canon.emplace(std::move(key), node);
     if (!inserted && it->second != node) {
+      if (std::getenv("LAFP_DEBUG_DEDUP") != nullptr) {
+        std::cerr << "[dedup] merge node " << node->id << " ("
+                  << node->desc.ToString() << ") -> " << it->second->id
+                  << "\n";
+      }
       replacement[node.get()] = it->second;
       // Persistence intent carries over to the canonical node.
       if (node->persist) it->second->persist = true;

@@ -196,7 +196,14 @@ class Transfer {
           facts->insert(PlainFact(v.var));
           VarKind kind = model_.KindOf(v.var);
           if (kind == VarKind::kDataFrame) {
-            // Whole-frame output: all columns used.
+            // §3.1: printing the output of head()/info()/describe() is
+            // informational display and does not pin the receiver's
+            // columns. Any other whole-frame output — checksum, plot,
+            // print of a real frame — uses all columns.
+            const VarInfo* info = model_.Find(v.var);
+            if (fn == "print" && info != nullptr && info->informational) {
+              continue;
+            }
             facts->insert(AllAttrsFact(v.var));
           }
         }
@@ -258,9 +265,14 @@ class Transfer {
     if (recv.empty()) return;
 
     if (IsInformational(method)) {
-      // §3.1 heuristic: head()/info()/describe() output does not count as
-      // attribute use; x's attr facts are deliberately dropped.
+      // §3.1 heuristic: *displaying* head()/info()/describe() output does
+      // not count as attribute use — that exemption lives at the print
+      // site, which skips the all-attrs fact for informational frames.
+      // Real column liveness on the result (checksum(v), v.fare.sum()
+      // after v = df.head()) observes actual data and must pass through
+      // to the receiver, or column pruning corrupts the value.
       facts->insert(PlainFact(recv));
+      PassThroughAttrs(facts, x_facts, recv);
       return;
     }
     if (!live && method != "compute") return;

@@ -802,7 +802,11 @@ class Interpreter {
   static std::string HashValue(const df::Column& col, size_t row) {
     if (col.IsValid(row) && col.type() == df::DataType::kDouble) {
       char buf[40];
-      std::snprintf(buf, sizeof(buf), "%.6g", col.DoubleAt(row));
+      double v = col.DoubleAt(row);
+      // Collapse -0.0: an all-int partition computes +0 where the
+      // whole-column double path computes -0 (e.g. -1 * 0), and "%.6g"
+      // would render them differently.
+      std::snprintf(buf, sizeof(buf), "%.6g", v == 0.0 ? 0.0 : v);
       return buf;
     }
     return col.ValueString(row);

@@ -197,6 +197,7 @@ VarInfo InferExpr(const IRExpr& expr, ProgramModel* model) {
         if (IsFrameToFrameMethod(method) || IsInformational(method)) {
           out.kind = VarKind::kDataFrame;
           out.source_var = recv;
+          out.informational = IsInformational(method);
           return out;
         }
         if (IsSeriesReduction(method)) {

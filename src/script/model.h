@@ -29,6 +29,7 @@ enum class VarKind : int {
 
 struct VarInfo {
   VarKind kind = VarKind::kUnknown;
+  bool informational = false;             // head()/info()/describe() result
   std::string module_name;                // kModule
   std::string source_var;                 // derived values: defining var
   std::string column;                     // series / groupby-col column

@@ -1,4 +1,4 @@
-#include "bench/datagen.h"
+#include "testing/datagen.h"
 
 #include <filesystem>
 #include <fstream>
@@ -8,7 +8,7 @@
 #include "common/macros.h"
 #include "dataframe/types.h"
 
-namespace lafp::bench {
+namespace lafp::testing {
 
 namespace {
 
@@ -326,4 +326,4 @@ Result<std::map<std::string, std::string>> GenerateForProgram(
   return paths;
 }
 
-}  // namespace lafp::bench
+}  // namespace lafp::testing

@@ -1,5 +1,5 @@
-#ifndef LAFP_BENCH_DATAGEN_H_
-#define LAFP_BENCH_DATAGEN_H_
+#ifndef LAFP_TESTING_DATAGEN_H_
+#define LAFP_TESTING_DATAGEN_H_
 
 #include <cstdint>
 #include <map>
@@ -8,7 +8,7 @@
 
 #include "common/result.h"
 
-namespace lafp::bench {
+namespace lafp::testing {
 
 /// Synthetic datasets standing in for the paper's real workload data
 /// (taxi trips, movie ratings, startup data, ...; DESIGN.md substitution
@@ -39,6 +39,6 @@ int64_t BaseRows(const std::string& dataset);
 Result<std::map<std::string, std::string>> GenerateForProgram(
     const std::string& program, const std::string& dir, int scale);
 
-}  // namespace lafp::bench
+}  // namespace lafp::testing
 
-#endif  // LAFP_BENCH_DATAGEN_H_
+#endif  // LAFP_TESTING_DATAGEN_H_

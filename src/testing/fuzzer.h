@@ -1,0 +1,94 @@
+#ifndef LAFP_TESTING_FUZZER_H_
+#define LAFP_TESTING_FUZZER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "testing/oracle.h"
+#include "testing/progen.h"
+#include "testing/shrinker.h"
+
+namespace lafp::testing {
+
+struct FuzzOptions {
+  uint64_t seed = 0;
+  int iters = 100;
+  /// When set, skip seed derivation and check exactly one program with
+  /// this generator seed (divergence debugging).
+  bool replay = false;
+  uint64_t replay_seed = 0;
+  /// When non-empty, check this corpus file instead of generating
+  /// programs (verbose per-config verdicts, like replay).
+  std::string corpus_file;
+  /// Matrix points sampled per program (on top of the reference run).
+  int matrix = 8;
+  /// Scratch directory for generated CSVs; empty = under the system
+  /// temp directory.
+  std::string data_dir;
+  /// Where shrunk repros are written; empty = don't write corpus files.
+  std::string corpus_dir;
+  bool shrink = true;
+  int shrink_budget = 400;
+  /// Progress / divergence log; null = silent.
+  std::ostream* log = nullptr;
+  ProgramGenOptions progen;
+};
+
+struct FuzzDivergence {
+  uint64_t program_seed = 0;
+  std::string config_name;
+  /// Human-readable description from CompareOutcomes (pre-shrink).
+  std::string detail;
+  /// The minimized case (== the original when shrinking is off).
+  ShrinkCase repro;
+  std::string corpus_path;  // empty when no corpus dir was given
+};
+
+struct FuzzStats {
+  int iterations = 0;
+  /// Programs whose reference run failed; generator bugs, not engine
+  /// divergences — the matrix is skipped for them.
+  int reference_failures = 0;
+  std::vector<FuzzDivergence> divergences;
+};
+
+/// Outcome of checking one case against a config matrix.
+enum class CaseVerdict : int { kOk = 0, kReferenceFailed = 1, kDiverged = 2 };
+
+struct CaseResult {
+  CaseVerdict verdict = CaseVerdict::kOk;
+  std::string config_name;  // set when diverged
+  std::string detail;       // set when diverged / reference failed
+};
+
+/// Materialize the case's tables into `dir` and return the source with
+/// placeholders substituted.
+Result<std::string> MaterializeCase(const ShrinkCase& c,
+                                    const std::string& dir);
+
+/// Run the case under the reference config and every matrix point,
+/// reporting the first divergence found.
+CaseResult CheckCase(const ShrinkCase& c,
+                     const std::vector<OracleConfig>& configs,
+                     const std::string& data_dir);
+
+/// The main differential-fuzzing loop: generate, cross-check, shrink,
+/// and (optionally) persist repros.
+FuzzStats RunFuzz(const FuzzOptions& options);
+
+/// Corpus files: "#" comment lines, "#! table ..." directives, then the
+/// PdScript source with "{tN}" placeholders.
+Result<std::string> WriteCorpusFile(const std::string& dir,
+                                    const std::string& stem,
+                                    const ShrinkCase& c,
+                                    const std::string& comment);
+Result<ShrinkCase> ReadCorpusFile(const std::string& path);
+/// Sorted paths of the "*.pds" corpus files under `dir`.
+std::vector<std::string> ListCorpus(const std::string& dir);
+
+}  // namespace lafp::testing
+
+#endif  // LAFP_TESTING_FUZZER_H_

@@ -1,0 +1,222 @@
+#include "testing/oracle.h"
+
+#include <sstream>
+
+#include "common/memory_tracker.h"
+#include "lazy/session.h"
+#include "optimizer/passes.h"
+#include "script/analyze.h"
+#include "testing/rng.h"
+
+namespace lafp::testing {
+
+std::string OracleConfig::Name() const {
+  std::string name;
+  switch (mode) {
+    case OracleMode::kEager:
+      name = "eager-";
+      break;
+    case OracleMode::kLazy:
+      name = "lazy-";
+      break;
+    case OracleMode::kLafp:
+      name = "lafp-";
+      break;
+  }
+  name += exec::BackendKindName(backend);
+  if (dedup || redundant || pushdown) {
+    name += "+";
+    if (dedup) name += "d";
+    if (redundant) name += "r";
+    if (pushdown) name += "p";
+  }
+  name += " t" + std::to_string(num_threads);
+  if (intra_op_threads != 0) {
+    name += " k" + std::to_string(intra_op_threads);
+  }
+  if (morsel_rows != 65536) name += " m" + std::to_string(morsel_rows);
+  if (partition_rows != 8192) name += " pr" + std::to_string(partition_rows);
+  if (spill) name += " spill";
+  return name;
+}
+
+OracleConfig ReferenceConfig() {
+  return OracleConfig{};  // eager Pandas, no passes, serial everywhere
+}
+
+std::vector<OracleConfig> SampleConfigs(uint64_t seed, int n) {
+  std::vector<OracleConfig> configs;
+  // Anchor: the full LaFP pipeline on every backend — the paper's actual
+  // claim — always present regardless of the sample size.
+  for (auto backend :
+       {exec::BackendKind::kPandas, exec::BackendKind::kModin,
+        exec::BackendKind::kDask}) {
+    OracleConfig c;
+    c.backend = backend;
+    c.mode = OracleMode::kLafp;
+    c.dedup = c.redundant = c.pushdown = true;
+    c.num_threads = backend == exec::BackendKind::kModin ? 4 : 1;
+    configs.push_back(c);
+  }
+  SplitMix rng(seed);
+  while (static_cast<int>(configs.size()) < n) {
+    OracleConfig c;
+    switch (rng.Below(3)) {
+      case 0:
+        c.backend = exec::BackendKind::kPandas;
+        break;
+      case 1:
+        c.backend = exec::BackendKind::kModin;
+        break;
+      default:
+        c.backend = exec::BackendKind::kDask;
+        break;
+    }
+    if (c.backend == exec::BackendKind::kDask) {
+      // Dask is a lazy engine: its plan caches are driven through the
+      // lazy runtime in every real configuration.
+      c.mode = rng.Chance(0.5) ? OracleMode::kLazy : OracleMode::kLafp;
+      c.spill = rng.Chance(0.3);
+    } else {
+      switch (rng.Below(3)) {
+        case 0:
+          c.mode = OracleMode::kEager;
+          break;
+        case 1:
+          c.mode = OracleMode::kLazy;
+          break;
+        default:
+          c.mode = OracleMode::kLafp;
+          break;
+      }
+    }
+    if (c.mode != OracleMode::kEager) {
+      unsigned mask = static_cast<unsigned>(rng.Below(8));
+      c.dedup = (mask & 1) != 0;
+      c.redundant = (mask & 2) != 0;
+      c.pushdown = (mask & 4) != 0;
+    }
+    c.num_threads = rng.Chance(0.5) ? 1 : 4;
+    static const int kIntraOp[] = {0, 1, 8};
+    c.intra_op_threads = kIntraOp[rng.Below(3)];
+    if (c.intra_op_threads != 0 && rng.Chance(0.4)) c.morsel_rows = 1;
+    static const size_t kPartitionRows[] = {8192, 7, 32};
+    c.partition_rows = kPartitionRows[rng.Below(3)];
+    configs.push_back(c);
+  }
+  return configs;
+}
+
+std::vector<OracleConfig> RegressionConfigs() {
+  std::vector<OracleConfig> configs;
+  for (auto backend :
+       {exec::BackendKind::kPandas, exec::BackendKind::kModin,
+        exec::BackendKind::kDask}) {
+    const bool dask = backend == exec::BackendKind::kDask;
+    for (unsigned mask : {0u, 1u, 2u, 4u, 7u}) {
+      OracleConfig c;
+      c.backend = backend;
+      c.mode = dask ? OracleMode::kLazy : OracleMode::kEager;
+      if (mask != 0) c.mode = OracleMode::kLafp;
+      c.dedup = (mask & 1) != 0;
+      c.redundant = (mask & 2) != 0;
+      c.pushdown = (mask & 4) != 0;
+      c.num_threads = backend == exec::BackendKind::kModin ? 4 : 1;
+      c.partition_rows = 16;  // several partitions even on tiny repros
+      configs.push_back(c);
+    }
+    // Threading / morsel-geometry points for the full-pass pipeline.
+    OracleConfig threads;
+    threads.backend = backend;
+    threads.mode = dask ? OracleMode::kLazy : OracleMode::kLafp;
+    threads.dedup = threads.redundant = threads.pushdown = !dask;
+    threads.num_threads = 4;
+    threads.intra_op_threads = 8;
+    threads.morsel_rows = 1;
+    threads.partition_rows = 16;
+    threads.spill = dask;
+    configs.push_back(threads);
+  }
+  return configs;
+}
+
+RunOutcome ExecuteUnderConfig(const std::string& source,
+                              const OracleConfig& config) {
+  RunOutcome outcome;
+  MemoryTracker tracker(0);
+  std::stringstream output;
+
+  lazy::SessionOptions opts;
+  opts.backend = config.backend;
+  opts.tracker = &tracker;
+  opts.output = &output;
+  opts.mode = config.mode == OracleMode::kEager ? lazy::ExecutionMode::kEager
+                                                : lazy::ExecutionMode::kLazy;
+  opts.lazy_print = config.mode == OracleMode::kLafp;
+  opts.exec.num_threads = config.num_threads;
+  opts.exec.intra_op_threads = config.intra_op_threads;
+  opts.exec.morsel_rows = config.morsel_rows;
+  opts.backend_config.partition_rows = config.partition_rows;
+  opts.backend_config.spill_persisted = config.spill;
+
+  lazy::Session session(opts);
+  if (config.mode != OracleMode::kEager &&
+      (config.dedup || config.redundant || config.pushdown)) {
+    opt::OptimizerOptions pass_options;
+    pass_options.deduplicate = config.dedup;
+    pass_options.redundant = config.redundant;
+    pass_options.pushdown = config.pushdown;
+    opt::InstallDefaultOptimizer(&session, pass_options);
+  }
+
+  script::RunOptions run_opts;
+  run_opts.analyze = config.mode == OracleMode::kLafp;
+
+  outcome.status = script::RunProgram(source, &session, run_opts);
+  outcome.output = output.str();
+  outcome.checksums = ChecksumLines(outcome.output);
+  return outcome;
+}
+
+std::string ChecksumLines(const std::string& output) {
+  std::istringstream in(output);
+  std::string line, out;
+  while (std::getline(in, line)) {
+    if (line.rfind("checksum ", 0) == 0) {
+      out += line;
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> CompareOutcomes(const RunOutcome& reference,
+                                           const RunOutcome& run,
+                                           const OracleConfig& config) {
+  if (!reference.status.ok()) {
+    // Callers should skip the matrix when the reference fails; a failing
+    // reference gives the oracle nothing to compare against.
+    return std::nullopt;
+  }
+  if (!run.status.ok()) {
+    return "status: reference ok but " + config.Name() + " failed: " +
+           run.status.ToString();
+  }
+  if (run.checksums != reference.checksums) {
+    return "frame checksums differ under " + config.Name() +
+           "\n--- reference ---\n" + reference.checksums + "--- " +
+           config.Name() + " ---\n" + run.checksums;
+  }
+  // Dask reorders rows (§5.2), so only the canonicalized checksum payload
+  // is comparable; every order-preserving backend must reproduce the
+  // printed output byte for byte.
+  if (config.backend != exec::BackendKind::kDask &&
+      run.output != reference.output) {
+    return "printed output differs under " + config.Name() +
+           "\n--- reference ---\n" + reference.output + "--- " +
+           config.Name() + " ---\n" + run.output;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lafp::testing

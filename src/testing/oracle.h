@@ -1,0 +1,78 @@
+#ifndef LAFP_TESTING_ORACLE_H_
+#define LAFP_TESTING_ORACLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/backend.h"
+
+namespace lafp::testing {
+
+/// How a fuzzed program executes: plain eager statements, the lazy
+/// runtime with forcing prints (hand-ported Dask style), or full LaFP
+/// (lazy + lazy print + JIT static analysis).
+enum class OracleMode : int { kEager = 0, kLazy = 1, kLafp = 2 };
+
+/// One point of the differential configuration matrix.
+struct OracleConfig {
+  exec::BackendKind backend = exec::BackendKind::kPandas;
+  OracleMode mode = OracleMode::kEager;
+  /// Graph-optimizer pass subset (lazy::Session OptimizerPass registry);
+  /// applied in non-eager modes only.
+  bool dedup = false;
+  bool redundant = false;
+  bool pushdown = false;
+  /// ExecutionOptions sweep (DAG scheduler / morsel geometry).
+  int num_threads = 1;
+  int intra_op_threads = 0;
+  size_t morsel_rows = 65536;
+  size_t partition_rows = 8192;
+  /// Dask spill-to-disk persistence.
+  bool spill = false;
+
+  /// Compact display name, e.g. "lafp-modin+dp t4 m1".
+  std::string Name() const;
+};
+
+/// The oracle baseline: the eager Pandas interpreter with every
+/// optimization off — the semantics LaFP promises to preserve.
+OracleConfig ReferenceConfig();
+
+/// A deterministic sample of `n` matrix points (always includes the full
+/// LaFP config on each backend; the rest drawn from the cross product).
+std::vector<OracleConfig> SampleConfigs(uint64_t seed, int n);
+
+/// The small fixed matrix the regression corpus replays: all three
+/// backends, every single-pass and all-pass subset, serial and parallel.
+std::vector<OracleConfig> RegressionConfigs();
+
+/// Result of one program execution.
+struct RunOutcome {
+  Status status;           // program-level failure (not a divergence)
+  std::string output;      // full printed output
+  std::string checksums;   // just the "checksum ..." lines
+};
+
+/// Execute `source` (placeholders already substituted) under `config`
+/// with a fresh session, tracker, and output stream.
+RunOutcome ExecuteUnderConfig(const std::string& source,
+                              const OracleConfig& config);
+
+/// Compare a run against the reference. Returns a human-readable
+/// divergence description, or nullopt when the run is observationally
+/// identical. Frame payloads (checksum lines, canonicalized row order)
+/// must match everywhere; full printed output must additionally match for
+/// order-preserving backends (Dask legitimately reorders rows, §5.2).
+std::optional<std::string> CompareOutcomes(const RunOutcome& reference,
+                                           const RunOutcome& run,
+                                           const OracleConfig& config);
+
+/// Extract the "checksum ..." lines from captured output.
+std::string ChecksumLines(const std::string& output);
+
+}  // namespace lafp::testing
+
+#endif  // LAFP_TESTING_ORACLE_H_

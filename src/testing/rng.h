@@ -1,0 +1,32 @@
+#ifndef LAFP_TESTING_RNG_H_
+#define LAFP_TESTING_RNG_H_
+
+#include <cstdint>
+
+namespace lafp::testing {
+
+/// splitmix64: tiny, fully specified, platform-independent. Fuzz programs
+/// and tables must replay from a seed alone, forever, so no <random>
+/// distributions (their value mapping is implementation defined).
+class SplitMix {
+ public:
+  explicit SplitMix(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, n).
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+  double Unit() { return static_cast<double>(Next() >> 11) * 0x1p-53; }
+  bool Chance(double p) { return Unit() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace lafp::testing
+
+#endif  // LAFP_TESTING_RNG_H_

@@ -1,0 +1,192 @@
+#include "testing/shrinker.h"
+
+#include <algorithm>
+
+#include "script/ast.h"
+
+namespace lafp::testing {
+
+namespace {
+
+using script::Expr;
+using script::Module;
+using script::Stmt;
+
+/// Visit every expression reachable from `expr`, counting int literals;
+/// when the running count hits `target`, overwrite the literal and stop.
+bool MutateIntLiterals(Expr* expr, int* counter, int target,
+                       int64_t new_value) {
+  if (expr == nullptr) return false;
+  if (expr->kind == script::ExprKind::kIntLit) {
+    if ((*counter)++ == target) {
+      expr->int_value = new_value;
+      return true;
+    }
+    return false;
+  }
+  if (MutateIntLiterals(expr->lhs.get(), counter, target, new_value) ||
+      MutateIntLiterals(expr->rhs.get(), counter, target, new_value)) {
+    return true;
+  }
+  for (auto& e : expr->elements) {
+    if (MutateIntLiterals(e.get(), counter, target, new_value)) return true;
+  }
+  for (auto& e : expr->dict_keys) {
+    if (MutateIntLiterals(e.get(), counter, target, new_value)) return true;
+  }
+  for (auto& e : expr->dict_values) {
+    if (MutateIntLiterals(e.get(), counter, target, new_value)) return true;
+  }
+  for (auto& kw : expr->kwargs) {
+    if (MutateIntLiterals(kw.value.get(), counter, target, new_value)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MutateIntLiterals(std::vector<script::StmtPtr>* stmts, int* counter,
+                       int target, int64_t new_value) {
+  for (auto& stmt : *stmts) {
+    if (MutateIntLiterals(stmt->target.get(), counter, target, new_value) ||
+        MutateIntLiterals(stmt->value.get(), counter, target, new_value) ||
+        MutateIntLiterals(&stmt->body, counter, target, new_value) ||
+        MutateIntLiterals(&stmt->else_body, counter, target, new_value)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Total number of int literals in the program (the mutation index
+/// space). Mutating with an out-of-range target counts without changing.
+int CountIntLiterals(Module* module) {
+  int counter = 0;
+  MutateIntLiterals(&module->stmts, &counter, -1, 0);
+  return counter;
+}
+
+}  // namespace
+
+ShrinkCase Shrink(ShrinkCase input, const ReproducesFn& reproduces,
+                  int budget) {
+  auto try_case = [&](const ShrinkCase& candidate) {
+    if (budget <= 0) return false;
+    --budget;
+    return reproduces(candidate);
+  };
+
+  bool progress = true;
+  while (progress && budget > 0) {
+    progress = false;
+
+    // 1. Whole-statement deletion, last statement first (later statements
+    // are the likeliest to be dead weight after earlier deletions).
+    {
+      auto parsed = script::Parse(input.source);
+      if (parsed.ok()) {
+        size_t n = parsed->stmts.size();
+        for (size_t i = n; i-- > 0 && budget > 0;) {
+          auto candidate_module = script::Parse(input.source);
+          if (!candidate_module.ok()) break;
+          if (i >= candidate_module->stmts.size()) continue;
+          candidate_module->stmts.erase(candidate_module->stmts.begin() +
+                                        static_cast<long>(i));
+          ShrinkCase candidate{candidate_module->ToSource(), input.tables};
+          if (try_case(candidate)) {
+            input = std::move(candidate);
+            progress = true;
+          }
+        }
+      }
+    }
+
+    // 2. Integer-literal simplification towards 1 then 0.
+    {
+      auto parsed = script::Parse(input.source);
+      if (parsed.ok()) {
+        int literals = CountIntLiterals(&*parsed);
+        for (int idx = 0; idx < literals && budget > 0; ++idx) {
+          for (int64_t target_value : {int64_t{1}, int64_t{0}}) {
+            auto candidate_module = script::Parse(input.source);
+            if (!candidate_module.ok()) break;
+            int counter = 0;
+            if (!MutateIntLiterals(&candidate_module->stmts, &counter, idx,
+                                   target_value)) {
+              break;
+            }
+            ShrinkCase candidate{candidate_module->ToSource(), input.tables};
+            if (candidate.source == input.source) continue;  // already 0/1
+            if (try_case(candidate)) {
+              input = std::move(candidate);
+              progress = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+
+    // Snapshot names: the loops below reassign `input`, so references
+    // into input.tables would dangle.
+    std::vector<std::string> table_names;
+    for (const auto& t : input.tables) table_names.push_back(t.name);
+    auto rows_of = [&](const std::string& name) -> int64_t {
+      for (const auto& t : input.tables) {
+        if (t.name == name) return t.rows;
+      }
+      return 0;
+    };
+
+    // 3. Row bisection per table.
+    for (const auto& name : table_names) {
+      while (rows_of(name) > 0 && budget > 0) {
+        ShrinkCase candidate = input;
+        for (auto& t : candidate.tables) {
+          if (t.name == name) t.rows /= 2;
+        }
+        if (!try_case(candidate)) break;
+        input = std::move(candidate);
+        progress = true;
+      }
+      // Final linear trims catch off-by-one minima bisection skips.
+      while (rows_of(name) > 0 && budget > 0) {
+        ShrinkCase candidate = input;
+        for (auto& t : candidate.tables) {
+          if (t.name == name) t.rows -= 1;
+        }
+        if (!try_case(candidate)) break;
+        input = std::move(candidate);
+        progress = true;
+      }
+    }
+
+    // 4. Column dropping per table (via keep lists).
+    for (const auto& name : table_names) {
+      TableSpec spec;
+      for (const auto& t : input.tables) {
+        if (t.name == name) spec = t;
+      }
+      std::vector<FuzzColumn> current = SchemaForSpec(spec);
+      for (const auto& col : current) {
+        if (budget <= 0) break;
+        ShrinkCase candidate = input;
+        for (auto& t : candidate.tables) {
+          if (t.name != name) continue;
+          t.keep.clear();
+          for (const auto& c : current) {
+            if (c.name != col.name) t.keep.push_back(c.name);
+          }
+        }
+        if (try_case(candidate)) {
+          input = std::move(candidate);
+          progress = true;
+          break;  // `current` is stale after a successful drop
+        }
+      }
+    }
+  }
+  return input;
+}
+
+}  // namespace lafp::testing

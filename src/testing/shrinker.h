@@ -1,0 +1,36 @@
+#ifndef LAFP_TESTING_SHRINKER_H_
+#define LAFP_TESTING_SHRINKER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "testing/tablegen.h"
+
+namespace lafp::testing {
+
+/// A candidate repro: program source (with "{tN}" placeholders) plus the
+/// table specs backing it.
+struct ShrinkCase {
+  std::string source;
+  std::vector<TableSpec> tables;
+};
+
+/// Predicate: does this candidate still reproduce the divergence? The
+/// callback owns table materialization and oracle runs; it must return
+/// false for candidates whose reference run fails (an invalid program is
+/// not a repro).
+using ReproducesFn = std::function<bool(const ShrinkCase&)>;
+
+/// Minimize a diverging case. Strategies, iterated to a fixpoint:
+///   - whole-statement deletion (parse -> drop stmt -> regenerate source)
+///   - integer-literal simplification (towards 0 / 1)
+///   - per-table row bisection (halving while the divergence survives)
+///   - per-table column dropping (via TableSpec::keep)
+/// `budget` caps the number of predicate evaluations.
+ShrinkCase Shrink(ShrinkCase input, const ReproducesFn& reproduces,
+                  int budget = 400);
+
+}  // namespace lafp::testing
+
+#endif  // LAFP_TESTING_SHRINKER_H_

@@ -1,0 +1,61 @@
+// Replays every checked-in fuzz corpus program (tests/fuzz_corpus/*.pds)
+// under the fixed regression config matrix: all three backends, every
+// single-pass and all-pass optimizer subset, serial and parallel. Each
+// entry is a shrunk repro of a fixed bug or a curated coverage program;
+// all of them must match the eager-Pandas reference exactly.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "testing/fuzzer.h"
+#include "testing/oracle.h"
+
+namespace {
+
+using lafp::testing::CaseResult;
+using lafp::testing::CaseVerdict;
+using lafp::testing::CheckCase;
+using lafp::testing::ListCorpus;
+using lafp::testing::ReadCorpusFile;
+using lafp::testing::RegressionConfigs;
+using lafp::testing::ShrinkCase;
+
+std::string CorpusDir() { return LAFP_FUZZ_CORPUS_DIR; }
+
+std::string DataDir() {
+  auto dir = std::filesystem::temp_directory_path() / "lafp_fuzz_regress";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+TEST(FuzzRegressionTest, CorpusIsPresent) {
+  std::vector<std::string> paths = ListCorpus(CorpusDir());
+  EXPECT_GE(paths.size(), 10u) << "corpus dir: " << CorpusDir();
+}
+
+TEST(FuzzRegressionTest, CorpusFilesParse) {
+  for (const auto& path : ListCorpus(CorpusDir())) {
+    auto c = ReadCorpusFile(path);
+    ASSERT_TRUE(c.ok()) << path << ": " << c.status().ToString();
+    EXPECT_FALSE(c->source.empty()) << path;
+    EXPECT_FALSE(c->tables.empty()) << path;
+  }
+}
+
+TEST(FuzzRegressionTest, CorpusReplaysCleanUnderRegressionMatrix) {
+  const std::vector<lafp::testing::OracleConfig> configs =
+      RegressionConfigs();
+  const std::string data_dir = DataDir();
+  for (const auto& path : ListCorpus(CorpusDir())) {
+    auto c = ReadCorpusFile(path);
+    ASSERT_TRUE(c.ok()) << path << ": " << c.status().ToString();
+    CaseResult result = CheckCase(*c, configs, data_dir);
+    EXPECT_TRUE(result.verdict == CaseVerdict::kOk)
+        << path << " under " << result.config_name << ":\n"
+        << result.detail;
+  }
+}
+
+}  // namespace

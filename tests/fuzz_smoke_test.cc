@@ -1,0 +1,54 @@
+// Short fixed-seed differential fuzzing run wired into the tier-1 suite:
+// 100 generated programs, each checked against the eager-Pandas reference
+// under a sampled backend/pass/thread matrix. Any divergence is a bug in
+// the engine, the optimizer, or the oracle itself.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "testing/fuzzer.h"
+#include "testing/progen.h"
+
+namespace {
+
+using lafp::testing::FuzzOptions;
+using lafp::testing::FuzzStats;
+using lafp::testing::GeneratedProgram;
+using lafp::testing::GenerateProgram;
+using lafp::testing::RunFuzz;
+
+TEST(FuzzSmokeTest, GeneratorIsDeterministic) {
+  for (uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    GeneratedProgram a = GenerateProgram(seed);
+    GeneratedProgram b = GenerateProgram(seed);
+    EXPECT_EQ(a.source, b.source) << "seed " << seed;
+    ASSERT_EQ(a.tables.size(), b.tables.size());
+    for (size_t i = 0; i < a.tables.size(); ++i) {
+      EXPECT_EQ(a.tables[i].ToDirective(), b.tables[i].ToDirective());
+    }
+  }
+}
+
+TEST(FuzzSmokeTest, HundredProgramsMatchReference) {
+  FuzzOptions options;
+  options.seed = 42;
+  options.iters = 100;
+  options.shrink = false;  // report raw; CI has no use for minimization
+  auto dir = std::filesystem::temp_directory_path() / "lafp_fuzz_smoke";
+  std::filesystem::create_directories(dir);
+  options.data_dir = dir.string();
+  std::ostringstream log;
+  options.log = &log;
+
+  FuzzStats stats = RunFuzz(options);
+  EXPECT_EQ(stats.iterations, 100);
+  EXPECT_EQ(stats.reference_failures, 0) << log.str();
+  ASSERT_TRUE(stats.divergences.empty())
+      << "first divergence: seed " << stats.divergences[0].program_seed
+      << " under " << stats.divergences[0].config_name << "\n"
+      << stats.divergences[0].detail << "\n"
+      << log.str();
+}
+
+}  // namespace

@@ -6,7 +6,6 @@
 // kOutOfMemory — never crash, never return a wrong result.
 #include <gtest/gtest.h>
 
-#include "bench/datagen.h"
 #include "bench/harness.h"
 #include "bench/programs.h"
 

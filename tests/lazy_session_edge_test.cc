@@ -134,6 +134,32 @@ TEST_F(SessionEdgeTest, ComputeOnEmptyHandleFails) {
   EXPECT_FALSE(no_scalar.Value().ok());
 }
 
+TEST_F(SessionEdgeTest, FailedOptimizerRoundRefreshesReport) {
+  auto session = MakeSession(BackendKind::kPandas, ExecutionMode::kLazy);
+  auto df = FatDataFrame::ReadCsv(session.get(), csv_path_);
+  ASSERT_TRUE(df.ok());
+  ASSERT_TRUE(df->Compute().ok());
+  const int64_t rounds_before = session->num_rounds();
+  ASSERT_GT(session->last_report().nodes_executed, 0);
+
+  session->set_optimizer_hook(
+      [](Session*, const std::vector<TaskNodePtr>&,
+         const std::vector<TaskNodePtr>&) {
+        return Status::Invalid("pass exploded");
+      });
+  auto head = df->Head(3);
+  ASSERT_TRUE(head.ok());
+  EXPECT_FALSE(head->Compute().ok());
+
+  // The failed round must be recorded: a stale report from the previous
+  // (successful) round would make callers read its stats as this round's.
+  EXPECT_EQ(session->num_rounds(), rounds_before + 1);
+  const ExecutionReport& report = session->last_report();
+  ASSERT_EQ(report.passes.size(), 1u);
+  EXPECT_EQ(report.passes[0].name, "custom-hook");
+  EXPECT_EQ(report.nodes_executed, 0);
+}
+
 TEST_F(SessionEdgeTest, CrossSessionOperandsRejected) {
   auto s1 = MakeSession(BackendKind::kPandas, ExecutionMode::kLazy);
   std::stringstream other_out;

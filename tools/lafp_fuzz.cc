@@ -1,0 +1,148 @@
+// Differential fuzzer CLI: random PdScript programs cross-checked
+// against the eager Pandas oracle across backends, optimizer pass
+// subsets, thread counts, and morsel geometry.
+//
+//   lafp_fuzz --seed 42 --iters 500
+//
+// Exits 0 when every program agrees under every sampled configuration,
+// 1 on any divergence (shrunk repros are written to --corpus-dir).
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "testing/fuzzer.h"
+
+namespace {
+
+void Usage() {
+  std::cerr
+      << "usage: lafp_fuzz [options]\n"
+      << "  --seed N          base RNG seed (default 0)\n"
+      << "  --iters N         programs to generate (default 100)\n"
+      << "  --matrix N        configs sampled per program (default 8)\n"
+      << "  --data-dir DIR    scratch dir for generated CSVs\n"
+      << "  --corpus-dir DIR  write shrunk repros here (default\n"
+      << "                    tests/fuzz_corpus next to the source tree\n"
+      << "                    is NOT assumed; no corpus unless given)\n"
+      << "  --no-shrink       keep failing programs unminimized\n"
+      << "  --shrink-budget N predicate evaluations per shrink (400)\n"
+      << "  --max-statements N program length cap (default 12)\n"
+      << "  --no-control-flow  disable if/for/while generation\n"
+      << "  --quiet           suppress progress logging\n";
+}
+
+bool ParseUint64(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(text, &end, 10);
+  return end != nullptr && *end == '\0' && end != text;
+}
+
+bool ParseInt(const char* text, int* out) {
+  char* end = nullptr;
+  long value = std::strtol(text, &end, 10);
+  if (end == nullptr || *end != '\0' || end == text) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lafp::testing::FuzzOptions options;
+  options.log = &std::cerr;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(arg, "--seed") == 0) {
+      const char* v = next();
+      if (v == nullptr || !ParseUint64(v, &options.seed)) {
+        Usage();
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--iters") == 0) {
+      const char* v = next();
+      if (v == nullptr || !ParseInt(v, &options.iters)) {
+        Usage();
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--matrix") == 0) {
+      const char* v = next();
+      if (v == nullptr || !ParseInt(v, &options.matrix)) {
+        Usage();
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--data-dir") == 0) {
+      const char* v = next();
+      if (v == nullptr) {
+        Usage();
+        return 2;
+      }
+      options.data_dir = v;
+    } else if (std::strcmp(arg, "--corpus-dir") == 0) {
+      const char* v = next();
+      if (v == nullptr) {
+        Usage();
+        return 2;
+      }
+      options.corpus_dir = v;
+    } else if (std::strcmp(arg, "--replay-seed") == 0) {
+      const char* v = next();
+      if (v == nullptr || !ParseUint64(v, &options.replay_seed)) {
+        Usage();
+        return 2;
+      }
+      options.replay = true;
+    } else if (std::strcmp(arg, "--run-corpus") == 0) {
+      const char* v = next();
+      if (v == nullptr) {
+        Usage();
+        return 2;
+      }
+      options.corpus_file = v;
+    } else if (std::strcmp(arg, "--no-shrink") == 0) {
+      options.shrink = false;
+    } else if (std::strcmp(arg, "--shrink-budget") == 0) {
+      const char* v = next();
+      if (v == nullptr || !ParseInt(v, &options.shrink_budget)) {
+        Usage();
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--max-statements") == 0) {
+      const char* v = next();
+      if (v == nullptr || !ParseInt(v, &options.progen.max_statements)) {
+        Usage();
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--no-control-flow") == 0) {
+      options.progen.control_flow = false;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      options.log = nullptr;
+    } else if (std::strcmp(arg, "--help") == 0 ||
+               std::strcmp(arg, "-h") == 0) {
+      Usage();
+      return 0;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      Usage();
+      return 2;
+    }
+  }
+
+  lafp::testing::FuzzStats stats = lafp::testing::RunFuzz(options);
+
+  std::cout << "lafp_fuzz: " << stats.iterations << " programs, "
+            << stats.reference_failures << " reference failures, "
+            << stats.divergences.size() << " divergences\n";
+  for (const auto& d : stats.divergences) {
+    std::cout << "  seed " << d.program_seed << " under " << d.config_name;
+    if (!d.corpus_path.empty()) std::cout << " -> " << d.corpus_path;
+    std::cout << "\n";
+  }
+  return stats.divergences.empty() ? 0 : 1;
+}
