@@ -1,0 +1,47 @@
+#ifndef LAFP_COMMON_CANCELLATION_H_
+#define LAFP_COMMON_CANCELLATION_H_
+
+#include <atomic>
+
+#include "common/status.h"
+
+namespace lafp {
+
+/// Cooperative cancellation flag shared between a driver and its workers.
+/// The first failure (or an external caller) flips it; long-running tasks
+/// check it at their next safe point and abandon their work with
+/// StatusCode::kCancelled instead of running to completion.
+///
+/// Thread-safe. Cancel() uses release ordering and cancelled() acquire, so
+/// state written before the cancel (e.g. the root-cause Status, recorded
+/// under the scheduler's lock) is visible to any task that observes the
+/// flag.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// OK while live; Status::Cancelled once the token is tripped. Usable
+  /// directly with LAFP_RETURN_NOT_OK at task entry points.
+  Status Check() const {
+    if (!cancelled()) return Status::OK();
+    return Status::Cancelled("work abandoned: round already failed");
+  }
+
+  /// Re-arm for the next round (single-owner use only, between runs).
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace lafp
+
+#endif  // LAFP_COMMON_CANCELLATION_H_

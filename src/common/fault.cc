@@ -1,0 +1,217 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace lafp {
+
+namespace {
+
+/// splitmix64 finalizer — the per-hit probability draw mixes (seed, site
+/// hash, hit index) through this so firing is a pure function of the
+/// configuration and the hit sequence.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(std::string_view site) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Status ParseCode(std::string_view value, StatusCode* out) {
+  if (value == "io") {
+    *out = StatusCode::kIOError;
+  } else if (value == "oom") {
+    *out = StatusCode::kOutOfMemory;
+  } else if (value == "exec") {
+    *out = StatusCode::kExecutionError;
+  } else if (value == "notimpl") {
+    *out = StatusCode::kNotImplemented;
+  } else if (value == "invalid") {
+    *out = StatusCode::kInvalid;
+  } else if (value == "cancelled") {
+    *out = StatusCode::kCancelled;
+  } else {
+    return Status::Invalid("LAFP_FAULTS: unknown code '" +
+                           std::string(value) + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FaultInjector::Parse(const std::string& config,
+                            std::vector<FaultSpec>* out) {
+  out->clear();
+  for (const std::string& entry : Split(config, ';')) {
+    std::string_view spec_text = Trim(entry);
+    if (spec_text.empty()) continue;
+    auto colon = spec_text.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::Invalid("LAFP_FAULTS: expected site:key=value in '" +
+                             std::string(spec_text) + "'");
+    }
+    FaultSpec spec;
+    spec.site = std::string(Trim(spec_text.substr(0, colon)));
+    for (const std::string& kv_text :
+         Split(spec_text.substr(colon + 1), ',')) {
+      std::string_view kv = Trim(kv_text);
+      if (kv.empty()) continue;
+      auto eq = kv.find('=');
+      if (eq == std::string_view::npos) {
+        return Status::Invalid("LAFP_FAULTS: expected key=value in '" +
+                               std::string(kv) + "'");
+      }
+      std::string_view key = Trim(kv.substr(0, eq));
+      std::string_view value = Trim(kv.substr(eq + 1));
+      if (key == "nth") {
+        auto n = ParseInt64(value);
+        if (!n.has_value() || *n <= 0) {
+          return Status::Invalid("LAFP_FAULTS: bad nth '" +
+                                 std::string(value) + "'");
+        }
+        spec.nth = static_cast<int>(*n);
+      } else if (key == "p") {
+        auto p = ParseDouble(value);
+        if (!p.has_value() || *p <= 0.0 || *p > 1.0) {
+          return Status::Invalid("LAFP_FAULTS: bad probability '" +
+                                 std::string(value) + "'");
+        }
+        spec.probability = *p;
+      } else if (key == "seed") {
+        auto s = ParseInt64(value);
+        if (!s.has_value()) {
+          return Status::Invalid("LAFP_FAULTS: bad seed '" +
+                                 std::string(value) + "'");
+        }
+        spec.seed = static_cast<uint64_t>(*s);
+      } else if (key == "fires") {
+        auto f = ParseInt64(value);
+        if (!f.has_value() || *f == 0 || *f < -1) {
+          return Status::Invalid("LAFP_FAULTS: bad fires '" +
+                                 std::string(value) + "'");
+        }
+        spec.max_fires = static_cast<int>(*f);
+      } else if (key == "code") {
+        LAFP_RETURN_NOT_OK(ParseCode(value, &spec.code));
+      } else {
+        return Status::Invalid("LAFP_FAULTS: unknown key '" +
+                               std::string(key) + "'");
+      }
+    }
+    if (spec.nth <= 0 && spec.probability <= 0.0) {
+      spec.nth = 1;  // bare "site:" arms an immediate single-shot fault
+    }
+    out->push_back(std::move(spec));
+  }
+  return Status::OK();
+}
+
+FaultInjector* FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* inj = new FaultInjector();
+    if (const char* env = std::getenv("LAFP_FAULTS")) {
+      // Env errors cannot surface through a Status here; a malformed
+      // LAFP_FAULTS simply arms nothing (InstallFromString validates
+      // before mutating state).
+      (void)inj->InstallFromString(env);
+    }
+    return inj;
+  }();
+  return injector;
+}
+
+void FaultInjector::Install(std::vector<FaultSpec> specs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  for (auto& spec : specs) {
+    SiteState state;
+    state.spec = std::move(spec);
+    sites_[state.spec.site] = std::move(state);
+  }
+  enabled_.store(!sites_.empty(), std::memory_order_relaxed);
+}
+
+Status FaultInjector::InstallFromString(const std::string& config) {
+  std::vector<FaultSpec> specs;
+  LAFP_RETURN_NOT_OK(Parse(config, &specs));
+  Install(std::move(specs));
+  return Status::OK();
+}
+
+Status FaultInjector::Hit(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(std::string(site));
+  if (it == sites_.end()) return Status::OK();
+  SiteState& state = it->second;
+  const FaultSpec& spec = state.spec;
+  const int64_t hit = ++state.hits;
+  if (spec.max_fires >= 0 && state.fires >= spec.max_fires) {
+    return Status::OK();
+  }
+  bool fire = false;
+  if (spec.nth > 0) {
+    fire = hit >= spec.nth;
+  } else if (spec.probability > 0.0) {
+    uint64_t draw =
+        Mix64(spec.seed ^ HashSite(site) ^ static_cast<uint64_t>(hit));
+    fire = (static_cast<double>(draw >> 11) * 0x1.0p-53) < spec.probability;
+  }
+  if (!fire) return Status::OK();
+  ++state.fires;
+  return Status(spec.code, "injected fault at " + std::string(site) +
+                               " (hit " + std::to_string(hit) + ")");
+}
+
+int64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+int64_t FaultInjector::fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+std::vector<FaultSpec> FaultInjector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FaultSpec> out;
+  out.reserve(sites_.size());
+  for (const auto& [_, state] : sites_) out.push_back(state.spec);
+  return out;
+}
+
+FaultScope::FaultScope(const std::string& config)
+    : previous_(FaultInjector::Global()->Snapshot()) {
+  std::vector<FaultSpec> specs;
+  status_ = FaultInjector::Parse(config, &specs);
+  if (status_.ok()) {
+    FaultInjector::Global()->Install(std::move(specs));
+    installed_ = true;
+  }
+}
+
+FaultScope::FaultScope(std::vector<FaultSpec> specs)
+    : previous_(FaultInjector::Global()->Snapshot()) {
+  FaultInjector::Global()->Install(std::move(specs));
+  installed_ = true;
+}
+
+FaultScope::~FaultScope() {
+  if (installed_) FaultInjector::Global()->Install(std::move(previous_));
+}
+
+}  // namespace lafp

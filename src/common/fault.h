@@ -1,0 +1,124 @@
+#ifndef LAFP_COMMON_FAULT_H_
+#define LAFP_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lafp {
+
+/// One armed fault: fires at a named injection site with deterministic
+/// trigger rules. Exactly one of `nth` / `probability` selects the firing
+/// mode:
+///   - nth > 0: fire on the nth hit of the site (1-based), then on every
+///     following hit until `max_fires` is exhausted;
+///   - probability in (0, 1]: fire per hit with a seeded, hit-indexed
+///     pseudo-random draw (same seed + same hit sequence => same fires).
+struct FaultSpec {
+  std::string site;
+  StatusCode code = StatusCode::kIOError;
+  int nth = 0;
+  double probability = 0.0;
+  uint64_t seed = 0;
+  /// Fires before the spec goes quiet; -1 = unlimited.
+  int max_fires = 1;
+};
+
+/// Process-wide registry of fault-injection sites (the deterministic
+/// failure-hardening harness, see DESIGN.md "Fault injection & graceful
+/// degradation"). Production code marks its failure-prone boundaries with
+/// FaultPoint("site"); when a spec for that site is armed, the call
+/// returns the configured error Status and the caller exercises its real
+/// error path — no actual disk-full / OOM required.
+///
+/// Disabled (the default) the check is one relaxed atomic load; tests and
+/// the fuzzer arm specs via FaultScope or LAFP_FAULTS. Thread-safe: sites
+/// are hit concurrently from scheduler and kernel-pool workers.
+///
+/// Config string grammar (also the LAFP_FAULTS env format):
+///   spec[;spec...]   spec = site:key=value[,key=value...]
+/// keys: nth=N | p=0.25 | seed=N | fires=N (-1 = unlimited) |
+///       code=io|oom|exec|notimpl|invalid|cancelled
+/// Example: LAFP_FAULTS="spill.write:nth=1;csv.read:p=0.01,seed=7"
+class FaultInjector {
+ public:
+  /// The process-global registry. First use arms any LAFP_FAULTS specs.
+  static FaultInjector* Global();
+
+  /// Replace every armed spec (counters reset) and enable the registry;
+  /// an empty list disables it.
+  void Install(std::vector<FaultSpec> specs);
+  Status InstallFromString(const std::string& config);
+  void Clear() { Install({}); }
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// The injection check. OK when disarmed or the spec does not fire.
+  Status Hit(std::string_view site);
+
+  /// Observability for tests: lifetime hit / fire counts for a site
+  /// since its spec was installed (0 if not armed).
+  int64_t hits(const std::string& site) const;
+  int64_t fires(const std::string& site) const;
+
+  /// Current specs (for FaultScope snapshot/restore).
+  std::vector<FaultSpec> Snapshot() const;
+
+  /// Parse a config string without installing (validation helper).
+  static Status Parse(const std::string& config,
+                      std::vector<FaultSpec>* out);
+
+ private:
+  FaultInjector() = default;
+
+  struct SiteState {
+    FaultSpec spec;
+    int64_t hits = 0;
+    int64_t fires = 0;
+  };
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, SiteState> sites_;
+};
+
+/// Convenience wrapper used at injection sites:
+///   LAFP_RETURN_NOT_OK(FaultPoint("spill.write"));
+inline Status FaultPoint(std::string_view site) {
+  FaultInjector* injector = FaultInjector::Global();
+  if (!injector->enabled()) return Status::OK();
+  return injector->Hit(site);
+}
+
+/// RAII arming of the global registry: installs `config` on construction,
+/// restores the previous specs (with fresh counters) on destruction.
+/// Nesting works; a parse failure leaves the registry unchanged and is
+/// reported via status().
+class FaultScope {
+ public:
+  explicit FaultScope(const std::string& config);
+  explicit FaultScope(std::vector<FaultSpec> specs);
+  ~FaultScope();
+
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+  const Status& status() const { return status_; }
+
+ private:
+  std::vector<FaultSpec> previous_;
+  bool installed_ = false;
+  Status status_;
+};
+
+}  // namespace lafp
+
+#endif  // LAFP_COMMON_FAULT_H_

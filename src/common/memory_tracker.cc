@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/fault.h"
 #include "common/macros.h"
 
 namespace lafp {
 
 Status MemoryTracker::Reserve(int64_t bytes) {
   if (bytes < 0) return Status::Invalid("negative reservation");
+  // Budget-denial injection site: a fired fault is indistinguishable from
+  // a genuine budget rejection (usage stays unchanged either way).
+  LAFP_RETURN_NOT_OK(FaultPoint("mem.reserve"));
   const int64_t budget = budget_.load(std::memory_order_relaxed);
   int64_t cur = current_.load(std::memory_order_relaxed);
   while (true) {

@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "not implemented";
     case StatusCode::kExecutionError:
       return "execution error";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

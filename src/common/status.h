@@ -19,6 +19,7 @@ enum class StatusCode : int {
   kParseError = 7,      // PdScript front-end errors
   kNotImplemented = 8,  // unsupported API surface
   kExecutionError = 9,  // runtime failure while evaluating a task graph
+  kCancelled = 10,      // work abandoned after a sibling task failed
 };
 
 /// Returns the canonical lowercase name for a code ("ok", "key error", ...).
@@ -69,6 +70,9 @@ class Status {
   static Status ExecutionError(std::string msg) {
     return Status(StatusCode::kExecutionError, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -82,6 +86,12 @@ class Status {
   bool IsNotImplemented() const {
     return code() == StatusCode::kNotImplemented;
   }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsExecutionError() const {
+    return code() == StatusCode::kExecutionError;
+  }
+  bool IsInvalid() const { return code() == StatusCode::kInvalid; }
 
   /// "ok" or "<code>: <message>".
   std::string ToString() const;

@@ -43,6 +43,11 @@ struct BackendConfig {
   int64_t task_overhead_us = 0;
   /// Directory for Dask spill files (empty = std::filesystem::temp dir).
   std::string spill_dir;
+  /// Alternate spill directory tried when a write to spill_dir fails
+  /// (disk full, dead mount). Empty = a "<temp>/lafp_dask_spill_alt"
+  /// default; this is the graceful-degradation half of the §5.4 disk
+  /// extension.
+  std::string spill_fallback_dir;
   /// Extension (paper future work §5.4): persist Dask frames on disk
   /// instead of memory.
   bool spill_persisted = false;

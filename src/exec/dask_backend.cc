@@ -1,6 +1,9 @@
 #include "exec/dask_backend.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <deque>
@@ -254,9 +257,19 @@ class DaskEvaluator {
         collected->Add(std::move(*part));
         if (spill) {
           size_t i = collected->num_partitions() - 1;
-          LAFP_RETURN_NOT_OK(collected->SpillPartition(
-              i, backend_->spill_dir_,
-              prefix + "_" + std::to_string(i)));
+          const std::string part_name = prefix + "_" + std::to_string(i);
+          Status spilled = collected->SpillPartition(
+              i, backend_->spill_dir_, part_name);
+          if (!spilled.ok() &&
+              backend_->spill_fallback_dir_ != backend_->spill_dir_) {
+            // Graceful degradation: a full or dead spill device should
+            // not abort the round when an alternate directory is
+            // configured. SpillPartition is retry-safe — the partition
+            // stays in memory until a write fully succeeds.
+            spilled = collected->SpillPartition(
+                i, backend_->spill_fallback_dir_, part_name);
+          }
+          LAFP_RETURN_NOT_OK(spilled);
         }
       }
       node->persisted = collected;
@@ -730,16 +743,40 @@ Result<std::unique_ptr<PartitionStream>> DaskEvaluator::StreamInner(
 
 }  // namespace internal
 
-DaskBackend::DaskBackend(MemoryTracker* tracker, const BackendConfig& config)
-    : Backend(tracker, config) {
-  spill_dir_ = config.spill_dir.empty()
-                   ? (std::filesystem::temp_directory_path() /
-                      "lafp_dask_spill")
-                         .string()
-                   : config.spill_dir;
+namespace {
+
+// Default spill directories must be unique per backend instance: spill
+// file names are derived from a per-instance counter, so two backends
+// (or two test processes) sharing one directory would overwrite each
+// other's partitions mid-read.
+std::string DefaultSpillDir(const char* base) {
+  static std::atomic<uint64_t> instance{0};
+  return (std::filesystem::temp_directory_path() /
+          (std::string(base) + "_" + std::to_string(::getpid()) + "_" +
+           std::to_string(instance.fetch_add(1, std::memory_order_relaxed))))
+      .string();
 }
 
-DaskBackend::~DaskBackend() = default;
+}  // namespace
+
+DaskBackend::DaskBackend(MemoryTracker* tracker, const BackendConfig& config)
+    : Backend(tracker, config) {
+  owns_spill_dir_ = config.spill_dir.empty();
+  spill_dir_ =
+      owns_spill_dir_ ? DefaultSpillDir("lafp_dask_spill") : config.spill_dir;
+  owns_spill_fallback_dir_ = config.spill_fallback_dir.empty();
+  spill_fallback_dir_ = owns_spill_fallback_dir_
+                            ? DefaultSpillDir("lafp_dask_spill_alt")
+                            : config.spill_fallback_dir;
+}
+
+DaskBackend::~DaskBackend() {
+  std::error_code ec;  // best-effort cleanup; ignore races with other dtors
+  if (owns_spill_dir_) std::filesystem::remove_all(spill_dir_, ec);
+  if (owns_spill_fallback_dir_) {
+    std::filesystem::remove_all(spill_fallback_dir_, ec);
+  }
+}
 
 bool DaskBackend::SupportsOp(const OpDesc& desc) const {
   switch (desc.kind) {

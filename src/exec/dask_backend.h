@@ -54,6 +54,11 @@ class DaskBackend : public Backend {
   friend class internal::DaskEvaluator;
 
   std::string spill_dir_;
+  std::string spill_fallback_dir_;
+  // True when the directories above are generated defaults owned by this
+  // instance; they are deleted on destruction. Configured dirs are kept.
+  bool owns_spill_dir_ = false;
+  bool owns_spill_fallback_dir_ = false;
   int64_t spill_counter_ = 0;
 };
 

@@ -1,8 +1,11 @@
 #include "exec/spill.h"
 
+#include <cerrno>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
+#include "common/fault.h"
 #include "common/macros.h"
 
 namespace lafp::exec {
@@ -22,10 +25,30 @@ bool ReadPod(std::ifstream& in, T* value) {
   return in.good();
 }
 
+/// Delete a partially written spill file. A truncated spill must never be
+/// left behind: its header can look complete, so a later ReadSpillFile
+/// would load garbage rows instead of failing.
+Status FailWrite(std::ofstream* out, const std::string& path,
+                 const Status& cause) {
+  const int saved_errno = errno;
+  out->close();
+  std::error_code ec;
+  std::filesystem::remove(path, ec);  // best effort; report the root cause
+  if (!cause.ok()) return cause;
+  std::string detail = "spill write failed: " + path;
+  if (saved_errno != 0) {
+    detail += " (";
+    detail += std::strerror(saved_errno);
+    detail += ")";
+  }
+  return Status::IOError(detail);
+}
+
 }  // namespace
 
 Status WriteSpillFile(const df::DataFrame& frame, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
+  errno = 0;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out.is_open()) {
     return Status::IOError("cannot open spill file " + path);
   }
@@ -33,6 +56,11 @@ Status WriteSpillFile(const df::DataFrame& frame, const std::string& path) {
   WritePod(out, static_cast<uint32_t>(frame.num_columns()));
   WritePod(out, static_cast<uint64_t>(frame.num_rows()));
   for (size_t c = 0; c < frame.num_columns(); ++c) {
+    // ENOSPC/EIO injection site, checked once per column so a fault can
+    // land mid-file — exactly the partial-write shape a full disk
+    // produces.
+    Status injected = FaultPoint("spill.write");
+    if (!injected.ok()) return FailWrite(&out, path, injected);
     const std::string& name = frame.names()[c];
     const df::Column& col = *frame.column(c);
     WritePod(out, static_cast<uint32_t>(name.size()));
@@ -71,20 +99,44 @@ Status WriteSpillFile(const df::DataFrame& frame, const std::string& path) {
         }
         break;
       case df::DataType::kNull:
-        return Status::Invalid("cannot spill a null-typed column");
+        return FailWrite(&out, path,
+                         Status::Invalid("cannot spill a null-typed column"));
     }
+    // Disk-full/EIO surfaces as a failed stream; stop before formatting
+    // the remaining columns into a dead stream.
+    if (!out.good()) return FailWrite(&out, path, Status::OK());
   }
   out.flush();
-  if (!out.good()) return Status::IOError("spill write failed: " + path);
+  if (!out.good()) return FailWrite(&out, path, Status::OK());
   return Status::OK();
 }
 
 Result<df::DataFrame> ReadSpillFile(const std::string& path,
                                     MemoryTracker* tracker) {
+  LAFP_RETURN_NOT_OK(FaultPoint("spill.read"));
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     return Status::IOError("cannot open spill file " + path);
   }
+  // Every length field read from disk is validated against the bytes that
+  // are actually left in the file before any allocation sized by it — a
+  // corrupt or truncated header must fail cleanly, not allocate
+  // gigabytes.
+  std::error_code ec;
+  const uint64_t file_size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return Status::IOError("cannot stat spill file " + path + ": " +
+                           ec.message());
+  }
+  auto remaining = [&]() -> uint64_t {
+    const auto pos = in.tellg();
+    if (pos < 0) return 0;
+    const uint64_t offset = static_cast<uint64_t>(pos);
+    return offset >= file_size ? 0 : file_size - offset;
+  };
+  auto corrupt = [&](const std::string& what) {
+    return Status::IOError("corrupt spill file " + path + ": " + what);
+  };
   uint64_t magic = 0;
   uint32_t ncols = 0;
   uint64_t nrows = 0;
@@ -94,12 +146,26 @@ Result<df::DataFrame> ReadSpillFile(const std::string& path,
   if (!ReadPod(in, &ncols) || !ReadPod(in, &nrows)) {
     return Status::IOError("truncated spill header in " + path);
   }
+  // Each column needs at least name_len + type + validity flag = 6 bytes;
+  // each row at least 1 payload byte per column.
+  if (ncols > remaining() / 6) {
+    return corrupt("column count " + std::to_string(ncols) +
+                   " exceeds file size");
+  }
+  if (ncols > 0 && nrows > remaining()) {
+    return corrupt("row count " + std::to_string(nrows) +
+                   " exceeds file size");
+  }
   std::vector<std::string> names;
   std::vector<df::ColumnPtr> cols;
   for (uint32_t c = 0; c < ncols; ++c) {
     uint32_t name_len = 0;
     if (!ReadPod(in, &name_len)) {
       return Status::IOError("truncated spill column in " + path);
+    }
+    if (name_len > remaining()) {
+      return corrupt("column name length " + std::to_string(name_len) +
+                     " exceeds file size");
     }
     std::string name(name_len, '\0');
     in.read(name.data(), name_len);
@@ -110,6 +176,7 @@ Result<df::DataFrame> ReadSpillFile(const std::string& path,
     auto type = static_cast<df::DataType>(type_raw);
     std::vector<uint8_t> validity;
     if (has_validity != 0) {
+      if (nrows > remaining()) return corrupt("validity exceeds file size");
       validity.resize(nrows);
       in.read(reinterpret_cast<char*>(validity.data()),
               static_cast<std::streamsize>(nrows));
@@ -118,6 +185,9 @@ Result<df::DataFrame> ReadSpillFile(const std::string& path,
     switch (type) {
       case df::DataType::kInt64:
       case df::DataType::kTimestamp: {
+        if (nrows > remaining() / 8) {
+          return corrupt("int payload exceeds file size");
+        }
         std::vector<int64_t> values(nrows);
         in.read(reinterpret_cast<char*>(values.data()),
                 static_cast<std::streamsize>(nrows * 8));
@@ -131,6 +201,9 @@ Result<df::DataFrame> ReadSpillFile(const std::string& path,
         break;
       }
       case df::DataType::kDouble: {
+        if (nrows > remaining() / 8) {
+          return corrupt("double payload exceeds file size");
+        }
         std::vector<double> values(nrows);
         in.read(reinterpret_cast<char*>(values.data()),
                 static_cast<std::streamsize>(nrows * 8));
@@ -140,6 +213,9 @@ Result<df::DataFrame> ReadSpillFile(const std::string& path,
         break;
       }
       case df::DataType::kBool: {
+        if (nrows > remaining()) {
+          return corrupt("bool payload exceeds file size");
+        }
         std::vector<uint8_t> values(nrows);
         in.read(reinterpret_cast<char*>(values.data()),
                 static_cast<std::streamsize>(nrows));
@@ -149,11 +225,18 @@ Result<df::DataFrame> ReadSpillFile(const std::string& path,
         break;
       }
       case df::DataType::kString: {
+        if (nrows > remaining() / 4) {
+          return corrupt("string payload exceeds file size");
+        }
         std::vector<std::string> values(nrows);
         for (uint64_t r = 0; r < nrows; ++r) {
           uint32_t len = 0;
           if (!ReadPod(in, &len)) {
             return Status::IOError("truncated spill string in " + path);
+          }
+          if (len > remaining()) {
+            return corrupt("string length " + std::to_string(len) +
+                           " exceeds file size");
           }
           values[r].resize(len);
           in.read(values[r].data(), len);

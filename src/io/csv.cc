@@ -1,7 +1,10 @@
 #include "io/csv.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 
+#include "common/fault.h"
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "dataframe/ops.h"
@@ -248,6 +251,7 @@ Status CsvChunkReader::ParseRowInto(
 
 Result<std::optional<DataFrame>> CsvChunkReader::NextChunk(size_t rows) {
   if (rows == 0) return Status::Invalid("chunk size must be positive");
+  LAFP_RETURN_NOT_OK(FaultPoint("csv.read"));
   bool exhausted =
       buffered_pos_ >= buffered_lines_.size() && (eof_ || !in_.good());
   if (exhausted || (options_.nrows > 0 && rows_emitted_ >= options_.nrows)) {
@@ -351,7 +355,22 @@ std::string QuoteField(const std::string& s) {
 
 }  // namespace
 
+namespace {
+
+Status CsvWriteError(const std::string& path) {
+  std::string detail = "write failed for '" + path + "'";
+  if (errno != 0) {
+    detail += ": ";
+    detail += std::strerror(errno);
+  }
+  return Status::IOError(detail);
+}
+
+}  // namespace
+
 Status WriteCsv(const DataFrame& frame, const std::string& path) {
+  errno = 0;
+  LAFP_RETURN_NOT_OK(FaultPoint("csv.write"));
   std::ofstream out(path);
   if (!out.is_open()) {
     return Status::IOError("cannot open '" + path + "' for writing");
@@ -370,9 +389,12 @@ Status WriteCsv(const DataFrame& frame, const std::string& path) {
       out << (NeedsQuoting(v, ',') ? QuoteField(v) : v);
     }
     out << '\n';
+    // A full disk fails the stream mid-file; formatting the remaining
+    // rows into a dead stream would only hide how far the write got.
+    if (!out.good()) return CsvWriteError(path);
   }
   out.flush();
-  if (!out.good()) return Status::IOError("write failed for '" + path + "'");
+  if (!out.good()) return CsvWriteError(path);
   return Status::OK();
 }
 

@@ -25,6 +25,7 @@ std::string ExecutionReport::ToString() const {
   os << "round[backend=" << backend << " threads=" << num_threads
      << (parallel ? " parallel" : " serial") << " wall_us=" << wall_micros
      << " executed=" << nodes_executed << " reused=" << nodes_reused
+     << " cancelled=" << nodes_cancelled
      << " prints=" << prints_emitted << " cleared=" << results_cleared
      << " peak_bytes=" << peak_tracked_bytes
      << " kernel_us=" << kernel_micros << " morsels=" << kernel_morsels
@@ -103,23 +104,39 @@ RoundPlan BuildPlan(const std::vector<TaskNodePtr>& order,
 
 Status Scheduler::Run(const std::vector<TaskNodePtr>& roots,
                       ExecutionReport* report) {
+  CancellationToken local_cancel;
+  CancellationToken* cancel =
+      options_.cancel != nullptr ? options_.cancel : &local_cancel;
   std::vector<TaskNodePtr> order = TaskGraph::TopoSort(roots);
   if (options_.num_threads > 1 && pool_ != nullptr) {
     if (report != nullptr) {
       report->parallel = true;
       report->num_threads = options_.num_threads;
     }
-    return RunParallel(order, roots, report);
+    return RunParallel(order, roots, cancel, report);
   }
   if (report != nullptr) report->num_threads = 1;
-  return RunSerial(order, roots, report);
+  return RunSerial(order, roots, cancel, report);
 }
 
 Status Scheduler::RunSerial(const std::vector<TaskNodePtr>& order,
                             const std::vector<TaskNodePtr>& roots,
+                            CancellationToken* cancel,
                             ExecutionReport* report) {
   RoundPlan plan = BuildPlan(order, roots);
-  for (const auto& n : order) {
+  // Runnable nodes at or after topo index `from` — everything they
+  // represent is abandoned when the round fails or is cancelled.
+  auto count_abandoned = [&](size_t from) {
+    int64_t count = 0;
+    for (size_t j = from; j < order.size(); ++j) {
+      const TaskNode* m = order[j].get();
+      if (plan.needed.count(m) == 0 || plan.reused.count(m) > 0) continue;
+      ++count;
+    }
+    return count;
+  };
+  for (size_t idx = 0; idx < order.size(); ++idx) {
+    const TaskNodePtr& n = order[idx];
     if (plan.needed.count(n.get()) == 0) continue;
     if (plan.reused.count(n.get()) > 0) {
       if (report != nullptr) {
@@ -134,19 +151,37 @@ Status Scheduler::RunSerial(const std::vector<TaskNodePtr>& order,
       }
       continue;  // carried over, nothing to do
     }
+    if (cancel->cancelled()) {
+      if (report != nullptr) report->nodes_cancelled += count_abandoned(idx);
+      return Status::Cancelled("round cancelled");
+    }
     NodeStats stats;
     stats.node_id = n->id;
     stats.is_print = n->is_print();
     Timer timer;
     if (n->is_print()) {
       if (!n->print_done) {
-        LAFP_RETURN_NOT_OK(callbacks_.emit_print(n, &stats));
+        Status status = callbacks_.emit_print(n, &stats);
+        if (!status.ok()) {
+          cancel->Cancel();
+          if (report != nullptr) {
+            report->nodes_cancelled += count_abandoned(idx + 1);
+          }
+          return status;
+        }
         n->print_done = true;
         n->executed = true;
         if (report != nullptr) ++report->prints_emitted;
       }
     } else if (!n->has_result()) {
-      LAFP_RETURN_NOT_OK(callbacks_.exec_node(n, &stats));
+      Status status = callbacks_.exec_node(n, &stats);
+      if (!status.ok()) {
+        cancel->Cancel();
+        if (report != nullptr) {
+          report->nodes_cancelled += count_abandoned(idx + 1);
+        }
+        return status;
+      }
       if (report != nullptr) ++report->nodes_executed;
     }
     stats.wall_micros = timer.ElapsedMicros();
@@ -179,6 +214,7 @@ Status Scheduler::RunSerial(const std::vector<TaskNodePtr>& order,
 
 Status Scheduler::RunParallel(const std::vector<TaskNodePtr>& order,
                               const std::vector<TaskNodePtr>& roots,
+                              CancellationToken* cancel,
                               ExecutionReport* report) {
   RoundPlan plan = BuildPlan(order, roots);
 
@@ -213,10 +249,21 @@ Status Scheduler::RunParallel(const std::vector<TaskNodePtr>& order,
     for (const auto& dep : n->order_deps) add_edge(dep);
   }
 
+  int64_t total_runnable = 0;
+  for (const auto& n : order) {
+    if (plan.needed.count(n.get()) == 0) continue;
+    if (plan.reused.count(n.get()) > 0) continue;
+    ++total_runnable;
+  }
+
   std::mutex mu;
   WaitGroup wg;
   Status first_error = Status::OK();
-  bool failed = false;
+  // Nodes whose task reached a terminal state: completed (callback OK or
+  // nothing to do) or failed. After wg.Wait everything else — drained
+  // tasks and tasks never dispatched — is by definition cancelled.
+  int64_t completed = 0;
+  int64_t failures = 0;
 
   // Reused leaves complete immediately (stats only; they release nothing,
   // and no dependency edge was counted against them).
@@ -247,13 +294,9 @@ Status Scheduler::RunParallel(const std::vector<TaskNodePtr>& order,
     Status status = Status::OK();
     bool emitted_print = false;
     bool executed_node = false;
-    bool abandoned = false;
-    {
-      std::lock_guard<std::mutex> check(mu);
-      abandoned = failed;
-    }
-    if (abandoned) {
-      // A sibling failed: drain without executing so the group empties.
+    if (cancel->cancelled()) {
+      // A sibling failed (or the caller cancelled): drain without
+      // executing so the group empties. The node counts as cancelled.
       wg.Done();
       return;
     }
@@ -276,11 +319,11 @@ Status Scheduler::RunParallel(const std::vector<TaskNodePtr>& order,
     {
       std::lock_guard<std::mutex> lock(mu);
       if (!status.ok()) {
-        if (!failed) {
-          failed = true;
-          first_error = status;
-        }
+        ++failures;
+        if (!cancel->cancelled()) first_error = status;
+        cancel->Cancel();
       } else {
+        ++completed;
         if (report != nullptr) {
           if (emitted_print) ++report->prints_emitted;
           if (executed_node) ++report->nodes_executed;
@@ -306,7 +349,7 @@ Status Scheduler::RunParallel(const std::vector<TaskNodePtr>& order,
           }
         }
         for (TaskNode* consumer : state.consumers) {
-          if (--states[consumer].remaining == 0 && !failed) {
+          if (--states[consumer].remaining == 0 && !cancel->cancelled()) {
             wg.Add();
             pool_->Submit([&run_node, consumer] { run_node(consumer); });
           }
@@ -337,13 +380,21 @@ Status Scheduler::RunParallel(const std::vector<TaskNodePtr>& order,
   }
   wg.Wait();
 
+  // After the group empties no task is running: every runnable node
+  // either reached a terminal state or was abandoned (drained after the
+  // token tripped, or never dispatched because a dependency failed).
+  if (cancel->cancelled() && report != nullptr) {
+    report->nodes_cancelled += total_runnable - completed - failures;
+  }
   if (report != nullptr) {
     std::sort(report->nodes.begin(), report->nodes.end(),
               [](const NodeStats& a, const NodeStats& b) {
                 return a.node_id < b.node_id;
               });
   }
-  return first_error;
+  if (!first_error.ok()) return first_error;
+  if (cancel->cancelled()) return Status::Cancelled("round cancelled");
+  return Status::OK();
 }
 
 }  // namespace lafp::lazy

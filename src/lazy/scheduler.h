@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/thread_pool.h"
 #include "lazy/task_graph.h"
 
@@ -45,6 +46,10 @@ struct ExecutionReport {
   int64_t wall_micros = 0;   // whole round, including optimizer passes
   int64_t nodes_executed = 0;
   int64_t nodes_reused = 0;
+  /// Runnable nodes abandoned after the round's first failure (or an
+  /// external Cancel). Invariant on a failed round:
+  ///   nodes_executed + nodes_cancelled + failures == runnable nodes.
+  int64_t nodes_cancelled = 0;
   int64_t prints_emitted = 0;
   int64_t results_cleared = 0;
   int64_t peak_tracked_bytes = 0;
@@ -85,6 +90,11 @@ class Scheduler {
     int num_threads = 1;        // <= 1 => serial reference path
     bool clear_results = false;  // §2.6 clearing (lazy mode, eager backend)
     bool collect_stats = true;   // fill ExecutionReport::nodes
+    /// Optional external cancellation token. The scheduler trips it on
+    /// the first node failure (so cooperating work can stop early) and
+    /// honors an externally tripped token between nodes: no new node
+    /// starts once it is cancelled. Null => Run uses a private token.
+    CancellationToken* cancel = nullptr;
   };
 
   /// Execution callbacks into the Session. Both receive a NodeStats to
@@ -102,19 +112,21 @@ class Scheduler {
   Scheduler(ThreadPool* pool, Options options, Callbacks callbacks);
 
   /// Execute every node reachable from `roots` that does not already hold
-  /// a result. On error, stops dispatching, waits for in-flight nodes and
-  /// returns the first failure. `report` (optional) receives the round's
-  /// statistics; counter fields are incremented so a caller can aggregate
-  /// multiple scheduler runs into one report.
+  /// a result. On error, cancels the round: no queued or pending node
+  /// starts after the first failure, in-flight nodes finish, and the first
+  /// failure (the root cause) is returned; everything abandoned is counted
+  /// in ExecutionReport::nodes_cancelled. `report` (optional) receives the
+  /// round's statistics; counter fields are incremented so a caller can
+  /// aggregate multiple scheduler runs into one report.
   Status Run(const std::vector<TaskNodePtr>& roots, ExecutionReport* report);
 
  private:
   Status RunSerial(const std::vector<TaskNodePtr>& order,
                    const std::vector<TaskNodePtr>& roots,
-                   ExecutionReport* report);
+                   CancellationToken* cancel, ExecutionReport* report);
   Status RunParallel(const std::vector<TaskNodePtr>& order,
                      const std::vector<TaskNodePtr>& roots,
-                     ExecutionReport* report);
+                     CancellationToken* cancel, ExecutionReport* report);
 
   ThreadPool* pool_;
   Options options_;

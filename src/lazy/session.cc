@@ -68,7 +68,12 @@ Session::Session(SessionOptions options)
       tracker_(options_.tracker != nullptr ? options_.tracker
                                            : MemoryTracker::Default()),
       backend_(exec::MakeBackend(options_.backend, tracker_,
-                                 options_.backend_config)) {}
+                                 options_.backend_config)) {
+  if (!options_.fault_config.empty()) {
+    fault_scope_ = std::make_unique<FaultScope>(options_.fault_config);
+    fault_status_ = fault_scope_->status();
+  }
+}
 
 Session::~Session() = default;
 
@@ -214,6 +219,9 @@ void Session::MarkSharedForPersist(const std::vector<TaskNodePtr>& roots,
 
 Status Session::ExecuteRound(const std::vector<TaskNodePtr>& roots,
                              const std::vector<TaskNodePtr>& live) {
+  // A malformed SessionOptions::fault_config cannot surface from the
+  // constructor; it fails the first round instead of being ignored.
+  LAFP_RETURN_NOT_OK(fault_status_);
   Timer round_timer;
   ExecutionReport report;
   report.backend = backend_->name();
@@ -304,14 +312,10 @@ Status Session::ExecNode(const TaskNodePtr& node, NodeStats* stats) {
   Status exec_status;
   {
     df::KernelCountersScope counters_scope(&counters);
-    exec_status = [&]() -> Status {
-      if (backend_->SupportsOp(node->desc)) {
-        LAFP_ASSIGN_OR_RETURN(node->result,
-                              backend_->Execute(node->desc, inputs));
-        return Status::OK();
-      }
-      // Paper §5.2 fallback: convert to eager Pandas frames, apply the
-      // Pandas-engine kernel, convert back.
+    // Paper §5.2 fallback: convert to eager Pandas frames, apply the
+    // Pandas-engine kernel, convert back. Shared between unsupported ops
+    // and the graceful-degradation retry below.
+    auto eager_fallback = [&]() -> Status {
       if (stats != nullptr) stats->fallback = true;
       std::vector<exec::EagerValue> eager_inputs;
       for (const auto& in : inputs) {
@@ -323,6 +327,26 @@ Status Session::ExecNode(const TaskNodePtr& node, NodeStats* stats) {
           exec::ExecuteEagerOp(node->desc, eager_inputs, tracker_));
       LAFP_ASSIGN_OR_RETURN(node->result, backend_->FromEager(out));
       return Status::OK();
+    };
+    exec_status = [&]() -> Status {
+      if (!backend_->SupportsOp(node->desc)) return eager_fallback();
+      Status native = FaultPoint("backend.execute");
+      if (native.ok()) {
+        auto result = backend_->Execute(node->desc, inputs);
+        if (result.ok()) {
+          node->result = std::move(result).ValueOrDie();
+          return Status::OK();
+        }
+        native = result.status();
+      }
+      // §4.3 graceful degradation: a backend failure that is about the
+      // backend (broken engine, IO, missing capability) retries once on
+      // the Pandas-engine path. OOM and semantic errors are about the
+      // program and must surface unchanged.
+      const bool retryable = native.IsExecutionError() ||
+                             native.IsIOError() || native.IsNotImplemented();
+      if (!options_.exec.graceful_fallback || !retryable) return native;
+      return eager_fallback();
     }();
   }
   if (stats != nullptr) {

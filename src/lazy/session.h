@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "exec/backend.h"
 #include "lazy/scheduler.h"
 #include "lazy/task_graph.h"
@@ -51,6 +52,13 @@ struct ExecutionOptions {
   /// perturb compensated sums by ~1 ulp); changing thread counts never
   /// does.
   size_t morsel_rows = 65536;
+  /// Graceful degradation (§4.3/§5.2): when a backend's native Execute
+  /// fails with an execution / IO / not-implemented error, retry the node
+  /// once on the eager Pandas-engine fallback path instead of failing the
+  /// round. Out-of-memory and semantic errors (KeyError/TypeError
+  /// analogues) always surface — those are program errors, not backend
+  /// limitations.
+  bool graceful_fallback = true;
 };
 
 struct SessionOptions {
@@ -65,6 +73,12 @@ struct SessionOptions {
   /// Destination for print output; std::cout when null. Tests inject a
   /// stringstream; the regression harness hashes it.
   std::ostream* output = nullptr;
+  /// Fault-injection specs armed for the session's lifetime (LAFP_FAULTS
+  /// grammar, see common/fault.h). The registry is process-global, so
+  /// this is meant for single-session tools and tests; empty = leave the
+  /// registry alone. A malformed string fails Session construction's
+  /// first execution round.
+  std::string fault_config;
   /// Scheduler / threading knobs (see ExecutionOptions).
   ExecutionOptions exec;
 
@@ -131,6 +145,19 @@ class SessionOptions::Builder {
   }
   Builder& serial_scheduler(bool on) {
     opts_.exec.serial_scheduler = on;
+    return *this;
+  }
+  /// Arm fault-injection specs for the session (LAFP_FAULTS grammar).
+  Builder& faults(std::string config) {
+    opts_.fault_config = std::move(config);
+    return *this;
+  }
+  Builder& graceful_fallback(bool on) {
+    opts_.exec.graceful_fallback = on;
+    return *this;
+  }
+  Builder& spill_fallback_dir(std::string dir) {
+    opts_.backend_config.spill_fallback_dir = std::move(dir);
     return *this;
   }
   Builder& tracker(MemoryTracker* t) {
@@ -270,6 +297,10 @@ class Session {
   SessionOptions options_;
   MemoryTracker* tracker_;
   std::unique_ptr<exec::Backend> backend_;
+  /// Arms SessionOptions::fault_config for the session's lifetime.
+  std::unique_ptr<FaultScope> fault_scope_;
+  /// Parse result of fault_config; surfaced by the next execution round.
+  Status fault_status_;
   /// Workers for graph-level parallelism. Created once (first parallel
   /// round) and shared across rounds; distinct from the Modin backend's
   /// partition pool so a scheduler worker blocking in Backend::Execute can

@@ -105,6 +105,12 @@ FuzzStats RunFuzz(const FuzzOptions& options) {
     }
     std::vector<OracleConfig> configs =
         SampleConfigs(program_seed ^ 0x9e3779b97f4a7c15ull, options.matrix);
+    if (options.faults) {
+      const int n = std::max(2, options.matrix / 2);
+      for (auto& c : FaultConfigs(program_seed, n)) {
+        configs.push_back(std::move(c));
+      }
+    }
     if (single) {
       // Replay is a debugging aid: widen the matrix and report every
       // config's verdict instead of stopping at the first divergence.

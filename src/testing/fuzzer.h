@@ -32,6 +32,11 @@ struct FuzzOptions {
   std::string corpus_dir;
   bool shrink = true;
   int shrink_budget = 400;
+  /// Add the fault axis: each program is additionally checked under
+  /// FaultConfigs() points (injected IO/OOM/exec faults). The oracle
+  /// accepts reference-identical output or a clean Status from those
+  /// runs; crashes, hangs, and wrong successful output are divergences.
+  bool faults = false;
   /// Progress / divergence log; null = silent.
   std::ostream* log = nullptr;
   ProgramGenOptions progen;

@@ -37,6 +37,7 @@ std::string OracleConfig::Name() const {
   if (morsel_rows != 65536) name += " m" + std::to_string(morsel_rows);
   if (partition_rows != 8192) name += " pr" + std::to_string(partition_rows);
   if (spill) name += " spill";
+  if (!faults.empty()) name += " faults[" + faults + "]";
   return name;
 }
 
@@ -107,6 +108,39 @@ std::vector<OracleConfig> SampleConfigs(uint64_t seed, int n) {
   return configs;
 }
 
+std::vector<OracleConfig> FaultConfigs(uint64_t seed, int n) {
+  static const char* kSites[] = {"spill.write", "spill.read",  "csv.read",
+                                 "csv.write",   "mem.reserve", "backend.execute"};
+  std::vector<OracleConfig> base = SampleConfigs(seed ^ 0xfa1u, n);
+  SplitMix rng(seed * 0x9e3779b9ULL + 0xfa);
+  std::vector<OracleConfig> configs;
+  for (int i = 0; i < n; ++i) {
+    OracleConfig c = base[static_cast<size_t>(i) % base.size()];
+    const std::string site = kSites[rng.Below(6)];
+    if (site.rfind("spill.", 0) == 0) {
+      // Spill sites are only reachable from a spilling Dask round.
+      c.backend = exec::BackendKind::kDask;
+      if (c.mode == OracleMode::kEager) c.mode = OracleMode::kLazy;
+      c.spill = true;
+      c.partition_rows = 16;
+    }
+    std::string spec = site;
+    if (rng.Chance(0.3)) {
+      spec += ":p=0.5,seed=" + std::to_string(seed + i) + ",fires=2";
+    } else {
+      spec += ":nth=" + std::to_string(1 + rng.Below(4));
+    }
+    if (site == "mem.reserve") {
+      spec += ",code=oom";  // budget denial must look like real OOM
+    } else if (site == "backend.execute") {
+      spec += ",code=exec";
+    }
+    c.faults = spec;
+    configs.push_back(std::move(c));
+  }
+  return configs;
+}
+
 std::vector<OracleConfig> RegressionConfigs() {
   std::vector<OracleConfig> configs;
   for (auto backend :
@@ -158,6 +192,11 @@ RunOutcome ExecuteUnderConfig(const std::string& source,
   opts.exec.morsel_rows = config.morsel_rows;
   opts.backend_config.partition_rows = config.partition_rows;
   opts.backend_config.spill_persisted = config.spill;
+  // Faults arm via the session so they cover exactly the program's
+  // execution: the table CSVs were materialized before this call, and the
+  // session's FaultScope restores (with fresh counters) on return —
+  // replay and shrink see identical firing sequences.
+  opts.fault_config = config.faults;
 
   lazy::Session session(opts);
   if (config.mode != OracleMode::kEager &&
@@ -199,6 +238,12 @@ std::optional<std::string> CompareOutcomes(const RunOutcome& reference,
     return std::nullopt;
   }
   if (!run.status.ok()) {
+    if (!config.faults.empty()) {
+      // With faults armed a clean Status is an acceptable outcome — the
+      // oracle only rejects crashes/hangs (which never reach here) and
+      // wrong output from runs that claim success.
+      return std::nullopt;
+    }
     return "status: reference ok but " + config.Name() + " failed: " +
            run.status.ToString();
   }

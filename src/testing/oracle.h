@@ -32,6 +32,12 @@ struct OracleConfig {
   size_t partition_rows = 8192;
   /// Dask spill-to-disk persistence.
   bool spill = false;
+  /// Fault-injection specs (LAFP_FAULTS grammar) armed only while the
+  /// program executes under this config — the fault axis of the matrix.
+  /// The oracle contract with faults armed: the run either produces
+  /// reference-identical output or fails with a clean Status; it must
+  /// never crash, hang, or print a truncated frame that checksums ok.
+  std::string faults;
 
   /// Compact display name, e.g. "lafp-modin+dp t4 m1".
   std::string Name() const;
@@ -48,6 +54,11 @@ std::vector<OracleConfig> SampleConfigs(uint64_t seed, int n);
 /// The small fixed matrix the regression corpus replays: all three
 /// backends, every single-pass and all-pass subset, serial and parallel.
 std::vector<OracleConfig> RegressionConfigs();
+
+/// `n` matrix points with a fault spec armed (the --faults axis): base
+/// configs drawn like SampleConfigs, each crossed with one injection
+/// site; spill faults force a spilling Dask config so the site is hit.
+std::vector<OracleConfig> FaultConfigs(uint64_t seed, int n);
 
 /// Result of one program execution.
 struct RunOutcome {

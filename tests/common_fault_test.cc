@@ -1,0 +1,138 @@
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace lafp {
+namespace {
+
+TEST(FaultInjectorTest, DisabledByDefaultAndFastPath) {
+  FaultInjector::Global()->Clear();
+  EXPECT_FALSE(FaultInjector::Global()->enabled());
+  EXPECT_TRUE(FaultPoint("spill.write").ok());
+  EXPECT_TRUE(FaultPoint("nonexistent.site").ok());
+}
+
+TEST(FaultInjectorTest, NthFiresDeterministically) {
+  FaultScope scope("spill.write:nth=3");
+  ASSERT_TRUE(scope.status().ok());
+  EXPECT_TRUE(FaultPoint("spill.write").ok());
+  EXPECT_TRUE(FaultPoint("spill.write").ok());
+  Status fired = FaultPoint("spill.write");
+  EXPECT_TRUE(fired.IsIOError()) << fired.ToString();
+  EXPECT_NE(fired.message().find("spill.write"), std::string::npos);
+  // max_fires defaults to 1: the site goes quiet afterwards.
+  EXPECT_TRUE(FaultPoint("spill.write").ok());
+  EXPECT_EQ(FaultInjector::Global()->hits("spill.write"), 4);
+  EXPECT_EQ(FaultInjector::Global()->fires("spill.write"), 1);
+}
+
+TEST(FaultInjectorTest, BareSiteArmsImmediateSingleShot) {
+  FaultScope scope("csv.read:");
+  ASSERT_TRUE(scope.status().ok());
+  EXPECT_FALSE(FaultPoint("csv.read").ok());
+  EXPECT_TRUE(FaultPoint("csv.read").ok());
+}
+
+TEST(FaultInjectorTest, UnlimitedFires) {
+  FaultScope scope("mem.reserve:nth=1,fires=-1,code=oom");
+  ASSERT_TRUE(scope.status().ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(FaultPoint("mem.reserve").IsOutOfMemory());
+  }
+}
+
+TEST(FaultInjectorTest, CodesMapToStatusCodes) {
+  {
+    FaultScope scope("a:code=exec");
+    EXPECT_TRUE(FaultPoint("a").IsExecutionError());
+  }
+  {
+    FaultScope scope("a:code=notimpl");
+    EXPECT_TRUE(FaultPoint("a").IsNotImplemented());
+  }
+  {
+    FaultScope scope("a:code=cancelled");
+    EXPECT_TRUE(FaultPoint("a").IsCancelled());
+  }
+}
+
+TEST(FaultInjectorTest, ProbabilityIsSeededAndReproducible) {
+  auto run = [](uint64_t seed) {
+    FaultScope scope("x:p=0.5,seed=" + std::to_string(seed) + ",fires=-1");
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!FaultPoint("x").ok());
+    return fired;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // 2^-64 flake odds; astronomically safe
+  // p=0.5 over 64 draws fires at least once (probability 1 - 2^-64).
+  auto fired = run(7);
+  EXPECT_NE(std::count(fired.begin(), fired.end(), true), 0);
+}
+
+TEST(FaultInjectorTest, ScopeRestoresPreviousSpecsWithFreshCounters) {
+  FaultScope outer("spill.read:nth=2");
+  ASSERT_TRUE(outer.status().ok());
+  EXPECT_TRUE(FaultPoint("spill.read").ok());  // hit 1
+  {
+    FaultScope inner("csv.write:nth=1");
+    EXPECT_TRUE(FaultPoint("spill.read").ok());  // not armed inside inner
+    EXPECT_FALSE(FaultPoint("csv.write").ok());
+  }
+  // Counters reset on restore: deterministic replay needs hit 1 again.
+  EXPECT_TRUE(FaultPoint("spill.read").ok());
+  EXPECT_FALSE(FaultPoint("spill.read").ok());
+}
+
+TEST(FaultInjectorTest, ParseRejectsMalformedConfigs) {
+  std::vector<FaultSpec> specs;
+  EXPECT_FALSE(FaultInjector::Parse("noseparator", &specs).ok());
+  EXPECT_FALSE(FaultInjector::Parse("site:nth=0", &specs).ok());
+  EXPECT_FALSE(FaultInjector::Parse("site:p=1.5", &specs).ok());
+  EXPECT_FALSE(FaultInjector::Parse("site:code=bogus", &specs).ok());
+  EXPECT_FALSE(FaultInjector::Parse("site:fires=0", &specs).ok());
+  EXPECT_FALSE(FaultInjector::Parse("site:unknown=1", &specs).ok());
+  // A malformed FaultScope arms nothing and reports the parse error.
+  FaultScope bad("site:nth=banana");
+  EXPECT_FALSE(bad.status().ok());
+  EXPECT_FALSE(FaultInjector::Global()->enabled());
+}
+
+TEST(FaultInjectorTest, ParsesMultipleSpecs) {
+  std::vector<FaultSpec> specs;
+  ASSERT_TRUE(FaultInjector::Parse(
+                  " spill.write:nth=2 ; csv.read:p=0.25,seed=9,fires=-1 ",
+                  &specs)
+                  .ok());
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].site, "spill.write");
+  EXPECT_EQ(specs[0].nth, 2);
+  EXPECT_EQ(specs[1].site, "csv.read");
+  EXPECT_DOUBLE_EQ(specs[1].probability, 0.25);
+  EXPECT_EQ(specs[1].seed, 9u);
+  EXPECT_EQ(specs[1].max_fires, -1);
+}
+
+TEST(FaultInjectorTest, ConcurrentHitsFireExactlyNTimes) {
+  FaultScope scope("hot:nth=1,fires=16");
+  std::atomic<int> fires{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        if (!FaultPoint("hot").ok()) fires.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(fires.load(), 16);
+  EXPECT_EQ(FaultInjector::Global()->hits("hot"), 1600);
+}
+
+}  // namespace
+}  // namespace lafp

@@ -1,0 +1,62 @@
+// The fault axis of the differential fuzzer wired into the tier-1 suite:
+// generated programs run with injected IO/OOM/exec faults armed. The
+// oracle contract under faults is strict — every run must either produce
+// reference-identical output or fail with a clean Status. A crash, hang,
+// truncated-but-checksum-ok frame, or wrong successful output is a bug in
+// a failure path.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "testing/fuzzer.h"
+#include "testing/oracle.h"
+
+namespace {
+
+using lafp::testing::ExecuteUnderConfig;
+using lafp::testing::FaultConfigs;
+using lafp::testing::FuzzOptions;
+using lafp::testing::FuzzStats;
+using lafp::testing::OracleConfig;
+using lafp::testing::RunFuzz;
+
+TEST(FuzzFaultSmokeTest, FaultConfigsAreDeterministicAndArmed) {
+  auto a = FaultConfigs(7, 12);
+  auto b = FaultConfigs(7, 12);
+  ASSERT_EQ(a.size(), 12u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].Name(), b[i].Name());
+    EXPECT_FALSE(a[i].faults.empty());
+    // Spill faults only make sense on a spilling Dask config.
+    if (a[i].faults.rfind("spill.", 0) == 0) {
+      EXPECT_EQ(a[i].backend, lafp::exec::BackendKind::kDask);
+      EXPECT_TRUE(a[i].spill);
+    }
+  }
+}
+
+TEST(FuzzFaultSmokeTest, ProgramsSurviveInjectedFaults) {
+  FuzzOptions options;
+  options.seed = 42;
+  options.iters = 15;
+  options.matrix = 4;  // plus matrix/2 fault points per program
+  options.faults = true;
+  options.shrink = false;
+  auto dir = std::filesystem::temp_directory_path() / "lafp_fuzz_faults";
+  std::filesystem::create_directories(dir);
+  options.data_dir = dir.string();
+  std::ostringstream log;
+  options.log = &log;
+
+  FuzzStats stats = RunFuzz(options);
+  EXPECT_EQ(stats.iterations, 15);
+  EXPECT_EQ(stats.reference_failures, 0) << log.str();
+  ASSERT_TRUE(stats.divergences.empty())
+      << "first divergence: seed " << stats.divergences[0].program_seed
+      << " under " << stats.divergences[0].config_name << "\n"
+      << stats.divergences[0].detail << "\n"
+      << log.str();
+}
+
+}  // namespace

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <random>
 #include <sstream>
+#include <unordered_set>
 
 #include "lazy/fat_dataframe.h"
 #include "lazy/scheduler.h"
@@ -387,6 +389,175 @@ TEST_F(LazySchedulerTest, ReportMarksReusedNodes) {
   bool saw_reused = false;
   for (const auto& n : report.nodes) saw_reused |= n.reused;
   EXPECT_TRUE(saw_reused);
+}
+
+// ---- cooperative cancellation (drive the Scheduler directly) ----
+
+/// Harness over a raw TaskGraph: every node "executes" by storing a
+/// scalar; nodes listed in `bombs` fail instead. Execution order and
+/// counts are observable through the atomic counter and per-node
+/// `executed` flags.
+class CancellationHarness {
+ public:
+  TaskNodePtr Node(std::vector<TaskNodePtr> inputs) {
+    return graph_.NewNode(exec::OpDesc{}, std::move(inputs));
+  }
+
+  TaskNodePtr Chain(TaskNodePtr from, int length) {
+    for (int i = 0; i < length; ++i) {
+      from = Node(from == nullptr ? std::vector<TaskNodePtr>{}
+                                  : std::vector<TaskNodePtr>{from});
+    }
+    return from;
+  }
+
+  void Arm(const TaskNodePtr& bomb) { bombs_.insert(bomb.get()); }
+
+  Scheduler::Callbacks Callbacks() {
+    Scheduler::Callbacks cb;
+    cb.exec_node = [this](const TaskNodePtr& node, NodeStats*) -> Status {
+      if (bombs_.count(node.get()) > 0) {
+        return Status::ExecutionError("boom");
+      }
+      executions_.fetch_add(1);
+      node->result = exec::BackendValue::FromScalar(df::Scalar::Int(1));
+      node->executed = true;
+      return Status::OK();
+    };
+    cb.emit_print = [](const TaskNodePtr&, NodeStats*) {
+      return Status::OK();
+    };
+    return cb;
+  }
+
+  int executions() const { return executions_.load(); }
+
+ private:
+  TaskGraph graph_;
+  std::unordered_set<const TaskNode*> bombs_;
+  std::atomic<int> executions_{0};
+};
+
+TEST(SchedulerCancellationTest, ParallelFailureCancelsPendingWork) {
+  CancellationHarness h;
+  // One failing source whose 10 dependents can never run, plus three
+  // independent 10-node chains that may be in flight when it fails.
+  TaskNodePtr bomb = h.Node({});
+  h.Arm(bomb);
+  TaskNodePtr doomed_tail = h.Chain(bomb, 10);
+  std::vector<TaskNodePtr> roots = {doomed_tail};
+  for (int i = 0; i < 3; ++i) roots.push_back(h.Chain(nullptr, 10));
+  const int64_t runnable = 41;  // 1 bomb + 10 doomed + 3x10 independent
+
+  ThreadPool pool(4);
+  CancellationToken token;
+  Scheduler::Options options;
+  options.num_threads = 4;
+  options.cancel = &token;
+  Scheduler scheduler(&pool, options, h.Callbacks());
+  ExecutionReport report;
+  Status status = scheduler.Run(roots, &report);
+
+  // Root cause propagates, the token trips, and the accounting closes:
+  // every runnable node either executed, failed, or was cancelled.
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "boom");
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(report.nodes_executed + report.nodes_cancelled + 1, runnable);
+  EXPECT_EQ(report.nodes_executed, h.executions());
+  // Nothing downstream of the failure ever ran.
+  for (TaskNodePtr n = doomed_tail; n != bomb; n = n->inputs[0]) {
+    EXPECT_FALSE(n->executed);
+  }
+  EXPECT_GE(report.nodes_cancelled, 10);
+}
+
+TEST(SchedulerCancellationTest, SerialErrorShortCircuits) {
+  CancellationHarness h;
+  TaskNodePtr pre = h.Chain(nullptr, 3);
+  TaskNodePtr bomb = h.Node({pre});
+  h.Arm(bomb);
+  TaskNodePtr post = h.Chain(bomb, 4);
+  TaskNodePtr independent = h.Chain(nullptr, 5);
+
+  CancellationToken token;
+  Scheduler::Options options;
+  options.num_threads = 1;
+  options.cancel = &token;
+  Scheduler scheduler(nullptr, options, h.Callbacks());
+  ExecutionReport report;
+  Status status = scheduler.Run({post, independent}, &report);
+
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "boom");
+  EXPECT_TRUE(token.cancelled());
+  // Serial topo order: only the bomb's 3 ancestors can have executed
+  // before it; the 4 nodes after it plus whatever of the independent
+  // chain had not run yet are all cancelled.
+  EXPECT_EQ(report.nodes_executed, h.executions());
+  EXPECT_EQ(report.nodes_executed + report.nodes_cancelled + 1, 13);
+  for (TaskNodePtr n = post; n != bomb; n = n->inputs[0]) {
+    EXPECT_FALSE(n->executed);
+  }
+}
+
+TEST(SchedulerCancellationTest, PreCancelledTokenRunsNothing) {
+  for (int threads : {1, 4}) {
+    CancellationHarness h;
+    TaskNodePtr tail = h.Chain(nullptr, 6);
+    CancellationToken token;
+    token.Cancel();
+    ThreadPool pool(threads);
+    Scheduler::Options options;
+    options.num_threads = threads;
+    options.cancel = &token;
+    Scheduler scheduler(threads > 1 ? &pool : nullptr, options,
+                        h.Callbacks());
+    ExecutionReport report;
+    Status status = scheduler.Run({tail}, &report);
+    EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+    EXPECT_EQ(h.executions(), 0);
+    EXPECT_EQ(report.nodes_cancelled, 6);
+    EXPECT_EQ(report.nodes_executed, 0);
+  }
+}
+
+TEST(SchedulerCancellationTest, SessionRoundReportsCancelledNodes) {
+  // End-to-end: a session round over a real program where one node fails
+  // (injected backend fault, fallback disabled) must report the
+  // cancellation accounting, not just the error.
+  std::string dir = ::testing::TempDir() + "sched_cancel_e2e";
+  std::filesystem::create_directories(dir);
+  std::string csv = dir + "/d.csv";
+  {
+    std::ofstream out(csv);
+    out << "a,b\n";
+    for (int i = 0; i < 100; ++i) out << i << "," << i % 7 << "\n";
+  }
+  MemoryTracker tracker(0);
+  std::stringstream output;
+  Session session(SessionOptions::Builder()
+                      .threads(4)
+                      .tracker(&tracker)
+                      .output(&output)
+                      .graceful_fallback(false)
+                      .faults("backend.execute:nth=2,code=exec")
+                      .Build());
+  auto df = FatDataFrame::ReadCsv(&session, csv);
+  ASSERT_TRUE(df.ok());
+  auto head = df->Head(10);
+  ASSERT_TRUE(head.ok());
+  auto sorted = head->SortValues({"a"}, {true});
+  ASSERT_TRUE(sorted.ok());
+  auto eager = sorted->Compute();
+  ASSERT_FALSE(eager.ok());
+  EXPECT_TRUE(eager.status().IsExecutionError()) << eager.status().ToString();
+  // Three runnable nodes (read, head, sort); the injected fault fails the
+  // second, so the third is cancelled: executed + cancelled + 1 failure.
+  const ExecutionReport& report = session.last_report();
+  EXPECT_EQ(report.nodes_executed, 1);
+  EXPECT_EQ(report.nodes_cancelled, 1);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -172,5 +172,120 @@ TEST_F(SessionEdgeTest, CrossSessionOperandsRejected) {
   EXPECT_FALSE(FatDataFrame::Concat(s1.get(), {a, b}).ok());
 }
 
+// ---- graceful degradation (the §4.3/§5.2 fallback zone) ----
+
+TEST_F(SessionEdgeTest, BackendFaultFallsBackToEagerWithIdenticalOutput) {
+  // Baseline run, no faults.
+  std::string expected;
+  {
+    auto session = MakeSession(BackendKind::kPandas, ExecutionMode::kLazy);
+    auto frame = *FatDataFrame::ReadCsv(session.get(), csv_path_);
+    auto head = *frame.Head(7);
+    ASSERT_TRUE(session->Print({Session::PrintArg::Value(head.node())}).ok());
+    ASSERT_TRUE(session->Flush().ok());
+    expected = output_.str();
+    output_.str("");
+  }
+  ASSERT_FALSE(expected.empty());
+  // Same program with an injected single-shot failure inside the second
+  // native Execute: graceful fallback retries that node on the eager
+  // Pandas path and the round succeeds with identical output.
+  SessionOptions opts = SessionOptions::Builder()
+                            .backend(BackendKind::kPandas)
+                            .mode(ExecutionMode::kLazy)
+                            .output(&output_)
+                            .tracker(&tracker_)
+                            .faults("backend.execute:nth=2,code=exec")
+                            .Build();
+  Session session(opts);
+  auto frame = *FatDataFrame::ReadCsv(&session, csv_path_);
+  auto head = *frame.Head(7);
+  ASSERT_TRUE(session.Print({Session::PrintArg::Value(head.node())}).ok());
+  Status flushed = session.Flush();
+  ASSERT_TRUE(flushed.ok()) << flushed.ToString();
+  EXPECT_EQ(output_.str(), expected);
+  // The report shows which node degraded.
+  bool saw_fallback = false;
+  for (const auto& n : session.last_report().nodes) {
+    saw_fallback |= n.fallback;
+  }
+  EXPECT_TRUE(saw_fallback);
+}
+
+TEST_F(SessionEdgeTest, FallbackDisabledSurfacesBackendFault) {
+  Session session(SessionOptions::Builder()
+                      .backend(BackendKind::kPandas)
+                      .mode(ExecutionMode::kLazy)
+                      .output(&output_)
+                      .tracker(&tracker_)
+                      .graceful_fallback(false)
+                      .faults("backend.execute:nth=1,code=exec")
+                      .Build());
+  auto frame = *FatDataFrame::ReadCsv(&session, csv_path_);
+  auto eager = frame.Compute();
+  ASSERT_FALSE(eager.ok());
+  EXPECT_TRUE(eager.status().IsExecutionError()) << eager.status().ToString();
+}
+
+TEST_F(SessionEdgeTest, OutOfMemoryFaultNeverFallsBack) {
+  // OOM is a program/budget error, not a backend limitation: graceful
+  // fallback must not mask it (Fig. 12 semantics depend on it surfacing).
+  Session session(SessionOptions::Builder()
+                      .backend(BackendKind::kPandas)
+                      .mode(ExecutionMode::kLazy)
+                      .output(&output_)
+                      .tracker(&tracker_)
+                      .faults("backend.execute:nth=1,code=oom")
+                      .Build());
+  auto frame = *FatDataFrame::ReadCsv(&session, csv_path_);
+  auto eager = frame.Compute();
+  ASSERT_FALSE(eager.ok());
+  EXPECT_TRUE(eager.status().IsOutOfMemory()) << eager.status().ToString();
+}
+
+TEST_F(SessionEdgeTest, MalformedFaultConfigFailsFirstRound) {
+  Session session(SessionOptions::Builder()
+                      .backend(BackendKind::kPandas)
+                      .mode(ExecutionMode::kLazy)
+                      .output(&output_)
+                      .tracker(&tracker_)
+                      .faults("not a valid spec")
+                      .Build());
+  auto frame = *FatDataFrame::ReadCsv(&session, csv_path_);
+  auto eager = frame.Compute();
+  ASSERT_FALSE(eager.ok());
+  EXPECT_TRUE(eager.status().IsInvalid()) << eager.status().ToString();
+}
+
+TEST_F(SessionEdgeTest, SpillFaultRetriesOnFallbackDirectory) {
+  // A Dask round that spills every collected partition: the first spill
+  // write fails (injected ENOSPC), the retry lands in the fallback
+  // directory, and the round completes with correct results.
+  const std::string primary = dir_ + "/spill_primary";
+  const std::string fallback = dir_ + "/spill_fallback";
+  SessionOptions opts = SessionOptions::Builder()
+                            .backend(BackendKind::kDask)
+                            .mode(ExecutionMode::kLazy)
+                            .output(&output_)
+                            .tracker(&tracker_)
+                            .partition_rows(16)
+                            .spill_dir(primary)
+                            .spill_fallback_dir(fallback)
+                            .faults("spill.write:nth=1")
+                            .Build();
+  opts.backend_config.spill_persisted = true;
+  Session session(opts);
+  auto frame = *FatDataFrame::ReadCsv(&session, csv_path_);
+  frame.node()->persist = true;  // force the persist-collect spill loop
+  auto eager = frame.Compute();
+  ASSERT_TRUE(eager.ok()) << eager.status().ToString();
+  EXPECT_EQ(eager->frame.num_rows(), 50u);
+  // The failed write was retried on the fallback dir; at least one spill
+  // file exists there and no partial file survives in the primary.
+  bool fallback_used = std::filesystem::exists(fallback) &&
+                       !std::filesystem::is_empty(fallback);
+  EXPECT_TRUE(fallback_used);
+}
+
 }  // namespace
 }  // namespace lafp::lazy

@@ -27,6 +27,9 @@ void Usage() {
       << "  --corpus-dir DIR  write shrunk repros here (default\n"
       << "                    tests/fuzz_corpus next to the source tree\n"
       << "                    is NOT assumed; no corpus unless given)\n"
+      << "  --faults          add the fault-injection axis: each program\n"
+      << "                    also runs with injected IO/OOM/exec faults;\n"
+      << "                    clean failure or identical output required\n"
       << "  --no-shrink       keep failing programs unminimized\n"
       << "  --shrink-budget N predicate evaluations per shrink (400)\n"
       << "  --max-statements N program length cap (default 12)\n"
@@ -105,6 +108,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.corpus_file = v;
+    } else if (std::strcmp(arg, "--faults") == 0) {
+      options.faults = true;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
       options.shrink = false;
     } else if (std::strcmp(arg, "--shrink-budget") == 0) {
