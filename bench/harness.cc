@@ -6,6 +6,7 @@
 
 #include "bench/programs.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "meta/metadata.h"
 #include "optimizer/passes.h"
 #include "script/analyze.h"
@@ -161,6 +162,10 @@ BenchResult RunBenchmark(const std::string& program_name,
     opt::InstallDefaultOptimizer(&session, optimizer_options);
   }
 
+  // Bench span wrapping the program run: with LAFP_TRACE set, a bench
+  // sweep ships a flamegraph-grade artifact alongside BENCH_*.json.
+  trace::Span bench_span(
+      "bench:" + program_name + "/" + ConfigName(config), "bench");
   Timer timer;
   script::AnalyzeResult analyzed;
   Status st = script::RunProgram(*source, &session, run_opts, nullptr,

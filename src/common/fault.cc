@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace lafp {
 
@@ -170,6 +172,16 @@ Status FaultInjector::Hit(std::string_view site) {
   }
   if (!fire) return Status::OK();
   ++state.fires;
+  // Every injected fault is observable: an instant trace event (parented
+  // to whatever span the faulting thread is inside) plus a counter. Safe
+  // under mu_ — the trace/metrics layers never call back into the
+  // injector.
+  trace::Instant("fault:" + std::string(site), "fault",
+                 {trace::IntArg("hit", hit),
+                  trace::StrArg("code", StatusCodeToString(spec.code))});
+  static auto* fault_counter =
+      metrics::Registry::Global()->GetCounter("fault.fired");
+  fault_counter->Increment();
   return Status(spec.code, "injected fault at " + std::string(site) +
                                " (hit " + std::to_string(hit) + ")");
 }

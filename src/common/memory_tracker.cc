@@ -25,11 +25,16 @@ Status MemoryTracker::Reserve(int64_t bytes) {
     }
     if (current_.compare_exchange_weak(cur, next,
                                        std::memory_order_relaxed)) {
-      // Peak update: monotonic max.
+      // Peak update: monotonic max, both lifetime and round-epoch.
       int64_t prev_peak = peak_.load(std::memory_order_relaxed);
       while (next > prev_peak && !peak_.compare_exchange_weak(
                                      prev_peak, next,
                                      std::memory_order_relaxed)) {
+      }
+      int64_t prev_round = round_peak_.load(std::memory_order_relaxed);
+      while (next > prev_round && !round_peak_.compare_exchange_weak(
+                                      prev_round, next,
+                                      std::memory_order_relaxed)) {
       }
       return Status::OK();
     }
@@ -51,6 +56,7 @@ void MemoryTracker::Release(int64_t bytes) {
 void MemoryTracker::Reset() {
   current_.store(0, std::memory_order_relaxed);
   peak_.store(0, std::memory_order_relaxed);
+  round_peak_.store(0, std::memory_order_relaxed);
 }
 
 std::string MemoryTracker::ToString() const {

@@ -38,6 +38,22 @@ class MemoryTracker {
   int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
   int64_t budget() const { return budget_.load(std::memory_order_relaxed); }
 
+  /// High-water mark since the last ResetRoundPeak(). The scheduler resets
+  /// this at the start of each execution round so
+  /// ExecutionReport::peak_tracked_bytes reports the round's own peak, while
+  /// peak() stays the process-lifetime maximum (the bench harness depends
+  /// on that for Fig. 15-style whole-program numbers).
+  int64_t round_peak() const {
+    return round_peak_.load(std::memory_order_relaxed);
+  }
+
+  /// Start a new round epoch: the round peak restarts from what is
+  /// currently reserved (live frames carried into the round still count).
+  void ResetRoundPeak() {
+    round_peak_.store(current_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+
   void set_budget(int64_t budget_bytes) {
     budget_.store(budget_bytes, std::memory_order_relaxed);
   }
@@ -54,6 +70,7 @@ class MemoryTracker {
  private:
   std::atomic<int64_t> current_{0};
   std::atomic<int64_t> peak_{0};
+  std::atomic<int64_t> round_peak_{0};
   /// Atomic so Reserve() on kernel/partition workers can race with a
   /// set_budget() from the driving thread without UB. current_/peak_ use
   /// CAS loops (peak is a monotonic max), so concurrent reserve/release

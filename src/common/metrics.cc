@@ -1,0 +1,147 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace lafp::metrics {
+
+namespace {
+
+/// Per-thread cell caches. Keyed by instrument pointer: instruments are
+/// never destroyed (leaky registry), so a stale key cannot alias a new
+/// instrument. A plain map is fine — lookups happen once per call site
+/// thanks to function-local static instrument pointers, and misses are
+/// once per (thread, instrument).
+template <typename Instrument, typename Cell>
+Cell* CachedCell(const Instrument* key, Cell* (*make)(Instrument*)) {
+  thread_local std::map<const void*, Cell*> cache;
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  Cell* cell = make(const_cast<Instrument*>(key));
+  cache.emplace(key, cell);
+  return cell;
+}
+
+}  // namespace
+
+std::atomic<int64_t>* Counter::ThisThreadCell() {
+  return CachedCell<Counter, std::atomic<int64_t>>(
+      this, +[](Counter* c) {
+        auto cell = std::make_unique<Cell>();
+        std::atomic<int64_t>* ptr = &cell->value;
+        std::lock_guard<std::mutex> lock(c->mu_);
+        c->cells_.push_back(std::move(cell));
+        return ptr;
+      });
+}
+
+int64_t Counter::Value() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& cell : cells_) {
+    total += cell->value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Observe(int64_t sample) {
+  if (sample < 0) sample = 0;
+  int bucket = 0;
+  while (bucket < kBuckets - 1 && (int64_t{1} << bucket) <= sample) ++bucket;
+  Cell* cell = ThisThreadCell();
+  cell->buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  cell->count.fetch_add(1, std::memory_order_relaxed);
+  cell->sum.fetch_add(sample, std::memory_order_relaxed);
+}
+
+Histogram::Cell* Histogram::ThisThreadCell() {
+  return CachedCell<Histogram, Cell>(this, +[](Histogram* h) {
+    auto cell = std::make_unique<Cell>();
+    Cell* ptr = cell.get();
+    std::lock_guard<std::mutex> lock(h->mu_);
+    h->cells_.push_back(std::move(cell));
+    return ptr;
+  });
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& cell : cells_) {
+    for (int i = 0; i < kBuckets; ++i) {
+      snap.buckets[i] += cell->buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.count += cell->count.load(std::memory_order_relaxed);
+    snap.sum += cell->sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+Registry* Registry::Global() {
+  // Leaky: instruments must outlive worker threads that cached cells.
+  static Registry* registry = new Registry();
+  return registry;
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second.get();
+  auto counter = std::make_unique<Counter>(std::string(name));
+  Counter* ptr = counter.get();
+  counters_.emplace(std::string(name), std::move(counter));
+  return ptr;
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second.get();
+  auto gauge = std::make_unique<Gauge>(std::string(name));
+  Gauge* ptr = gauge.get();
+  gauges_.emplace(std::string(name), std::move(gauge));
+  return ptr;
+}
+
+Histogram* Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second.get();
+  auto histogram = std::make_unique<Histogram>(std::string(name));
+  Histogram* ptr = histogram.get();
+  histograms_.emplace(std::string(name), std::move(histogram));
+  return ptr;
+}
+
+std::map<std::string, int64_t> Registry::Scrape() const {
+  // Copy instrument pointers under the registry lock, then read values
+  // outside it: Counter::Value() takes the counter's own mutex and must
+  // not nest under mu_ while another thread registers a cell.
+  std::vector<const Counter*> counters;
+  std::vector<const Gauge*> gauges;
+  std::vector<const Histogram*> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) counters.push_back(c.get());
+    for (const auto& [name, g] : gauges_) gauges.push_back(g.get());
+    for (const auto& [name, h] : histograms_) histograms.push_back(h.get());
+  }
+  std::map<std::string, int64_t> out;
+  for (const Counter* c : counters) out[c->name()] = c->Value();
+  for (const Gauge* g : gauges) out[g->name()] = g->Value();
+  for (const Histogram* h : histograms) {
+    Histogram::Snapshot snap = h->Snap();
+    out[h->name() + ".count"] = snap.count;
+    out[h->name() + ".sum"] = snap.sum;
+  }
+  return out;
+}
+
+std::string Registry::RenderText() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : Scrape()) {
+    os << name << " " << value << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace lafp::metrics

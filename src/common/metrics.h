@@ -1,0 +1,125 @@
+#ifndef LAFP_COMMON_METRICS_H_
+#define LAFP_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lafp::metrics {
+
+/// Process-wide metrics (DESIGN.md "Observability"). Three instrument
+/// kinds, all built on the same sharding scheme: each thread registers a
+/// private cache-line-sized cell of atomics on first touch (one mutex
+/// acquisition per thread per instrument, ever) and afterwards updates it
+/// with relaxed atomic ops — no contention on the hot path. Scrape() sums
+/// the cells. Instruments live in the leaky global Registry and are never
+/// destroyed, so cached pointers (including function-local statics at
+/// call sites) stay valid for the process lifetime.
+
+/// Monotonic counter.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Add(int64_t delta) {
+    ThisThreadCell()->fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  int64_t Value() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<int64_t> value{0};
+  };
+  std::atomic<int64_t>* ThisThreadCell();
+
+  std::string name_;
+  mutable std::mutex mu_;  // cell registration only
+  std::vector<std::unique_ptr<Cell>> cells_;
+};
+
+/// Last-write-wins gauge (a single atomic; gauges are set, not summed).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Power-of-two-bucket histogram for non-negative samples. Bucket i
+/// counts samples in [2^(i-1), 2^i) (bucket 0 counts zeros), capped at
+/// kBuckets-1 for the overflow tail.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 32;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  void Observe(int64_t sample);
+
+  struct Snapshot {
+    std::array<int64_t, kBuckets> buckets{};
+    int64_t count = 0;
+    int64_t sum = 0;
+  };
+  Snapshot Snap() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Cell {
+    std::array<std::atomic<int64_t>, kBuckets> buckets{};
+    std::atomic<int64_t> count{0};
+    std::atomic<int64_t> sum{0};
+  };
+  Cell* ThisThreadCell();
+
+  std::string name_;
+  mutable std::mutex mu_;  // cell registration only
+  std::vector<std::unique_ptr<Cell>> cells_;
+};
+
+/// Name-keyed instrument registry. GetCounter/GetGauge/GetHistogram
+/// create on first use and always return the same pointer for a name;
+/// instruments are never removed. Hot call sites should cache the
+/// pointer (e.g. `static auto* c = Registry::Global()->GetCounter(...)`).
+class Registry {
+ public:
+  static Registry* Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Current value of every instrument, sorted by name. Histograms
+  /// contribute "<name>.count" and "<name>.sum" entries.
+  std::map<std::string, int64_t> Scrape() const;
+
+  /// Human-readable dump of the scrape, one "name value" line each.
+  std::string RenderText() const;
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace lafp::metrics
+
+#endif  // LAFP_COMMON_METRICS_H_

@@ -1,6 +1,8 @@
 #include "dataframe/kernel_context.h"
 
+#include "common/metrics.h"
 #include "common/timer.h"
+#include "common/trace.h"
 
 namespace lafp::df {
 
@@ -39,6 +41,10 @@ KernelCountersScope::KernelCountersScope(KernelCounters* sink)
 
 KernelCountersScope::~KernelCountersScope() { tls_counters = prev_; }
 
+void MergeIntoCurrentSink(const KernelCounters& c) {
+  if (tls_counters != nullptr) tls_counters->Merge(c);
+}
+
 size_t NumMorsels(size_t n) {
   if (n == 0) return 0;
   const size_t morsel = KernelContext::Current().morsel_rows();
@@ -51,23 +57,38 @@ Status RunMorsels(size_t n,
   if (n == 0) return Status::OK();
   const KernelContext& ctx = KernelContext::Current();
   const size_t chunks = NumMorsels(n);
+  // Disabled-tracer cost here is one relaxed load (Span stays inert).
+  trace::Span span("kernel", "kernel");
   Timer timer;
   Status status;
+  bool forked = false;
   if (chunks == 1) {
     status = body(0, n);
   } else {
     const int64_t grain = static_cast<int64_t>(ctx.morsel_rows());
-    const bool fork = ctx.parallel();
+    forked = ctx.parallel();
     status = ParallelForStatus(
-        fork ? ctx.pool() : nullptr, int64_t{0}, static_cast<int64_t>(n),
+        forked ? ctx.pool() : nullptr, int64_t{0}, static_cast<int64_t>(n),
         grain, [&body](int64_t begin, int64_t end) {
           return body(static_cast<size_t>(begin), static_cast<size_t>(end));
         });
-    if (fork && tls_counters != nullptr) ++tls_counters->parallel_kernels;
+    if (forked && tls_counters != nullptr) ++tls_counters->parallel_kernels;
   }
+  const int64_t elapsed = timer.ElapsedMicros();
   if (tls_counters != nullptr) {
     tls_counters->morsels += static_cast<int64_t>(chunks);
-    tls_counters->kernel_micros += timer.ElapsedMicros();
+    tls_counters->kernel_micros += elapsed;
+  }
+  if (span.active()) {
+    span.AddArg("morsels", static_cast<int64_t>(chunks));
+    span.AddArg("rows", static_cast<int64_t>(n));
+    span.AddArg("parallel", forked ? 1 : 0);
+    static auto* morsel_counter =
+        metrics::Registry::Global()->GetCounter("kernel.morsels");
+    static auto* kernel_hist =
+        metrics::Registry::Global()->GetHistogram("kernel.micros");
+    morsel_counter->Add(static_cast<int64_t>(chunks));
+    kernel_hist->Observe(elapsed);
   }
   return status;
 }

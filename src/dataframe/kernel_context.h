@@ -1,6 +1,7 @@
 #ifndef LAFP_DATAFRAME_KERNEL_CONTEXT_H_
 #define LAFP_DATAFRAME_KERNEL_CONTEXT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
@@ -17,7 +18,47 @@ struct KernelCounters {
   int64_t morsels = 0;           // morsels executed through RunMorsels
   int64_t parallel_kernels = 0;  // kernels that actually forked onto a pool
   int64_t kernel_micros = 0;     // wall time spent inside RunMorsels
+
+  void Merge(const KernelCounters& other) {
+    morsels += other.morsels;
+    parallel_kernels += other.parallel_kernels;
+    kernel_micros += other.kernel_micros;
+  }
 };
+
+/// Atomic accumulator for kernel counters gathered on pool threads. A
+/// launcher that fans work out to partition workers (the Modin backend)
+/// hands each worker a local KernelCounters via KernelCountersScope, has
+/// the worker Add() its totals here, and after the join merges the sum
+/// back into its own thread's sink with MergeIntoCurrentSink — this is
+/// how cross-thread kernel work attributes to the owning node's
+/// NodeStats.
+class SharedKernelCounters {
+ public:
+  void Add(const KernelCounters& c) {
+    morsels_.fetch_add(c.morsels, std::memory_order_relaxed);
+    parallel_kernels_.fetch_add(c.parallel_kernels,
+                                std::memory_order_relaxed);
+    kernel_micros_.fetch_add(c.kernel_micros, std::memory_order_relaxed);
+  }
+
+  KernelCounters Snapshot() const {
+    KernelCounters c;
+    c.morsels = morsels_.load(std::memory_order_relaxed);
+    c.parallel_kernels = parallel_kernels_.load(std::memory_order_relaxed);
+    c.kernel_micros = kernel_micros_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+ private:
+  std::atomic<int64_t> morsels_{0};
+  std::atomic<int64_t> parallel_kernels_{0};
+  std::atomic<int64_t> kernel_micros_{0};
+};
+
+/// Add `c` into the calling thread's active KernelCounters sink (no-op
+/// when none is installed).
+void MergeIntoCurrentSink(const KernelCounters& c);
 
 /// Intra-operator parallelism context for the kernel layer (morsel-driven
 /// parallelism, HiFrames-style). A backend builds one KernelContext from

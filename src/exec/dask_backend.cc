@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "common/macros.h"
+#include "common/trace.h"
 #include "dataframe/kahan.h"
 #include "exec/agg_twophase.h"
 
@@ -793,6 +794,8 @@ bool DaskBackend::SupportsOp(const OpDesc& desc) const {
 
 Result<BackendValue> DaskBackend::Execute(
     const OpDesc& desc, const std::vector<BackendValue>& inputs) {
+  trace::Span span("dask:execute", "backend");
+  if (span.active()) span.AddArg("op", desc.ToString());
   auto node = std::make_shared<internal::DaskNode>();
   node->desc = desc;
   for (const auto& in : inputs) {

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/macros.h"
+#include "common/trace.h"
 #include "exec/agg_twophase.h"
 
 namespace lafp::exec {
@@ -33,6 +34,39 @@ BackendValue WrapParts(PartitionedFrame parts) {
   return BackendValue::Frame(std::make_shared<ModinFrame>(std::move(parts)));
 }
 
+/// Partition fan-out with cross-thread kernel attribution. Each worker
+/// runs `body(i)` with (a) the launcher's span installed as trace context
+/// — so the per-partition span, and any kernel spans under it, attribute
+/// to the owning scheduler node — and (b) a local KernelCounters sink
+/// whose totals are merged back into the launcher's active sink after the
+/// join. This is what makes NodeStats::kernel_micros/morsels include work
+/// done on partition-pool threads.
+template <typename Body>
+Status RunPartitions(ThreadPool* pool, size_t np, const char* what,
+                     Body&& body) {
+  const uint64_t parent = trace::Tracer::CurrentSpanId();
+  df::SharedKernelCounters shared;
+  Status status = ParallelForStatus(
+      pool, static_cast<int>(np), [&](int i) -> Status {
+        trace::SpanContextScope ctx(parent);
+        trace::Span span("partition", "task");
+        if (span.active()) {
+          span.AddArg("op", what);
+          span.AddArg("partition", i);
+        }
+        df::KernelCounters local;
+        Status s;
+        {
+          df::KernelCountersScope counters(&local);
+          s = body(i);
+        }
+        shared.Add(local);
+        return s;
+      });
+  df::MergeIntoCurrentSink(shared.Snapshot());
+  return status;
+}
+
 }  // namespace
 
 ModinBackend::ModinBackend(MemoryTracker* tracker,
@@ -58,6 +92,8 @@ bool ModinBackend::SupportsOp(const OpDesc& desc) const {
 
 Result<BackendValue> ModinBackend::Execute(
     const OpDesc& desc, const std::vector<BackendValue>& inputs) {
+  trace::Span span("modin:execute", "backend");
+  if (span.active()) span.AddArg("op", desc.ToString());
   switch (desc.kind) {
     case OpKind::kReadCsv: {
       // Partitioned read: chunked, but eager (all partitions in memory).
@@ -114,8 +150,8 @@ Result<BackendValue> ModinBackend::ExecuteMapOp(
   }
   size_t np = primary->num_partitions();
   std::vector<df::DataFrame> results(np);
-  LAFP_RETURN_NOT_OK(ParallelForStatus(
-      pool_.get(), static_cast<int>(np), [&](int i) -> Status {
+  LAFP_RETURN_NOT_OK(RunPartitions(
+      pool_.get(), np, "map", [&](int i) -> Status {
         PayOverhead();
         LAFP_ASSIGN_OR_RETURN(df::DataFrame part,
                               primary->partition(i, tracker_));
@@ -149,8 +185,8 @@ Result<BackendValue> ModinBackend::ExecuteGroupBy(
   // Partial aggregation is parallel; partials are folded in deterministic
   // partition order for reproducible output.
   std::vector<df::DataFrame> partial_inputs(np);
-  LAFP_RETURN_NOT_OK(ParallelForStatus(
-      pool_.get(), static_cast<int>(np), [&](int i) -> Status {
+  LAFP_RETURN_NOT_OK(RunPartitions(
+      pool_.get(), np, "groupby", [&](int i) -> Status {
         PayOverhead();
         LAFP_ASSIGN_OR_RETURN(df::DataFrame part,
                               parts->partition(i, tracker_));
@@ -193,8 +229,8 @@ Result<BackendValue> ModinBackend::ExecuteMerge(const OpDesc& desc,
   LAFP_ASSIGN_OR_RETURN(df::DataFrame right_full, rparts->ToEager(tracker_));
   size_t np = lparts->num_partitions();
   std::vector<df::DataFrame> results(np);
-  LAFP_RETURN_NOT_OK(ParallelForStatus(
-      pool_.get(), static_cast<int>(np), [&](int i) -> Status {
+  LAFP_RETURN_NOT_OK(RunPartitions(
+      pool_.get(), np, "merge", [&](int i) -> Status {
         PayOverhead();
         LAFP_ASSIGN_OR_RETURN(df::DataFrame part,
                               lparts->partition(i, tracker_));

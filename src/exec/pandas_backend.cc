@@ -1,6 +1,7 @@
 #include "exec/pandas_backend.h"
 
 #include "common/macros.h"
+#include "common/trace.h"
 
 namespace lafp::exec {
 
@@ -38,6 +39,8 @@ bool PandasBackend::SupportsOp(const OpDesc& desc) const {
 
 Result<BackendValue> PandasBackend::Execute(
     const OpDesc& desc, const std::vector<BackendValue>& inputs) {
+  trace::Span span("pandas:execute", "backend");
+  if (span.active()) span.AddArg("op", desc.ToString());
   df::KernelScope kernel_scope(&kernel_ctx_);
   std::vector<EagerValue> eager_inputs;
   eager_inputs.reserve(inputs.size());

@@ -7,6 +7,8 @@
 
 #include "common/fault.h"
 #include "common/macros.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace lafp::exec {
 
@@ -47,6 +49,13 @@ Status FailWrite(std::ofstream* out, const std::string& path,
 }  // namespace
 
 Status WriteSpillFile(const df::DataFrame& frame, const std::string& path) {
+  trace::Span span("spill:write", "io");
+  if (span.active()) {
+    span.AddArg("rows", static_cast<int64_t>(frame.num_rows()));
+  }
+  static auto* spill_writes =
+      metrics::Registry::Global()->GetCounter("spill.writes");
+  spill_writes->Increment();
   errno = 0;
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out.is_open()) {
@@ -113,6 +122,10 @@ Status WriteSpillFile(const df::DataFrame& frame, const std::string& path) {
 
 Result<df::DataFrame> ReadSpillFile(const std::string& path,
                                     MemoryTracker* tracker) {
+  trace::Span span("spill:read", "io");
+  static auto* spill_reads =
+      metrics::Registry::Global()->GetCounter("spill.reads");
+  spill_reads->Increment();
   LAFP_RETURN_NOT_OK(FaultPoint("spill.read"));
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {

@@ -6,7 +6,9 @@
 
 #include "common/fault.h"
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "dataframe/ops.h"
 
 namespace lafp::io {
@@ -251,6 +253,9 @@ Status CsvChunkReader::ParseRowInto(
 
 Result<std::optional<DataFrame>> CsvChunkReader::NextChunk(size_t rows) {
   if (rows == 0) return Status::Invalid("chunk size must be positive");
+  static auto* chunk_counter =
+      metrics::Registry::Global()->GetCounter("csv.chunks");
+  chunk_counter->Increment();
   LAFP_RETURN_NOT_OK(FaultPoint("csv.read"));
   bool exhausted =
       buffered_pos_ >= buffered_lines_.size() && (eof_ || !in_.good());
@@ -310,6 +315,8 @@ Result<std::optional<DataFrame>> CsvChunkReader::NextChunk(size_t rows) {
 Result<DataFrame> ReadCsv(const std::string& path,
                           const CsvReadOptions& options,
                           MemoryTracker* tracker) {
+  trace::Span span("csv:read", "io");
+  if (span.active()) span.AddArg("path", path);
   LAFP_ASSIGN_OR_RETURN(auto reader,
                         CsvChunkReader::Open(path, options, tracker));
   std::vector<DataFrame> chunks;
@@ -369,6 +376,11 @@ Status CsvWriteError(const std::string& path) {
 }  // namespace
 
 Status WriteCsv(const DataFrame& frame, const std::string& path) {
+  trace::Span span("csv:write", "io");
+  if (span.active()) {
+    span.AddArg("path", path);
+    span.AddArg("rows", static_cast<int64_t>(frame.num_rows()));
+  }
   errno = 0;
   LAFP_RETURN_NOT_OK(FaultPoint("csv.write"));
   std::ofstream out(path);

@@ -8,6 +8,7 @@
 
 #include "common/macros.h"
 #include "common/timer.h"
+#include "common/trace.h"
 
 namespace lafp::lazy {
 
@@ -31,7 +32,11 @@ std::string ExecutionReport::ToString() const {
      << " kernel_us=" << kernel_micros << " morsels=" << kernel_morsels
      << " parallel_kernels=" << parallel_kernels << "]\n";
   for (const auto& p : passes) {
-    os << "  pass " << p.name << ": " << p.wall_micros << "us\n";
+    os << "  pass " << p.name << ": " << p.wall_micros << "us";
+    if (p.nodes_before >= 0) {
+      os << " nodes " << p.nodes_before << "->" << p.nodes_after;
+    }
+    os << "\n";
   }
   for (const auto& n : nodes) {
     os << "  node " << n.node_id << " " << n.op << ": " << n.wall_micros
@@ -158,6 +163,11 @@ Status Scheduler::RunSerial(const std::vector<TaskNodePtr>& order,
     NodeStats stats;
     stats.node_id = n->id;
     stats.is_print = n->is_print();
+    trace::Span span(n->is_print() ? "print" : "node", "node");
+    if (span.active()) {
+      span.AddArg("node_id", n->id);
+      span.AddArg("op", n->desc.ToString());
+    }
     Timer timer;
     if (n->is_print()) {
       if (!n->print_done) {
@@ -185,6 +195,13 @@ Status Scheduler::RunSerial(const std::vector<TaskNodePtr>& order,
       if (report != nullptr) ++report->nodes_executed;
     }
     stats.wall_micros = timer.ElapsedMicros();
+    if (span.active()) {
+      span.AddArg("rows_in", stats.rows_in);
+      span.AddArg("rows_out", stats.rows_out);
+      span.AddArg("kernel_micros", stats.kernel_micros);
+      span.AddArg("morsels", stats.morsels);
+      if (stats.fallback) span.AddArg("fallback", 1);
+    }
     if (report != nullptr) {
       report->kernel_micros += stats.kernel_micros;
       report->kernel_morsels += stats.morsels;
@@ -281,6 +298,11 @@ Status Scheduler::RunParallel(const std::vector<TaskNodePtr>& order,
     }
   }
 
+  // The caller's span context (the round span), captured here and
+  // installed on each worker so node spans attribute to the round even
+  // though they open on pool threads.
+  const uint64_t round_span = trace::Tracer::CurrentSpanId();
+
   // Runs one ready node on a pool worker, then (under the lock) records
   // stats, releases dependents, and applies §2.6 clearing for inputs whose
   // last in-round consumer has now finished. Dispatching new ready nodes
@@ -300,21 +322,39 @@ Status Scheduler::RunParallel(const std::vector<TaskNodePtr>& order,
       wg.Done();
       return;
     }
-    Timer timer;
-    if (n->is_print()) {
-      if (!n->print_done) {
-        status = callbacks_.emit_print(n, &stats);
-        if (status.ok()) {
-          n->print_done = true;
-          n->executed = true;
-          emitted_print = true;
-        }
+    {
+      // Scoped so the span is recorded before wg.Done(): once the group
+      // count reaches zero Run() may return, and a caller snapshotting
+      // the tracer right after must see every node span of the round.
+      trace::SpanContextScope round_ctx(round_span);
+      trace::Span span(n->is_print() ? "print" : "node", "node");
+      if (span.active()) {
+        span.AddArg("node_id", n->id);
+        span.AddArg("op", n->desc.ToString());
       }
-    } else if (!n->has_result()) {
-      status = callbacks_.exec_node(n, &stats);
-      executed_node = status.ok();
+      Timer timer;
+      if (n->is_print()) {
+        if (!n->print_done) {
+          status = callbacks_.emit_print(n, &stats);
+          if (status.ok()) {
+            n->print_done = true;
+            n->executed = true;
+            emitted_print = true;
+          }
+        }
+      } else if (!n->has_result()) {
+        status = callbacks_.exec_node(n, &stats);
+        executed_node = status.ok();
+      }
+      stats.wall_micros = timer.ElapsedMicros();
+      if (span.active()) {
+        span.AddArg("rows_in", stats.rows_in);
+        span.AddArg("rows_out", stats.rows_out);
+        span.AddArg("kernel_micros", stats.kernel_micros);
+        span.AddArg("morsels", stats.morsels);
+        if (stats.fallback) span.AddArg("fallback", 1);
+      }
     }
-    stats.wall_micros = timer.ElapsedMicros();
 
     {
       std::lock_guard<std::mutex> lock(mu);

@@ -25,12 +25,13 @@ struct NodeStats {
   bool is_print = false;
   int64_t rows_in = -1;      // sum of frame-input rows; -1 = unknown
   int64_t rows_out = -1;     // result rows; -1 = unknown (lazy plan)
-  // Intra-operator kernel activity on the node's executing thread
+  // Intra-operator kernel activity attributed to this node
   // (df::KernelCounters): time inside kernel morsel loops, morsels
   // processed (one per invocation when intra_op_threads = 0), and how
   // many kernel invocations actually forked to the kernel pool. Kernels
-  // run by Modin partition workers are not attributed (no counters sink
-  // propagates across pool threads).
+  // run by Modin partition workers are included: each worker records into
+  // a local sink that the launching thread merges back
+  // (df::SharedKernelCounters + MergeIntoCurrentSink).
   int64_t kernel_micros = 0;
   int64_t morsels = 0;
   int64_t parallel_kernels = 0;
@@ -61,6 +62,10 @@ struct ExecutionReport {
   struct PassStat {
     std::string name;
     int64_t wall_micros = 0;
+    // Plan delta: reachable task-graph size before/after the pass ran
+    // (-1 = not measured, e.g. stats collection off).
+    int64_t nodes_before = -1;
+    int64_t nodes_after = -1;
   };
   std::vector<PassStat> passes;  // optimizer passes, in registration order
   std::vector<NodeStats> nodes;  // sorted by node_id (deterministic)

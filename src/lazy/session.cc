@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "dataframe/kernel_context.h"
 
 namespace lafp::lazy {
@@ -73,6 +75,11 @@ Session::Session(SessionOptions options)
     fault_scope_ = std::make_unique<FaultScope>(options_.fault_config);
     fault_status_ = fault_scope_->status();
   }
+  if (options_.exec.trace) trace::Tracer::Global()->set_enabled(true);
+  // Inert when the tracer stayed off (neither the option nor LAFP_TRACE).
+  session_span_ = std::make_unique<trace::Span>(
+      std::string("session:") + backend_->name(), "session",
+      /*parent_id=*/0, /*install=*/false);
 }
 
 Session::~Session() = default;
@@ -223,19 +230,40 @@ Status Session::ExecuteRound(const std::vector<TaskNodePtr>& roots,
   // constructor; it fails the first round instead of being ignored.
   LAFP_RETURN_NOT_OK(fault_status_);
   Timer round_timer;
+  // Per-round memory epoch: ExecutionReport::peak_tracked_bytes is this
+  // round's own high-water mark, not the process-lifetime peak.
+  tracker_->ResetRoundPeak();
+  trace::Span round_span("round:" + std::to_string(num_rounds_), "round",
+                         session_span_->id(), /*install=*/true);
   ExecutionReport report;
   report.backend = backend_->name();
 
+  // Plan-delta accounting for pass stats: reachable graph size before and
+  // after each pass (one TopoSort per measurement, stats-gated).
+  const bool plan_deltas = options_.exec.collect_stats;
+  int64_t nodes_before =
+      plan_deltas ? static_cast<int64_t>(TaskGraph::TopoSort(roots).size())
+                  : -1;
   for (const auto& pass : optimizer_passes_) {
     Timer pass_timer;
+    trace::Span pass_span("pass:" + pass->name(), "pass");
     Status pass_status = pass->Run(this, roots, live);
-    report.passes.push_back({pass->name(), pass_timer.ElapsedMicros()});
+    int64_t nodes_after =
+        plan_deltas ? static_cast<int64_t>(TaskGraph::TopoSort(roots).size())
+                    : -1;
+    if (pass_span.active()) {
+      pass_span.AddArg("nodes_before", nodes_before);
+      pass_span.AddArg("nodes_after", nodes_after);
+    }
+    report.passes.push_back(
+        {pass->name(), pass_timer.ElapsedMicros(), nodes_before, nodes_after});
+    nodes_before = nodes_after;
     if (!pass_status.ok()) {
       // Record the failed round: leaving the previous round's report in
       // last_report_ makes callers (fuzzer iterations, retry loops)
       // read stale stats as if this round had succeeded.
       report.wall_micros = round_timer.ElapsedMicros();
-      report.peak_tracked_bytes = tracker_->peak();
+      report.peak_tracked_bytes = tracker_->round_peak();
       last_report_ = std::move(report);
       ++num_rounds_;
       return pass_status;
@@ -278,7 +306,16 @@ Status Session::ExecuteRound(const std::vector<TaskNodePtr>& roots,
 
   num_results_cleared_ += report.results_cleared;
   report.wall_micros = round_timer.ElapsedMicros();
-  report.peak_tracked_bytes = tracker_->peak();
+  report.peak_tracked_bytes = tracker_->round_peak();
+  if (round_span.active()) {
+    round_span.AddArg("nodes_executed", report.nodes_executed);
+    round_span.AddArg("nodes_reused", report.nodes_reused);
+    round_span.AddArg("peak_bytes", report.peak_tracked_bytes);
+    round_span.AddArg("parallel", report.parallel ? 1 : 0);
+  }
+  static auto* rounds_counter =
+      metrics::Registry::Global()->GetCounter("session.rounds");
+  rounds_counter->Increment();
   last_report_ = std::move(report);
   ++num_rounds_;
   return status;
@@ -297,8 +334,12 @@ Status Session::ExecNode(const TaskNodePtr& node, NodeStats* stats) {
   if (stats != nullptr) {
     stats->op = node->desc.ToString();
     stats->backend = backend_->name();
-    for (const auto& in : inputs) {
-      int64_t rows = backend_->RowCount(in);
+    // Count each distinct upstream result once: a frame feeding both
+    // sides of a self-merge is still one input frame.
+    std::unordered_set<const TaskNode*> seen_inputs;
+    for (const auto& in : node->inputs) {
+      if (!seen_inputs.insert(in.get()).second) continue;
+      int64_t rows = backend_->RowCount(in->result);
       if (rows >= 0) {
         stats->rows_in = (stats->rows_in < 0 ? 0 : stats->rows_in) + rows;
       }
@@ -306,8 +347,9 @@ Status Session::ExecNode(const TaskNodePtr& node, NodeStats* stats) {
   }
   num_node_executions_.fetch_add(1, std::memory_order_relaxed);
   // Kernel counters accumulate in thread-local storage for the duration
-  // of this node's execution (this thread only — Modin partition workers
-  // are not attributed), then flow into the stats record.
+  // of this node's execution, then flow into the stats record. Backends
+  // that fan out to partition workers merge worker-side counters back
+  // into this sink (df::MergeIntoCurrentSink) before Execute returns.
   df::KernelCounters counters;
   Status exec_status;
   {
@@ -317,6 +359,11 @@ Status Session::ExecNode(const TaskNodePtr& node, NodeStats* stats) {
     // and the graceful-degradation retry below.
     auto eager_fallback = [&]() -> Status {
       if (stats != nullptr) stats->fallback = true;
+      trace::Instant("fallback", "fallback",
+                     {trace::StrArg("op", node->desc.ToString())});
+      static auto* fallback_counter =
+          metrics::Registry::Global()->GetCounter("session.fallbacks");
+      fallback_counter->Increment();
       std::vector<exec::EagerValue> eager_inputs;
       for (const auto& in : inputs) {
         LAFP_ASSIGN_OR_RETURN(exec::EagerValue v, backend_->Materialize(in));
@@ -368,6 +415,10 @@ Status Session::EmitPrint(const TaskNodePtr& node, NodeStats* stats) {
     stats->op = node->desc.ToString();
     stats->backend = backend_->name();
   }
+  // Materializing print arguments can run kernels; attribute them to the
+  // print node like ExecNode attributes execution kernels.
+  df::KernelCounters counters;
+  df::KernelCountersScope counters_scope(&counters);
   // Substitute each placeholder with the display form of the
   // corresponding input (f-string escape IDs, §3.3).
   std::string rendered;
@@ -395,6 +446,11 @@ Status Session::EmitPrint(const TaskNodePtr& node, NodeStats* stats) {
     i = end + 1;
   }
   out() << rendered << "\n";
+  if (stats != nullptr) {
+    stats->kernel_micros = counters.kernel_micros;
+    stats->morsels = counters.morsels;
+    stats->parallel_kernels = counters.parallel_kernels;
+  }
   return Status::OK();
 }
 

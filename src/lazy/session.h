@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/trace.h"
 #include "exec/backend.h"
 #include "lazy/scheduler.h"
 #include "lazy/task_graph.h"
@@ -59,6 +60,11 @@ struct ExecutionOptions {
   /// analogues) always surface — those are program errors, not backend
   /// limitations.
   bool graceful_fallback = true;
+  /// Enable the structured tracer (common/trace.h) for this session:
+  /// session/round/pass/node/kernel spans are recorded into the global
+  /// tracer for Chrome-JSON or EXPLAIN ANALYZE export. Independent of the
+  /// LAFP_TRACE env knob (either can switch the tracer on).
+  bool trace = false;
 };
 
 struct SessionOptions {
@@ -154,6 +160,11 @@ class SessionOptions::Builder {
   }
   Builder& graceful_fallback(bool on) {
     opts_.exec.graceful_fallback = on;
+    return *this;
+  }
+  /// Enable structured tracing (spans into trace::Tracer::Global()).
+  Builder& trace(bool on) {
+    opts_.exec.trace = on;
     return *this;
   }
   Builder& spill_fallback_dir(std::string dir) {
@@ -306,6 +317,10 @@ class Session {
   /// partition pool so a scheduler worker blocking in Backend::Execute can
   /// never starve the backend's own ParallelFor.
   std::unique_ptr<ThreadPool> scheduler_pool_;
+  /// Session-lifetime trace span (inert when tracing is off). Never
+  /// installed as thread context — sessions are not LIFO on a thread;
+  /// execution rounds parent to it by explicit id.
+  std::unique_ptr<trace::Span> session_span_;
   TaskGraph graph_;
   std::vector<TaskNodePtr> pending_prints_;
   TaskNodePtr last_print_;

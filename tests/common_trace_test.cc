@@ -1,0 +1,286 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "lazy/fat_dataframe.h"
+
+namespace lafp {
+namespace {
+
+using lazy::ExecutionReport;
+using lazy::FatDataFrame;
+using lazy::Session;
+using lazy::SessionOptions;
+using trace::Event;
+using trace::Tracer;
+
+/// Enables the global tracer for one test and restores the previous
+/// state (the tracer is process-global; tests must not leak enablement).
+class TracerScope {
+ public:
+  TracerScope() : prev_(Tracer::Global()->enabled()) {
+    Tracer::Global()->set_enabled(true);
+    Tracer::Global()->Clear();
+  }
+  ~TracerScope() {
+    Tracer::Global()->set_enabled(prev_);
+    Tracer::Global()->Clear();
+  }
+
+ private:
+  bool prev_;
+};
+
+std::map<uint64_t, Event> SpansById(const std::vector<Event>& events) {
+  std::map<uint64_t, Event> spans;
+  for (const auto& e : events) {
+    if (e.span_id != 0 && e.dur_micros >= 0) spans[e.span_id] = e;
+  }
+  return spans;
+}
+
+int64_t IntArgOf(const Event& e, const std::string& key, int64_t missing) {
+  for (const auto& a : e.args) {
+    if (a.key == key && !a.is_string) return a.int_value;
+  }
+  return missing;
+}
+
+// Span hierarchy under the parallel scheduler: one round span per
+// execution round; every node span is a child of it regardless of which
+// pool thread executed the node; kernel/backend spans chain up to a node
+// span. This test runs threaded and is part of the tsan-scheduler suite.
+TEST(TraceTest, SpanNestingUnderParallelScheduler) {
+  TracerScope tracing;
+
+  std::string dir = ::testing::TempDir() + "trace_sched";
+  std::filesystem::create_directories(dir);
+  std::string csv = dir + "/data.csv";
+  {
+    std::ofstream out(csv);
+    out << "a,b\n";
+    for (int i = 0; i < 2000; ++i) out << i << "," << (i % 13) << "\n";
+  }
+
+  std::stringstream output;
+  Session session(SessionOptions::Builder()
+                      .threads(4)
+                      .output(&output)
+                      .Build());
+  auto df = FatDataFrame::ReadCsv(&session, csv);
+  ASSERT_TRUE(df.ok());
+  auto left = df->Head(100);
+  ASSERT_TRUE(left.ok());
+  auto right = df->Head(200);
+  ASSERT_TRUE(right.ok());
+  auto joined = FatDataFrame::Concat(&session, {*left, *right});
+  ASSERT_TRUE(joined.ok());
+  auto eager = joined->Compute();
+  ASSERT_TRUE(eager.ok()) << eager.status().ToString();
+  ASSERT_TRUE(session.last_report().parallel);
+
+  std::vector<Event> events = Tracer::Global()->Snapshot();
+  std::map<uint64_t, Event> spans = SpansById(events);
+
+  uint64_t round_id = 0;
+  std::set<uint64_t> node_ids;
+  int round_count = 0;
+  for (const auto& [id, e] : spans) {
+    if (e.category == "round") {
+      ++round_count;
+      round_id = id;
+    }
+    if (e.category == "node") node_ids.insert(id);
+  }
+  EXPECT_EQ(round_count, 1);
+  ASSERT_NE(round_id, 0u);
+  // Four executed nodes: read, head, head, concat.
+  EXPECT_EQ(node_ids.size(), 4u);
+
+  for (uint64_t id : node_ids) {
+    const Event& node = spans[id];
+    EXPECT_EQ(node.parent_id, round_id) << node.name;
+    // Parent started no later than the child (same steady-clock epoch).
+    EXPECT_LE(spans[round_id].ts_micros, node.ts_micros);
+    // Every node span carries its graph node id.
+    EXPECT_GE(IntArgOf(node, "node_id", -1), 0) << node.name;
+  }
+  // Every kernel/backend span reaches a node span through parent links.
+  for (const auto& [id, e] : spans) {
+    if (e.category != "kernel" && e.category != "backend") continue;
+    uint64_t cursor = e.parent_id;
+    bool reached_node = false;
+    for (int hops = 0; hops < 16 && cursor != 0; ++hops) {
+      auto it = spans.find(cursor);
+      if (it == spans.end()) break;
+      if (it->second.category == "node") {
+        reached_node = true;
+        break;
+      }
+      cursor = it->second.parent_id;
+    }
+    EXPECT_TRUE(reached_node) << e.category << " " << e.name;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// Chrome trace_event JSON schema: exact golden output for one complete
+// span and one instant event (timestamps and ids are controlled by
+// recording Event structs directly; tid is normalized).
+TEST(TraceTest, ChromeJsonGolden) {
+  TracerScope tracing;
+  Tracer* tracer = Tracer::Global();
+
+  Event span;
+  span.name = "node";
+  span.category = "node";
+  span.ts_micros = 10;
+  span.dur_micros = 5;
+  span.span_id = 7;
+  span.parent_id = 3;
+  span.args.push_back(trace::IntArg("rows", 42));
+  span.args.push_back(trace::StrArg("op", "head\"n\""));
+  tracer->Record(std::move(span));
+
+  Event instant;
+  instant.name = "fault:spill.write";
+  instant.category = "fault";
+  instant.ts_micros = 12;
+  instant.dur_micros = -1;
+  instant.parent_id = 7;
+  tracer->Record(std::move(instant));
+
+  std::string json = tracer->ChromeTraceJson();
+  // Normalize the dense thread id (assigned process-wide, so its value
+  // depends on how many threads traced before this test).
+  std::string tid = std::to_string(Tracer::CurrentThreadId());
+  std::string needle = "\"tid\":" + tid;
+  size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    json.replace(pos, needle.size(), "\"tid\":0");
+    pos += 8;
+  }
+
+  EXPECT_EQ(json,
+            "{\"traceEvents\":["
+            "{\"name\":\"node\",\"cat\":\"node\",\"pid\":1,\"tid\":0,"
+            "\"ts\":10,\"ph\":\"X\",\"dur\":5,"
+            "\"args\":{\"span_id\":7,\"parent\":3,\"rows\":42,"
+            "\"op\":\"head\\\"n\\\"\"}},"
+            "{\"name\":\"fault:spill.write\",\"cat\":\"fault\",\"pid\":1,"
+            "\"tid\":0,\"ts\":12,\"ph\":\"i\",\"s\":\"t\","
+            "\"args\":{\"span_id\":0,\"parent\":7}}"
+            "],\"displayTimeUnit\":\"ms\"}");
+}
+
+// Spans record their IDs, parents and LIFO context correctly on one
+// thread, and SpanContextScope carries an explicit parent across.
+TEST(TraceTest, SpanContextInstallAndRestore) {
+  TracerScope tracing;
+  EXPECT_EQ(Tracer::CurrentSpanId(), 0u);
+  uint64_t outer_id = 0;
+  uint64_t inner_id = 0;
+  {
+    trace::Span outer("outer", "test");
+    outer_id = outer.id();
+    EXPECT_EQ(Tracer::CurrentSpanId(), outer_id);
+    {
+      trace::Span inner("inner", "test");
+      inner_id = inner.id();
+      EXPECT_EQ(Tracer::CurrentSpanId(), inner_id);
+    }
+    EXPECT_EQ(Tracer::CurrentSpanId(), outer_id);
+    {
+      trace::SpanContextScope ctx(12345);
+      EXPECT_EQ(Tracer::CurrentSpanId(), 12345u);
+    }
+    EXPECT_EQ(Tracer::CurrentSpanId(), outer_id);
+  }
+  EXPECT_EQ(Tracer::CurrentSpanId(), 0u);
+
+  std::map<uint64_t, Event> spans = SpansById(Tracer::Global()->Snapshot());
+  ASSERT_EQ(spans.count(outer_id), 1u);
+  ASSERT_EQ(spans.count(inner_id), 1u);
+  EXPECT_EQ(spans[inner_id].parent_id, outer_id);
+  EXPECT_EQ(spans[outer_id].parent_id, 0u);
+}
+
+// Disabled tracer: spans are inert and record nothing.
+TEST(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer* tracer = Tracer::Global();
+  bool prev = tracer->enabled();
+  tracer->set_enabled(false);
+  tracer->Clear();
+  {
+    trace::Span span("noop", "test");
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(span.id(), 0u);
+    trace::Instant("noop", "test");
+  }
+  EXPECT_TRUE(tracer->Snapshot().empty());
+  tracer->set_enabled(prev);
+}
+
+// Metrics shards merge correctly under concurrency: 8 threads hammer one
+// counter and one histogram; totals must be exact.
+TEST(MetricsTest, ShardMergeUnderEightThreads) {
+  auto* registry = metrics::Registry::Global();
+  auto* counter = registry->GetCounter("test.shard_merge.counter");
+  auto* hist = registry->GetHistogram("test.shard_merge.hist");
+  const int64_t base = counter->Value();
+  const metrics::Histogram::Snapshot base_snap = hist->Snap();
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        counter->Add(2);
+        hist->Observe(t);  // per-thread constant: bucket counts checkable
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(counter->Value() - base, int64_t{2} * kThreads * kIters);
+  metrics::Histogram::Snapshot snap = hist->Snap();
+  EXPECT_EQ(snap.count - base_snap.count, int64_t{kThreads} * kIters);
+  int64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) expected_sum += int64_t{t} * kIters;
+  EXPECT_EQ(snap.sum - base_snap.sum, expected_sum);
+  // Sample value 0 lands in bucket 0; value 1 in bucket 1.
+  EXPECT_EQ(snap.buckets[0] - base_snap.buckets[0], kIters);
+  EXPECT_EQ(snap.buckets[1] - base_snap.buckets[1], kIters);
+
+  // Same-name lookup returns the same instrument; scrape sees the totals.
+  EXPECT_EQ(registry->GetCounter("test.shard_merge.counter"), counter);
+  auto scraped = registry->Scrape();
+  EXPECT_EQ(scraped["test.shard_merge.counter"], counter->Value());
+  EXPECT_EQ(scraped["test.shard_merge.hist.count"], snap.count);
+}
+
+// Registry gauges are last-write-wins and scrape renders text.
+TEST(MetricsTest, GaugeAndRenderText) {
+  auto* registry = metrics::Registry::Global();
+  auto* gauge = registry->GetGauge("test.gauge");
+  gauge->Set(17);
+  EXPECT_EQ(gauge->Value(), 17);
+  gauge->Set(-3);
+  EXPECT_EQ(gauge->Value(), -3);
+  std::string text = registry->RenderText();
+  EXPECT_NE(text.find("test.gauge -3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lafp

@@ -4,8 +4,10 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "common/timer.h"
+#include "lazy/fat_dataframe.h"
 
 namespace lafp::exec {
 namespace {
@@ -146,6 +148,57 @@ TEST_F(ModinTest, BudgetedReadFails) {
   auto backend = MakeModin(&tiny);
   auto frame = Read(backend.get());
   EXPECT_TRUE(frame.status().IsOutOfMemory());
+}
+
+// Kernels run by Modin partition workers are attributed to their node's
+// NodeStats: each worker records into a local sink that the launching
+// thread merges back (df::SharedKernelCounters). A parallel Modin round
+// must therefore report nonzero kernel_micros and morsels.
+TEST_F(ModinTest, ParallelRoundAttributesWorkerKernels) {
+  // Big enough that per-partition kernel time measures above the Timer's
+  // microsecond resolution.
+  std::string big_csv = dir_ + "/big.csv";
+  {
+    std::ofstream out(big_csv);
+    out << "id,v,grp\n";
+    for (int i = 0; i < 200000; ++i) {
+      out << i << "," << (i % 1000) << "," << (i % 7) << "\n";
+    }
+  }
+  MemoryTracker tracker(0);
+  std::stringstream output;
+  lazy::Session session(lazy::SessionOptions::Builder()
+                            .backend(BackendKind::kModin)
+                            .threads(4)
+                            .partition_rows(4096)
+                            .tracker(&tracker)
+                            .output(&output)
+                            .Build());
+  auto frame = lazy::FatDataFrame::ReadCsv(&session, big_csv);
+  ASSERT_TRUE(frame.ok());
+  auto v = frame->Col("v");
+  ASSERT_TRUE(v.ok());
+  auto scaled = v->ArithScalar(df::ArithOp::kMul, Scalar::Int(3));
+  ASSERT_TRUE(scaled.ok());
+  auto shifted = scaled->ArithScalar(df::ArithOp::kAdd, Scalar::Int(1));
+  ASSERT_TRUE(shifted.ok());
+  auto eager = shifted->Compute();
+  ASSERT_TRUE(eager.ok()) << eager.status().ToString();
+
+  const lazy::ExecutionReport& report = session.last_report();
+  EXPECT_TRUE(report.parallel);
+  // Worker-side kernel activity flowed into the round totals.
+  EXPECT_GT(report.kernel_morsels, 0);
+  EXPECT_GT(report.kernel_micros, 0);
+  // And into the individual map nodes: each arith node ran one kernel per
+  // partition (200000 / 4096 -> 49 partitions).
+  bool found_arith = false;
+  for (const auto& n : report.nodes) {
+    if (n.op.find("arith") == std::string::npos) continue;
+    found_arith = true;
+    EXPECT_GE(n.morsels, 49) << n.op;
+  }
+  EXPECT_TRUE(found_arith);
 }
 
 }  // namespace

@@ -560,5 +560,79 @@ TEST(SchedulerCancellationTest, SessionRoundReportsCancelledNodes) {
   std::filesystem::remove_all(dir);
 }
 
+// A frame used as both sides of a self-merge is one upstream input:
+// rows_in counts each distinct input result once, not per edge.
+TEST_F(LazySchedulerTest, SelfMergeCountsInputRowsOnce) {
+  std::stringstream output;
+  auto session = MakeSession(1, &output);
+  auto df = FatDataFrame::ReadCsv(session.get(), csv_path_);
+  ASSERT_TRUE(df.ok());
+  auto keys = df->Select({"day", "passengers"});
+  ASSERT_TRUE(keys.ok());
+  auto joined = keys->Merge(*keys, {"day"}, df::JoinType::kInner);
+  ASSERT_TRUE(joined.ok());
+  auto eager = joined->Compute();
+  ASSERT_TRUE(eager.ok()) << eager.status().ToString();
+
+  const ExecutionReport& report = session->last_report();
+  bool found_merge = false;
+  for (const auto& n : report.nodes) {
+    if (n.op.find("merge") == std::string::npos) continue;
+    found_merge = true;
+    // 500 input rows, not 1000 (both edges reach the same select node).
+    EXPECT_EQ(n.rows_in, 500);
+  }
+  EXPECT_TRUE(found_merge);
+}
+
+// ExecutionReport::peak_tracked_bytes is the round's own high-water mark,
+// not the process-lifetime MemoryTracker peak: a small second round must
+// report a smaller peak than a big first round.
+TEST_F(LazySchedulerTest, PeakTrackedBytesIsPerRound) {
+  std::string big_csv = dir_ + "/big.csv";
+  {
+    std::ofstream out(big_csv);
+    out << "a,b\n";
+    for (int i = 0; i < 50000; ++i) {
+      out << i << "," << (i % 97) << "\n";
+    }
+  }
+  std::string small_csv = dir_ + "/small.csv";
+  {
+    std::ofstream out(small_csv);
+    out << "a,b\n";
+    for (int i = 0; i < 10; ++i) {
+      out << i << "," << i << "\n";
+    }
+  }
+  std::stringstream output;
+  auto session = MakeSession(1, &output);
+
+  // Round 1: large read whose root is a scalar, so §2.6 clearing releases
+  // the frames before the round ends.
+  auto big = FatDataFrame::ReadCsv(session.get(), big_csv);
+  ASSERT_TRUE(big.ok());
+  auto big_len = big->Len();
+  ASSERT_TRUE(big_len.ok());
+  auto v1 = big_len->Value();
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  const int64_t round1_peak = session->last_report().peak_tracked_bytes;
+  EXPECT_GT(round1_peak, 0);
+
+  // Round 2: tiny read. Under the old lifetime-peak reporting this round
+  // would still show round 1's number.
+  auto small = FatDataFrame::ReadCsv(session.get(), small_csv);
+  ASSERT_TRUE(small.ok());
+  auto small_len = small->Len();
+  ASSERT_TRUE(small_len.ok());
+  auto v2 = small_len->Value();
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  const int64_t round2_peak = session->last_report().peak_tracked_bytes;
+  EXPECT_GT(round2_peak, 0);
+  EXPECT_LT(round2_peak, round1_peak);
+  // The lifetime peak is unaffected by the round epochs.
+  EXPECT_GE(tracker_.peak(), round1_peak);
+}
+
 }  // namespace
 }  // namespace lafp::lazy

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/trace.h"
 #include "testing/fuzzer.h"
 
 namespace {
@@ -30,6 +31,8 @@ void Usage() {
       << "  --faults          add the fault-injection axis: each program\n"
       << "                    also runs with injected IO/OOM/exec faults;\n"
       << "                    clean failure or identical output required\n"
+      << "  --trace PATH      enable structured tracing and write a\n"
+      << "                    Chrome trace_event JSON to PATH at exit\n"
       << "  --no-shrink       keep failing programs unminimized\n"
       << "  --shrink-budget N predicate evaluations per shrink (400)\n"
       << "  --max-statements N program length cap (default 12)\n"
@@ -56,6 +59,7 @@ bool ParseInt(const char* text, int* out) {
 int main(int argc, char** argv) {
   lafp::testing::FuzzOptions options;
   options.log = &std::cerr;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -108,6 +112,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.corpus_file = v;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      const char* v = next();
+      if (v == nullptr) {
+        Usage();
+        return 2;
+      }
+      trace_path = v;
+      lafp::trace::Tracer::Global()->set_enabled(true);
     } else if (std::strcmp(arg, "--faults") == 0) {
       options.faults = true;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
@@ -148,6 +160,15 @@ int main(int argc, char** argv) {
     std::cout << "  seed " << d.program_seed << " under " << d.config_name;
     if (!d.corpus_path.empty()) std::cout << " -> " << d.corpus_path;
     std::cout << "\n";
+  }
+  if (!trace_path.empty()) {
+    lafp::Status trace_status =
+        lafp::trace::Tracer::Global()->WriteChromeTrace(trace_path);
+    if (!trace_status.ok()) {
+      std::cerr << "trace export failed: " << trace_status.ToString() << "\n";
+    } else {
+      std::cout << "trace written to " << trace_path << "\n";
+    }
   }
   return stats.divergences.empty() ? 0 : 1;
 }
