@@ -122,6 +122,10 @@ BenchResult RunBenchmark(const std::string& program_name,
                                    : DefaultOverheadUs(config.backend);
   std::stringstream output;
   opts.output = &output;
+  if (config.result_cache != nullptr) {
+    opts.cache.enabled = true;
+    opts.cache.cache = config.result_cache;
+  }
 
   script::RunOptions run_opts;
   run_opts.analyze = config.optimized;

@@ -2,11 +2,13 @@
 #define LAFP_BENCH_HARNESS_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "exec/backend.h"
+#include "lazy/result_cache.h"
 #include "testing/datagen.h"
 
 namespace lafp::bench {
@@ -46,6 +48,12 @@ struct BenchConfig {
   /// Simulated per-task scheduling overhead (µs); defaults below mirror
   /// the paper's observation that Dask/Modin trail Pandas in memory.
   int64_t task_overhead_us = -1;  // -1 = per-backend default
+
+  /// Cross-query plan/result cache (lazy/result_cache.h) shared across
+  /// RunBenchmark calls — the warm-vs-cold repeated-program comparison.
+  /// Null = cross-query caching off (the default; unrelated to the §3.5
+  /// enable_caching persist-hint knob above).
+  std::shared_ptr<lazy::ResultCache> result_cache;
 };
 
 /// Display name ("Pandas", "LDask", ...) as used in the paper's figures.

@@ -74,6 +74,8 @@ const char* OpKindName(OpKind kind) {
       return "isin";
     case OpKind::kConcat:
       return "concat";
+    case OpKind::kMaterialized:
+      return "materialized";
   }
   return "?";
 }
@@ -188,6 +190,7 @@ std::string OpDesc::Fingerprint() const {
 int ExpectedArity(const OpDesc& desc) {
   switch (desc.kind) {
     case OpKind::kReadCsv:
+    case OpKind::kMaterialized:
       return 0;
     case OpKind::kFilter:
     case OpKind::kBooleanAnd:

@@ -47,6 +47,8 @@ enum class OpKind : int {
   kLen,             // len(df) -> scalar (lazy integer)
   kIsIn,            // col.isin([...]) -> bool series
   kConcat,          // pd.concat([a, b, ...]) (variadic)
+  kMaterialized,    // leaf carrying a cached result (cache splice); the
+                    // payload lives on the TaskNode, never in OpDesc
 };
 
 const char* OpKindName(OpKind kind);

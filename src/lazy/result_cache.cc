@@ -1,0 +1,462 @@
+#include "lazy/result_cache.h"
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "lazy/session.h"
+
+namespace lafp::lazy {
+
+namespace {
+
+metrics::Counter* HitsCounter() {
+  static auto* c = metrics::Registry::Global()->GetCounter("cache.hits");
+  return c;
+}
+metrics::Counter* MissesCounter() {
+  static auto* c = metrics::Registry::Global()->GetCounter("cache.misses");
+  return c;
+}
+metrics::Counter* InsertsCounter() {
+  static auto* c = metrics::Registry::Global()->GetCounter("cache.inserts");
+  return c;
+}
+metrics::Counter* EvictionsCounter() {
+  static auto* c = metrics::Registry::Global()->GetCounter("cache.evictions");
+  return c;
+}
+metrics::Counter* SpliceCounter() {
+  static auto* c = metrics::Registry::Global()->GetCounter("cache.splices");
+  return c;
+}
+metrics::Counter* InsertFailCounter() {
+  static auto* c =
+      metrics::Registry::Global()->GetCounter("cache.insert_failures");
+  return c;
+}
+
+Result<df::ColumnPtr> DeepCopyColumn(const df::Column& c,
+                                     MemoryTracker* tracker) {
+  switch (c.type()) {
+    case df::DataType::kInt64:
+      return df::Column::MakeInt(c.ints(), c.validity(), tracker);
+    case df::DataType::kTimestamp:
+      return df::Column::MakeTimestamp(c.ints(), c.validity(), tracker);
+    case df::DataType::kDouble:
+      return df::Column::MakeDouble(c.doubles(), c.validity(), tracker);
+    case df::DataType::kString:
+      return df::Column::MakeString(c.strings(), c.validity(), tracker);
+    case df::DataType::kBool:
+      return df::Column::MakeBool(c.bools(), c.validity(), tracker);
+    case df::DataType::kCategory:
+      // The dictionary is immutable and shared by design (§3.6).
+      return df::Column::MakeCategory(c.codes(), c.validity(), c.dictionary(),
+                                      tracker);
+    default:
+      return Status::NotImplemented("cache cannot copy column type " +
+                                    std::string(df::DataTypeName(c.type())));
+  }
+}
+
+int64_t ValueBytes(const exec::EagerValue& value) {
+  // Scalars are priced at a flat token so the entry count stays bounded
+  // even for scalar-heavy workloads.
+  return value.is_scalar ? 64 : value.frame.footprint_bytes() + 64;
+}
+
+}  // namespace
+
+size_t CacheKeyHash::operator()(const CacheKey& k) const {
+  return static_cast<size_t>(HashCombine(k.plan_hash, k.input_hash));
+}
+
+Result<exec::EagerValue> DeepCopyEagerValue(const exec::EagerValue& value,
+                                            MemoryTracker* tracker) {
+  if (value.is_scalar) return exec::EagerValue::FromScalar(value.scalar);
+  std::vector<df::ColumnPtr> columns;
+  columns.reserve(value.frame.num_columns());
+  for (const auto& col : value.frame.columns()) {
+    auto copy = DeepCopyColumn(*col, tracker);
+    if (!copy.ok()) return copy.status();
+    columns.push_back(*std::move(copy));
+  }
+  auto frame = df::DataFrame::Make(value.frame.names(), std::move(columns));
+  if (!frame.ok()) return frame.status();
+  return exec::EagerValue::Frame(*std::move(frame));
+}
+
+Result<exec::EagerValue> RelabelColumns(
+    const exec::EagerValue& value,
+    const std::vector<std::pair<std::string, std::string>>& mapping,
+    bool to_canonical) {
+  if (value.is_scalar) return value;
+  const df::DataFrame& frame = value.frame;
+  if (frame.num_columns() != mapping.size()) {
+    return Status::Invalid("cache relabel: column count mismatch");
+  }
+  std::vector<std::string> names;
+  std::vector<df::ColumnPtr> columns;
+  names.reserve(mapping.size());
+  columns.reserve(mapping.size());
+  for (const auto& [visible, canonical] : mapping) {
+    const std::string& from = to_canonical ? visible : canonical;
+    const std::string& to = to_canonical ? canonical : visible;
+    int idx = frame.ColumnIndex(from);
+    if (idx < 0) {
+      return Status::Invalid("cache relabel: missing column " + from);
+    }
+    names.push_back(to);
+    columns.push_back(frame.column(static_cast<size_t>(idx)));
+  }
+  auto out = df::DataFrame::Make(std::move(names), std::move(columns));
+  if (!out.ok()) return out.status();
+  return exec::EagerValue::Frame(*std::move(out));
+}
+
+ResultCache::ResultCache() : ResultCache(Options()) {}
+
+ResultCache::ResultCache(Options options)
+    : capacity_bytes_(options.capacity_bytes),
+      owned_tracker_(options.charge_tracker == nullptr
+                         ? std::make_unique<MemoryTracker>(0)
+                         : nullptr),
+      tracker_(options.charge_tracker != nullptr ? options.charge_tracker
+                                                 : owned_tracker_.get()) {}
+
+ResultCache::~ResultCache() { Clear(); }
+
+Status ResultCache::Insert(const CacheKey& key,
+                           const exec::EagerValue& value) {
+  // Copy outside the lock: column construction can be expensive and can
+  // itself evict (through tracker pressure) below.
+  Result<exec::EagerValue> copy = DeepCopyEagerValue(value, tracker_);
+  while (!copy.ok() && copy.status().IsOutOfMemory()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!EvictOneLocked()) break;  // nothing left to free
+      UpdateGauges();
+    }
+    copy = DeepCopyEagerValue(value, tracker_);
+  }
+  if (!copy.ok()) {
+    if (copy.status().IsOutOfMemory()) return Status::OK();  // skip, not fail
+    return copy.status();
+  }
+
+  Entry entry;
+  entry.key = key;
+  entry.bytes = ValueBytes(*copy);
+  if (static_cast<size_t>(entry.bytes) > capacity_bytes_) {
+    return Status::OK();  // larger than the whole cache: skip
+  }
+  entry.value =
+      std::make_shared<const exec::EagerValue>(*std::move(copy));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) EraseLocked(it->second);
+  bytes_ += static_cast<size_t>(entry.bytes);
+  lru_.push_front(std::move(entry));
+  index_[key] = lru_.begin();
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  InsertsCounter()->Increment();
+  while (bytes_ > capacity_bytes_ && lru_.size() > 1) {
+    EvictOneLocked();
+  }
+  UpdateGauges();
+  return Status::OK();
+}
+
+std::shared_ptr<const exec::EagerValue> ResultCache::Lookup(
+    const CacheKey& key) {
+  trace::Span span("cache.lookup", "cache");
+  std::shared_ptr<const exec::EagerValue> value;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+      value = it->second->value;
+    }
+  }
+  if (value != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    HitsCounter()->Increment();
+    span.AddArg("outcome", "hit");
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    MissesCounter()->Increment();
+    span.AddArg("outcome", "miss");
+  }
+  return value;
+}
+
+bool ResultCache::Contains(const CacheKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.find(key) != index_.end();
+}
+
+void ResultCache::Erase(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) EraseLocked(it->second);
+  UpdateGauges();
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  UpdateGauges();
+}
+
+size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+bool ResultCache::EvictOneLocked() {
+  if (lru_.empty()) return false;
+  EraseLocked(std::prev(lru_.end()));
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  EvictionsCounter()->Increment();
+  return true;
+}
+
+void ResultCache::EraseLocked(LruList::iterator it) {
+  bytes_ -= static_cast<size_t>(it->bytes);
+  index_.erase(it->key);
+  lru_.erase(it);  // dropping the value releases its tracker reservation
+}
+
+void ResultCache::UpdateGauges() const {
+  // Last-writer-wins across cache instances; the shared Global() cache is
+  // the intended subject of the scrape.
+  static auto* bytes_gauge = metrics::Registry::Global()->GetGauge(
+      "cache.bytes");
+  static auto* entries_gauge = metrics::Registry::Global()->GetGauge(
+      "cache.entries");
+  bytes_gauge->Set(static_cast<int64_t>(bytes_));
+  entries_gauge->Set(static_cast<int64_t>(lru_.size()));
+}
+
+namespace {
+
+/// Parse LAFP_CACHE: nullopt = knob absent/disabled; a value = capacity.
+std::optional<size_t> EnvCacheCapacity() {
+  const char* env = std::getenv("LAFP_CACHE");
+  if (env == nullptr) return std::nullopt;
+  std::string v(env);
+  if (v.empty() || v == "0" || v == "off" || v == "OFF") return std::nullopt;
+  if (v == "1" || v == "on" || v == "ON") {
+    return ResultCache::kDefaultCapacityBytes;
+  }
+  bool digits = true;
+  for (char c : v) digits &= (c >= '0' && c <= '9');
+  if (digits) return static_cast<size_t>(std::stoull(v));
+  return std::nullopt;  // malformed: treat as disabled
+}
+
+}  // namespace
+
+const std::shared_ptr<ResultCache>& ResultCache::Global() {
+  // Sized from LAFP_CACHE at first use; leaky (process lifetime).
+  static auto* cache = new std::shared_ptr<ResultCache>([] {
+    ResultCache::Options opts;
+    opts.capacity_bytes =
+        EnvCacheCapacity().value_or(ResultCache::kDefaultCapacityBytes);
+    return std::make_shared<ResultCache>(opts);
+  }());
+  return *cache;
+}
+
+std::shared_ptr<ResultCache> ResultCache::FromEnv() {
+  if (!EnvCacheCapacity().has_value()) return nullptr;
+  return Global();
+}
+
+Status CacheSplicer::Splice(Session* session,
+                            const std::vector<TaskNodePtr>& roots) {
+  // The graph may have been rewritten by earlier passes (and nodes freed
+  // since the last round), so per-node memos cannot be carried over.
+  fingerprinter_.Reset();
+  exec::Backend* backend = session->backend();
+  std::unordered_set<const TaskNode*> visited;
+
+  // Iterative top-down walk: splice the topmost cached subtree, descend
+  // only on a miss.
+  std::vector<TaskNodePtr> stack(roots.rbegin(), roots.rend());
+  while (!stack.empty()) {
+    TaskNodePtr node = std::move(stack.back());
+    stack.pop_back();
+    if (node == nullptr || !visited.insert(node.get()).second) continue;
+    if (node->has_result()) continue;  // computed earlier; subtree not needed
+    if (node->is_print()) {
+      for (const auto& in : node->inputs) stack.push_back(in);
+      for (const auto& dep : node->order_deps) stack.push_back(dep);
+      continue;
+    }
+    const PlanFingerprint& fp = fingerprinter_.Fingerprint(node);
+    bool spliced = false;
+    if (fp.cacheable) {
+      CacheKey key{fp.plan_hash, fp.input_hash};
+      if (auto cached = cache_->Lookup(key)) {
+        // Relabel canonical -> this plan's visible names (data shared).
+        std::shared_ptr<const exec::EagerValue> payload = cached;
+        if (fp.schema.has_value() && !fp.identity_names()) {
+          auto relabeled = RelabelColumns(*cached, *fp.schema, false);
+          if (relabeled.ok()) {
+            payload = std::make_shared<const exec::EagerValue>(
+                *std::move(relabeled));
+          } else {
+            payload = nullptr;  // schema drift: treat as a miss
+          }
+        }
+        if (payload != nullptr) {
+          // Import into the backend BEFORE mutating the node so a failed
+          // import leaves the plan untouched.
+          exec::BackendValue imported;
+          Status import_status;
+          if (payload->is_scalar) {
+            imported = exec::BackendValue::FromScalar(payload->scalar);
+          } else {
+            auto from = backend->FromEager(*payload);
+            if (from.ok()) {
+              imported = *std::move(from);
+            } else {
+              import_status = from.status();
+            }
+          }
+          if (import_status.ok()) {
+            node->materialized = std::move(payload);
+            node->spliced_fp = std::make_shared<const PlanFingerprint>(fp);
+            node->desc = exec::OpDesc{};
+            node->desc.kind = exec::OpKind::kMaterialized;
+            node->inputs.clear();
+            node->result = std::move(imported);
+            node->executed = true;
+            SpliceCounter()->Increment();
+            spliced = true;
+          }
+        }
+      }
+    }
+    if (!spliced) {
+      for (const auto& in : node->inputs) stack.push_back(in);
+    }
+  }
+  return Status::OK();
+}
+
+void CacheSplicer::PrepareHarvest(Session* session,
+                                  const std::vector<TaskNodePtr>& roots) {
+  exec::Backend* backend = session->backend();
+  if (backend->lazy() || !backend->preserves_row_order()) return;
+  // Print inputs are the only candidates whose results §2.6 clearing
+  // discards mid-round (compute targets are roots, never cleared;
+  // persist-marked nodes survive by definition). Retain them until
+  // InsertRoundResults has copied them into the cache. A node that is
+  // also a non-print root must NOT be harvested: its result outlives the
+  // round by contract (Compute reads it), so retaining — and then
+  // dropping — it here would destroy the caller's value.
+  std::unordered_set<const TaskNode*> round_roots;
+  for (const auto& root : roots) {
+    if (root != nullptr && !root->is_print()) round_roots.insert(root.get());
+  }
+  for (const auto& root : roots) {
+    if (root == nullptr || !root->is_print()) continue;
+    for (const auto& in : root->inputs) {
+      if (in == nullptr || in->persist || in->is_print()) continue;
+      if (round_roots.count(in.get()) > 0) continue;
+      if (in->desc.kind == exec::OpKind::kMaterialized) continue;
+      if (in->has_result()) continue;  // computed earlier; stays anyway
+      const PlanFingerprint& fp = fingerprinter_.Fingerprint(in);
+      if (!fp.cacheable) continue;
+      if (cache_->Contains(CacheKey{fp.plan_hash, fp.input_hash})) continue;
+      in->persist = true;
+      harvest_.push_back(in);
+    }
+  }
+}
+
+void CacheSplicer::AbandonHarvest() {
+  for (const auto& node : harvest_) node->persist = false;
+  harvest_.clear();
+}
+
+void CacheSplicer::InsertRoundResults(Session* session,
+                                      const std::vector<TaskNodePtr>& roots) {
+  exec::Backend* backend = session->backend();
+  // Insert policy: only materialized, order-preserving results enter the
+  // cache. Dask neither preserves row order nor holds eager results, so
+  // it may hit but never inserts.
+  if (backend->lazy() || !backend->preserves_row_order()) {
+    AbandonHarvest();
+    return;
+  }
+
+  std::vector<TaskNodePtr> candidates;
+  for (const auto& root : roots) {
+    if (root == nullptr) continue;
+    if (root->is_print()) {
+      for (const auto& in : root->inputs) candidates.push_back(in);
+    } else {
+      candidates.push_back(root);
+    }
+  }
+  for (const auto& node : TaskGraph::TopoSort(roots)) {
+    if (node->persist) candidates.push_back(node);
+  }
+
+  std::unordered_set<const TaskNode*> seen;
+  for (const auto& node : candidates) {
+    if (node == nullptr || !seen.insert(node.get()).second) continue;
+    if (node->desc.kind == exec::OpKind::kMaterialized) continue;
+    if (node->is_print() || !node->has_result()) continue;
+    const PlanFingerprint& fp = fingerprinter_.Fingerprint(node);
+    if (!fp.cacheable) continue;
+    CacheKey key{fp.plan_hash, fp.input_hash};
+    if (cache_->Contains(key)) continue;
+    auto eager = backend->Materialize(node->result);
+    if (!eager.ok()) {
+      InsertFailCounter()->Increment();
+      continue;
+    }
+    // Store under canonical names so any rename-equivalent plan can hit.
+    exec::EagerValue to_store = *std::move(eager);
+    if (fp.schema.has_value() && !fp.identity_names()) {
+      auto relabeled = RelabelColumns(to_store, *fp.schema, true);
+      if (!relabeled.ok()) {
+        InsertFailCounter()->Increment();
+        continue;
+      }
+      to_store = *std::move(relabeled);
+    }
+    if (!cache_->Insert(key, to_store).ok()) {
+      InsertFailCounter()->Increment();
+    }
+  }
+
+  // Restore §2.6 semantics for the nodes PrepareHarvest retained: the
+  // cache now owns a copy, so the node result can be dropped (it
+  // re-imports from the cache payload if spliced again later).
+  for (const auto& node : harvest_) {
+    node->persist = false;
+    node->result = exec::BackendValue{};
+    node->executed = false;
+  }
+  harvest_.clear();
+}
+
+}  // namespace lafp::lazy

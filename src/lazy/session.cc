@@ -16,53 +16,56 @@ std::string PrintPlaceholder(size_t input_index) {
   return "\x01" + std::to_string(input_index) + "\x02";
 }
 
+ExecutionOptions::Resolved ExecutionOptions::Resolve(
+    const exec::BackendConfig& legacy) const {
+  Resolved r;
+  r.num_threads = num_threads > 0 ? num_threads : legacy.num_threads;
+  if (r.num_threads < 1) r.num_threads = 1;
+  r.intra_op_threads =
+      intra_op_threads > 0 ? intra_op_threads : legacy.intra_op_threads;
+  if (r.intra_op_threads < 0) r.intra_op_threads = 0;
+  r.morsel_rows = morsel_rows;
+  return r;
+}
+
 namespace {
 
-/// Resolve the unified thread knob: ExecutionOptions::num_threads wins;
-/// 0 inherits the legacy BackendConfig::num_threads. The resolved count is
-/// written back into both so the backend (Modin partition pool) and the
-/// scheduler agree on one number.
+/// Write the resolved knobs back into both homes so the backend (Modin
+/// partition pool, kernel context) and the scheduler agree on one number;
+/// after this, nothing downstream interprets a 0 as "inherit".
 SessionOptions NormalizeOptions(SessionOptions options) {
-  int threads = options.exec.num_threads > 0
-                    ? options.exec.num_threads
-                    : options.backend_config.num_threads;
-  if (threads < 1) threads = 1;
-  options.exec.num_threads = threads;
-  options.backend_config.num_threads = threads;
-  // Same resolution for the intra-operator knob, then hand both kernel
-  // knobs to the backend, which owns the kernel pool and context.
-  int intra = options.exec.intra_op_threads > 0
-                  ? options.exec.intra_op_threads
-                  : options.backend_config.intra_op_threads;
-  if (intra < 0) intra = 0;
-  options.exec.intra_op_threads = intra;
-  options.backend_config.intra_op_threads = intra;
-  options.backend_config.morsel_rows = options.exec.morsel_rows;
+  ExecutionOptions::Resolved r =
+      options.exec.Resolve(options.backend_config);
+  options.exec.num_threads = r.num_threads;
+  options.backend_config.num_threads = r.num_threads;
+  options.exec.intra_op_threads = r.intra_op_threads;
+  options.backend_config.intra_op_threads = r.intra_op_threads;
+  options.backend_config.morsel_rows = r.morsel_rows;
   return options;
 }
 
 class FunctionPass : public OptimizerPass {
  public:
-  FunctionPass(std::string name, Session::OptimizerHook hook)
-      : name_(std::move(name)), hook_(std::move(hook)) {}
+  FunctionPass(std::string name, OptimizerPassFn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
 
   const std::string& name() const override { return name_; }
 
   Status Run(Session* session, const std::vector<TaskNodePtr>& roots,
              const std::vector<TaskNodePtr>& live) override {
-    return hook_(session, roots, live);
+    return fn_(session, roots, live);
   }
 
  private:
   std::string name_;
-  Session::OptimizerHook hook_;
+  OptimizerPassFn fn_;
 };
 
 }  // namespace
 
 std::unique_ptr<OptimizerPass> MakeFunctionPass(std::string name,
-                                                Session::OptimizerHook hook) {
-  return std::make_unique<FunctionPass>(std::move(name), std::move(hook));
+                                                OptimizerPassFn fn) {
+  return std::make_unique<FunctionPass>(std::move(name), std::move(fn));
 }
 
 Session::Session(SessionOptions options)
@@ -80,6 +83,27 @@ Session::Session(SessionOptions options)
   session_span_ = std::make_unique<trace::Span>(
       std::string("session:") + backend_->name(), "session",
       /*parent_id=*/0, /*install=*/false);
+  // Cross-query cache: an explicit instance wins; bare `enabled` builds a
+  // session-private cache charged to the session tracker; otherwise the
+  // LAFP_CACHE env knob can attach the process-wide shared cache.
+  std::shared_ptr<ResultCache> cache = options_.cache.cache;
+  if (cache == nullptr && options_.cache.enabled) {
+    ResultCache::Options copts;
+    copts.capacity_bytes = options_.cache.capacity_bytes;
+    copts.charge_tracker = tracker_;
+    cache = std::make_shared<ResultCache>(copts);
+  }
+  if (cache == nullptr && !options_.cache.enabled &&
+      options_.cache.cache == nullptr) {
+    cache = ResultCache::FromEnv();
+  }
+  if (cache != nullptr && options_.mode == ExecutionMode::kLazy) {
+    cache_splicer_ = std::make_unique<CacheSplicer>(std::move(cache));
+  }
+}
+
+std::shared_ptr<ResultCache> Session::result_cache() const {
+  return cache_splicer_ != nullptr ? cache_splicer_->cache() : nullptr;
 }
 
 Session::~Session() = default;
@@ -88,19 +112,11 @@ std::ostream& Session::out() {
   return options_.output != nullptr ? *options_.output : std::cout;
 }
 
-int Session::effective_threads() const { return options_.exec.num_threads; }
-
 void Session::RegisterOptimizerPass(std::unique_ptr<OptimizerPass> pass) {
   if (pass != nullptr) optimizer_passes_.push_back(std::move(pass));
 }
 
 void Session::ClearOptimizerPasses() { optimizer_passes_.clear(); }
-
-void Session::set_optimizer_hook(OptimizerHook hook) {
-  ClearOptimizerPasses();
-  if (hook == nullptr) return;
-  RegisterOptimizerPass(MakeFunctionPass("custom-hook", std::move(hook)));
-}
 
 Result<TaskNodePtr> Session::AddNode(exec::OpDesc desc,
                                      std::vector<TaskNodePtr> inputs) {
@@ -244,10 +260,11 @@ Status Session::ExecuteRound(const std::vector<TaskNodePtr>& roots,
   int64_t nodes_before =
       plan_deltas ? static_cast<int64_t>(TaskGraph::TopoSort(roots).size())
                   : -1;
-  for (const auto& pass : optimizer_passes_) {
+  // One pipeline stage: timer + trace span + per-pass report entry.
+  auto run_stage = [&](const std::string& name, auto&& body) -> Status {
     Timer pass_timer;
-    trace::Span pass_span("pass:" + pass->name(), "pass");
-    Status pass_status = pass->Run(this, roots, live);
+    trace::Span pass_span("pass:" + name, "pass");
+    Status pass_status = body();
     int64_t nodes_after =
         plan_deltas ? static_cast<int64_t>(TaskGraph::TopoSort(roots).size())
                     : -1;
@@ -256,20 +273,36 @@ Status Session::ExecuteRound(const std::vector<TaskNodePtr>& roots,
       pass_span.AddArg("nodes_after", nodes_after);
     }
     report.passes.push_back(
-        {pass->name(), pass_timer.ElapsedMicros(), nodes_before, nodes_after});
+        {name, pass_timer.ElapsedMicros(), nodes_before, nodes_after});
     nodes_before = nodes_after;
-    if (!pass_status.ok()) {
-      // Record the failed round: leaving the previous round's report in
-      // last_report_ makes callers (fuzzer iterations, retry loops)
-      // read stale stats as if this round had succeeded.
-      report.wall_micros = round_timer.ElapsedMicros();
-      report.peak_tracked_bytes = tracker_->round_peak();
-      last_report_ = std::move(report);
-      ++num_rounds_;
-      return pass_status;
-    }
+    return pass_status;
+  };
+  // Record the failed round: leaving the previous round's report in
+  // last_report_ makes callers (fuzzer iterations, retry loops) read
+  // stale stats as if this round had succeeded.
+  auto fail_round = [&](Status status) -> Status {
+    if (cache_splicer_ != nullptr) cache_splicer_->AbandonHarvest();
+    report.wall_micros = round_timer.ElapsedMicros();
+    report.peak_tracked_bytes = tracker_->round_peak();
+    last_report_ = std::move(report);
+    ++num_rounds_;
+    return status;
+  };
+  for (const auto& pass : optimizer_passes_) {
+    Status pass_status = run_stage(
+        pass->name(), [&] { return pass->Run(this, roots, live); });
+    if (!pass_status.ok()) return fail_round(std::move(pass_status));
+  }
+  // The cache-splice stage is pinned to the end of the pipeline (outside
+  // the registry, so ClearOptimizerPasses cannot drop it and registered
+  // rewrites have already produced the plan being fingerprinted).
+  if (cache_splicer_ != nullptr) {
+    Status splice_status = run_stage(
+        "cache-splice", [&] { return cache_splicer_->Splice(this, roots); });
+    if (!splice_status.ok()) return fail_round(std::move(splice_status));
   }
   MarkSharedForPersist(roots, live);
+  if (cache_splicer_ != nullptr) cache_splicer_->PrepareHarvest(this, roots);
 
   // §2.6 result clearing applies to lazy execution on eager backends.
   // In eager mode program variables own their results (clearing would
@@ -282,7 +315,8 @@ Status Session::ExecuteRound(const std::vector<TaskNodePtr>& roots,
   // does real work per node. A lazy backend's Execute() merely records a
   // plan node (microseconds), and its plan caches are not synchronized,
   // so those rounds stay on the deterministic serial path.
-  int threads = effective_threads();
+  // Already resolved by NormalizeOptions (no inherit sentinel left).
+  int threads = options_.exec.num_threads;
   const bool parallel = threads > 1 && !options_.exec.serial_scheduler &&
                         !backend_->lazy();
   if (parallel && scheduler_pool_ == nullptr) {
@@ -304,6 +338,14 @@ Status Session::ExecuteRound(const std::vector<TaskNodePtr>& roots,
                       sched_options, std::move(callbacks));
   Status status = scheduler.Run(roots, &report);
 
+  if (cache_splicer_ != nullptr) {
+    if (status.ok()) {
+      cache_splicer_->InsertRoundResults(this, roots);
+    } else {
+      cache_splicer_->AbandonHarvest();
+    }
+  }
+
   num_results_cleared_ += report.results_cleared;
   report.wall_micros = round_timer.ElapsedMicros();
   report.peak_tracked_bytes = tracker_->round_peak();
@@ -322,6 +364,30 @@ Status Session::ExecuteRound(const std::vector<TaskNodePtr>& roots,
 }
 
 Status Session::ExecNode(const TaskNodePtr& node, NodeStats* stats) {
+  if (node->desc.kind == exec::OpKind::kMaterialized) {
+    // Cache-spliced leaf whose imported result was cleared (§2.6):
+    // re-import the retained payload instead of re-executing a subtree
+    // that no longer exists.
+    if (stats != nullptr) {
+      stats->op = node->desc.ToString();
+      stats->backend = backend_->name();
+    }
+    if (node->materialized == nullptr) {
+      return Status::ExecutionError("materialized node lost its payload");
+    }
+    if (node->materialized->is_scalar) {
+      node->result = exec::BackendValue::FromScalar(node->materialized->scalar);
+    } else {
+      LAFP_ASSIGN_OR_RETURN(node->result,
+                            backend_->FromEager(*node->materialized));
+    }
+    node->executed = true;
+    if (stats != nullptr) stats->rows_out = backend_->RowCount(node->result);
+    if (node->persist) {
+      LAFP_RETURN_NOT_OK(backend_->Persist(node->result));
+    }
+    return Status::OK();
+  }
   std::vector<exec::BackendValue> inputs;
   inputs.reserve(node->inputs.size());
   for (const auto& in : node->inputs) {

@@ -11,6 +11,7 @@
 #include "common/fault.h"
 #include "common/trace.h"
 #include "exec/backend.h"
+#include "lazy/result_cache.h"
 #include "lazy/scheduler.h"
 #include "lazy/task_graph.h"
 
@@ -65,6 +66,24 @@ struct ExecutionOptions {
   /// tracer for Chrome-JSON or EXPLAIN ANALYZE export. Independent of the
   /// LAFP_TRACE env knob (either can switch the tracer on).
   bool trace = false;
+
+  /// Fully resolved execution knobs — every zero-means-inherit default
+  /// collapsed to a concrete value.
+  struct Resolved {
+    int num_threads = 1;       // always >= 1
+    int intra_op_threads = 0;  // always >= 0 (0 = morsel machinery off)
+    size_t morsel_rows = 65536;
+  };
+
+  /// Resolution order (the single home for knob inheritance — nothing
+  /// else in the runtime may interpret a 0):
+  ///  1. an explicit ExecutionOptions knob (> 0) wins;
+  ///  2. otherwise the legacy BackendConfig knob applies (so
+  ///     aggregate-initialized SessionOptions keep their old meaning);
+  ///  3. the result is clamped: num_threads >= 1, intra_op_threads >= 0;
+  ///  4. morsel_rows always comes from ExecutionOptions (it has a real
+  ///     default, not an inherit sentinel).
+  Resolved Resolve(const exec::BackendConfig& legacy) const;
 };
 
 struct SessionOptions {
@@ -87,6 +106,10 @@ struct SessionOptions {
   std::string fault_config;
   /// Scheduler / threading knobs (see ExecutionOptions).
   ExecutionOptions exec;
+  /// Cross-query plan/result cache (lazy/result_cache.h). Disabled by
+  /// default; the LAFP_CACHE env knob can still attach the process-wide
+  /// shared cache when this config is untouched.
+  CacheConfig cache;
 
   class Builder;
 };
@@ -171,6 +194,25 @@ class SessionOptions::Builder {
     opts_.backend_config.spill_fallback_dir = std::move(dir);
     return *this;
   }
+  /// Enable (or disable) the cross-query result cache. With no explicit
+  /// instance the session builds a private cache charged to the
+  /// session's MemoryTracker.
+  Builder& cache(bool on) {
+    opts_.cache.enabled = on;
+    return *this;
+  }
+  /// Share an existing cache instance across sessions (implies enabled).
+  Builder& cache(std::shared_ptr<ResultCache> c) {
+    opts_.cache.enabled = true;
+    opts_.cache.cache = std::move(c);
+    return *this;
+  }
+  /// Capacity for the session-private cache (implies enabled).
+  Builder& cache_bytes(size_t bytes) {
+    opts_.cache.enabled = true;
+    opts_.cache.capacity_bytes = bytes;
+    return *this;
+  }
   Builder& tracker(MemoryTracker* t) {
     opts_.tracker = t;
     return *this;
@@ -187,6 +229,12 @@ class SessionOptions::Builder {
 };
 
 class Session;
+
+/// Signature of a function-backed optimizer pass (see MakeFunctionPass).
+using OptimizerPassFn =
+    std::function<Status(Session* session,
+                         const std::vector<TaskNodePtr>& roots,
+                         const std::vector<TaskNodePtr>& live)>;
 
 /// A named graph-rewriting pass run before each execution round.
 /// Registered passes run in registration order; each round's
@@ -263,15 +311,9 @@ class Session {
     return optimizer_passes_;
   }
 
-  /// Legacy hook shim. Equivalent to clearing the pass list and
-  /// registering `hook` as a single pass named "custom-hook" (null hook =
-  /// just clear), preserving the historical replace-the-hook semantics.
-  /// Prefer RegisterOptimizerPass.
-  using OptimizerHook =
-      std::function<Status(Session* session,
-                           const std::vector<TaskNodePtr>& roots,
-                           const std::vector<TaskNodePtr>& live)>;
-  void set_optimizer_hook(OptimizerHook hook);
+  /// The cross-query result cache attached to this session (null when
+  /// caching is off). Shared instances are also visible through here.
+  std::shared_ptr<ResultCache> result_cache() const;
 
   // ---- execution statistics ----
 
@@ -301,9 +343,6 @@ class Session {
   /// the live set for persistence.
   void MarkSharedForPersist(const std::vector<TaskNodePtr>& roots,
                             const std::vector<TaskNodePtr>& live);
-  /// Effective unified worker count (ExecutionOptions overriding the
-  /// legacy BackendConfig knob).
-  int effective_threads() const;
 
   SessionOptions options_;
   MemoryTracker* tracker_;
@@ -325,6 +364,11 @@ class Session {
   std::vector<TaskNodePtr> pending_prints_;
   TaskNodePtr last_print_;
   std::vector<std::unique_ptr<OptimizerPass>> optimizer_passes_;
+  /// Cross-query cache machinery; null when caching is off for this
+  /// session. The splice stage runs as the forced last stage of every
+  /// round's pass pipeline (it must see the optimized plan, and it must
+  /// survive InstallDefaultOptimizer's ClearOptimizerPasses).
+  std::unique_ptr<CacheSplicer> cache_splicer_;
   ExecutionReport last_report_;
   int64_t num_rounds_ = 0;
   /// Atomic: incremented from scheduler worker threads.
@@ -335,7 +379,7 @@ class Session {
 /// Wrap a plain function as a named OptimizerPass (the bridge the
 /// optimizer module uses to register its passes without subclassing).
 std::unique_ptr<OptimizerPass> MakeFunctionPass(std::string name,
-                                                Session::OptimizerHook hook);
+                                                OptimizerPassFn fn);
 
 }  // namespace lafp::lazy
 

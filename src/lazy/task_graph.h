@@ -11,6 +11,8 @@
 
 namespace lafp::lazy {
 
+struct PlanFingerprint;
+
 /// One node of the LaFP task graph (paper §2.5, Figure 6). Nodes are
 /// created by FatDataFrame API calls and carry:
 ///  - the operator description,
@@ -32,6 +34,15 @@ struct TaskNode {
   /// For print nodes: the message template. "\x01<k>\x02" substitutes the
   /// display form of inputs[k] (the f-string escape-ID mechanism, §3.3).
   std::string print_template;
+
+  /// Set by the cache-splice pass (lazy/result_cache.h) when the node's
+  /// original subtree was replaced by a cached result: the eager payload
+  /// (already relabeled to this plan's visible column names) plus the
+  /// fingerprint the subtree carried at splice time. The payload outlives
+  /// result clearing (§2.6), so a cleared spliced node re-imports it
+  /// instead of re-executing a subtree that no longer exists.
+  std::shared_ptr<const exec::EagerValue> materialized;
+  std::shared_ptr<const PlanFingerprint> spliced_fp;
 
   // ---- execution state ----
   exec::BackendValue result;

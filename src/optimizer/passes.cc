@@ -32,6 +32,10 @@ Status DeduplicateNodes(Session* session,
       if (it != replacement.end()) in = it->second;
     }
     if (node->is_print() || node->executed) continue;
+    // Spliced cache payloads live on the TaskNode, not in OpDesc: two
+    // cleared kMaterialized leaves have equal fingerprints but distinct
+    // payloads, so they must never merge.
+    if (node->desc.kind == OpKind::kMaterialized) continue;
     std::string key = node->desc.Fingerprint();
     for (const auto& in : node->inputs) {
       key += "#" + std::to_string(in->id);
@@ -227,7 +231,7 @@ using PassFn = Status (*)(Session*, const std::vector<TaskNodePtr>&,
 /// OptimizerPass registry. The live set participates so shared chains
 /// between the compute target and later uses are physically merged
 /// before the session's persist marking sees them.
-lazy::Session::OptimizerHook WrapPass(PassFn fn, PassStats* stats) {
+lazy::OptimizerPassFn WrapPass(PassFn fn, PassStats* stats) {
   return [fn, stats](Session* s, const std::vector<TaskNodePtr>& roots,
                      const std::vector<TaskNodePtr>& live) {
     std::vector<TaskNodePtr> all = roots;
@@ -250,7 +254,7 @@ void InstallDefaultOptimizer(Session* session,
   PassStats* stats = cumulative_stats != nullptr ? cumulative_stats
                                                  : local.get();
   auto add = [session, local](std::string name,
-                              lazy::Session::OptimizerHook hook) {
+                              lazy::OptimizerPassFn hook) {
     session->RegisterOptimizerPass(lazy::MakeFunctionPass(
         std::move(name),
         [local, hook = std::move(hook)](

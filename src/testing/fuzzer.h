@@ -37,6 +37,11 @@ struct FuzzOptions {
   /// accepts reference-identical output or a clean Status from those
   /// runs; crashes, hangs, and wrong successful output are divergences.
   bool faults = false;
+  /// Add the result-cache axis: each program is additionally checked
+  /// under CacheConfigs() points (cold pass populating a fresh cache,
+  /// warm pass splicing from it; the warm outcome must match the
+  /// reference and the cold pass byte for byte).
+  bool cache = false;
   /// Progress / divergence log; null = silent.
   std::ostream* log = nullptr;
   ProgramGenOptions progen;

@@ -38,6 +38,7 @@ std::string OracleConfig::Name() const {
   if (partition_rows != 8192) name += " pr" + std::to_string(partition_rows);
   if (spill) name += " spill";
   if (!faults.empty()) name += " faults[" + faults + "]";
+  if (cache) name += " cache";
   return name;
 }
 
@@ -141,6 +142,19 @@ std::vector<OracleConfig> FaultConfigs(uint64_t seed, int n) {
   return configs;
 }
 
+std::vector<OracleConfig> CacheConfigs(uint64_t seed, int n) {
+  std::vector<OracleConfig> configs = SampleConfigs(seed ^ 0xcac4eull, n);
+  for (auto& c : configs) {
+    // The cache splicer only runs in lazy sessions; eager points would
+    // exercise nothing. Faults stay off so a failed Status is always a
+    // genuine divergence under this axis.
+    if (c.mode == OracleMode::kEager) c.mode = OracleMode::kLafp;
+    c.cache = true;
+    c.faults.clear();
+  }
+  return configs;
+}
+
 std::vector<OracleConfig> RegressionConfigs() {
   std::vector<OracleConfig> configs;
   for (auto backend :
@@ -174,8 +188,12 @@ std::vector<OracleConfig> RegressionConfigs() {
   return configs;
 }
 
-RunOutcome ExecuteUnderConfig(const std::string& source,
-                              const OracleConfig& config) {
+namespace {
+
+/// One session run; `cache` (when non-null) is shared into the session so
+/// successive calls can exercise cold/warm cache behaviour.
+RunOutcome ExecuteOnce(const std::string& source, const OracleConfig& config,
+                       const std::shared_ptr<lazy::ResultCache>& cache) {
   RunOutcome outcome;
   MemoryTracker tracker(0);
   std::stringstream output;
@@ -197,6 +215,10 @@ RunOutcome ExecuteUnderConfig(const std::string& source,
   // session's FaultScope restores (with fresh counters) on return —
   // replay and shrink see identical firing sequences.
   opts.fault_config = config.faults;
+  if (cache != nullptr) {
+    opts.cache.enabled = true;
+    opts.cache.cache = cache;
+  }
 
   lazy::Session session(opts);
   if (config.mode != OracleMode::kEager &&
@@ -215,6 +237,35 @@ RunOutcome ExecuteUnderConfig(const std::string& source,
   outcome.output = output.str();
   outcome.checksums = ChecksumLines(outcome.output);
   return outcome;
+}
+
+}  // namespace
+
+RunOutcome ExecuteUnderConfig(const std::string& source,
+                              const OracleConfig& config) {
+  if (!config.cache) return ExecuteOnce(source, config, nullptr);
+  // Cache axis: cold pass populates a fresh shared cache, warm pass
+  // splices from it; the warm outcome is what the matrix compares. A
+  // cold/warm self-mismatch can hide from the reference comparison (the
+  // warm run may be the correct one), so it is reported as a failed
+  // Status — cache configs never arm faults, making that a divergence.
+  auto cache = std::make_shared<lazy::ResultCache>();
+  RunOutcome cold = ExecuteOnce(source, config, cache);
+  RunOutcome warm = ExecuteOnce(source, config, cache);
+  const bool order_preserving = config.backend != exec::BackendKind::kDask;
+  const bool mismatch =
+      cold.status.ok() != warm.status.ok() ||
+      cold.checksums != warm.checksums ||
+      (order_preserving && cold.status.ok() && cold.output != warm.output);
+  if (mismatch) {
+    RunOutcome outcome;
+    outcome.status = Status::Invalid(
+        "cache cold/warm self-mismatch: cold " + cold.status.ToString() +
+        " vs warm " + warm.status.ToString() + "\n--- cold ---\n" +
+        cold.output + "--- warm ---\n" + warm.output);
+    return outcome;
+  }
+  return warm;
 }
 
 std::string ChecksumLines(const std::string& output) {

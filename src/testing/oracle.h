@@ -38,6 +38,13 @@ struct OracleConfig {
   /// reference-identical output or fails with a clean Status; it must
   /// never crash, hang, or print a truncated frame that checksums ok.
   std::string faults;
+  /// Plan/result-cache axis: the program runs twice against one fresh
+  /// ResultCache — a cold pass that populates it and a warm pass that
+  /// splices cached subtrees. The warm outcome is compared against the
+  /// reference, and any cold/warm self-mismatch is reported as a failed
+  /// Status (which the oracle treats as a divergence since cache configs
+  /// never arm faults).
+  bool cache = false;
 
   /// Compact display name, e.g. "lafp-modin+dp t4 m1".
   std::string Name() const;
@@ -59,6 +66,11 @@ std::vector<OracleConfig> RegressionConfigs();
 /// configs drawn like SampleConfigs, each crossed with one injection
 /// site; spill faults force a spilling Dask config so the site is hit.
 std::vector<OracleConfig> FaultConfigs(uint64_t seed, int n);
+
+/// `n` matrix points with the result-cache axis armed (the --cache axis):
+/// base configs drawn like SampleConfigs, forced into a lazy mode (the
+/// splicer only runs in lazy sessions) with `cache = true` and no faults.
+std::vector<OracleConfig> CacheConfigs(uint64_t seed, int n);
 
 /// Result of one program execution.
 struct RunOutcome {

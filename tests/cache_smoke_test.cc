@@ -1,0 +1,82 @@
+// The result-cache axis of the differential fuzzer wired into the tier-1
+// suite: generated programs run cold-then-warm against a shared
+// plan/result cache, and the checked-in fuzz corpus replays under cache
+// configs. The oracle contract: the warm (cache-spliced) run must match
+// the eager-Pandas reference, and any cold/warm self-mismatch is a
+// divergence.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "testing/fuzzer.h"
+#include "testing/oracle.h"
+
+namespace {
+
+using lafp::testing::CacheConfigs;
+using lafp::testing::CaseResult;
+using lafp::testing::CaseVerdict;
+using lafp::testing::CheckCase;
+using lafp::testing::FuzzOptions;
+using lafp::testing::FuzzStats;
+using lafp::testing::ListCorpus;
+using lafp::testing::OracleMode;
+using lafp::testing::ReadCorpusFile;
+using lafp::testing::RunFuzz;
+
+std::string DataDir() {
+  auto dir = std::filesystem::temp_directory_path() / "lafp_fuzz_cache";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+TEST(CacheSmokeTest, CacheConfigsAreDeterministicAndArmed) {
+  auto a = CacheConfigs(7, 12);
+  auto b = CacheConfigs(7, 12);
+  ASSERT_EQ(a.size(), 12u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].Name(), b[i].Name());
+    EXPECT_TRUE(a[i].cache);
+    // The splicer only runs in lazy sessions; faults stay off so any
+    // failed Status under this axis is a genuine divergence.
+    EXPECT_NE(a[i].mode, OracleMode::kEager);
+    EXPECT_TRUE(a[i].faults.empty());
+  }
+}
+
+TEST(CacheSmokeTest, ProgramsAgreeColdAndWarm) {
+  FuzzOptions options;
+  options.seed = 42;
+  options.iters = 15;
+  options.matrix = 4;  // plus matrix/2 cache points per program
+  options.cache = true;
+  options.shrink = false;
+  options.data_dir = DataDir();
+  std::ostringstream log;
+  options.log = &log;
+
+  FuzzStats stats = RunFuzz(options);
+  EXPECT_EQ(stats.iterations, 15);
+  EXPECT_EQ(stats.reference_failures, 0) << log.str();
+  ASSERT_TRUE(stats.divergences.empty())
+      << "first divergence: seed " << stats.divergences[0].program_seed
+      << " under " << stats.divergences[0].config_name << "\n"
+      << stats.divergences[0].detail << "\n"
+      << log.str();
+}
+
+TEST(CacheSmokeTest, CorpusReplaysCleanUnderCacheConfigs) {
+  const auto configs = CacheConfigs(11, 6);
+  const std::string data_dir = DataDir();
+  for (const auto& path : ListCorpus(LAFP_FUZZ_CORPUS_DIR)) {
+    auto c = ReadCorpusFile(path);
+    ASSERT_TRUE(c.ok()) << path << ": " << c.status().ToString();
+    CaseResult result = CheckCase(*c, configs, data_dir);
+    EXPECT_TRUE(result.verdict == CaseVerdict::kOk)
+        << path << " under " << result.config_name << ":\n"
+        << result.detail;
+  }
+}
+
+}  // namespace

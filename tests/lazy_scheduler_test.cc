@@ -322,9 +322,9 @@ TEST_F(LazySchedulerTest, LazyBackendSchedulesSerially) {
   EXPECT_EQ(session->last_report().num_threads, 1);
 }
 
-// Named optimizer passes show up in the round report, in order, with the
-// legacy hook shim still replacing the whole pipeline.
-TEST_F(LazySchedulerTest, OptimizerPassRegistryAndShim) {
+// Named optimizer passes show up in the round report, in order, and the
+// registry supports replacing the whole pipeline.
+TEST_F(LazySchedulerTest, OptimizerPassRegistry) {
   std::stringstream output;
   auto session = MakeSession(2, &output);
   opt::InstallDefaultOptimizer(session.get());
@@ -348,14 +348,16 @@ TEST_F(LazySchedulerTest, OptimizerPassRegistryAndShim) {
   // Dedup merged the duplicate head: read + head + concat only.
   EXPECT_EQ(report.nodes_executed, 3);
 
-  // The shim replaces the registered pipeline with one wrapped hook.
+  // Clearing and registering a function pass replaces the pipeline.
   int hook_runs = 0;
-  session->set_optimizer_hook(
+  session->ClearOptimizerPasses();
+  session->RegisterOptimizerPass(MakeFunctionPass(
+      "custom-hook",
       [&hook_runs](Session*, const std::vector<TaskNodePtr>&,
                    const std::vector<TaskNodePtr>&) {
         ++hook_runs;
         return Status::OK();
-      });
+      }));
   ASSERT_EQ(session->optimizer_passes().size(), 1u);
   EXPECT_EQ(session->optimizer_passes()[0]->name(), "custom-hook");
   auto head2 = df->Head(3);
@@ -364,8 +366,7 @@ TEST_F(LazySchedulerTest, OptimizerPassRegistryAndShim) {
   EXPECT_EQ(hook_runs, 1);
   EXPECT_EQ(session->last_report().passes.size(), 1u);
 
-  // Null hook clears everything.
-  session->set_optimizer_hook(nullptr);
+  session->ClearOptimizerPasses();
   EXPECT_TRUE(session->optimizer_passes().empty());
 }
 

@@ -142,11 +142,13 @@ TEST_F(SessionEdgeTest, FailedOptimizerRoundRefreshesReport) {
   const int64_t rounds_before = session->num_rounds();
   ASSERT_GT(session->last_report().nodes_executed, 0);
 
-  session->set_optimizer_hook(
+  session->ClearOptimizerPasses();
+  session->RegisterOptimizerPass(MakeFunctionPass(
+      "custom-hook",
       [](Session*, const std::vector<TaskNodePtr>&,
          const std::vector<TaskNodePtr>&) {
         return Status::Invalid("pass exploded");
-      });
+      }));
   auto head = df->Head(3);
   ASSERT_TRUE(head.ok());
   EXPECT_FALSE(head->Compute().ok());

@@ -31,6 +31,9 @@ void Usage() {
       << "  --faults          add the fault-injection axis: each program\n"
       << "                    also runs with injected IO/OOM/exec faults;\n"
       << "                    clean failure or identical output required\n"
+      << "  --cache           add the result-cache axis: each program also\n"
+      << "                    runs cold-then-warm against a shared plan/\n"
+      << "                    result cache; warm must match the reference\n"
       << "  --trace PATH      enable structured tracing and write a\n"
       << "                    Chrome trace_event JSON to PATH at exit\n"
       << "  --no-shrink       keep failing programs unminimized\n"
@@ -122,6 +125,8 @@ int main(int argc, char** argv) {
       lafp::trace::Tracer::Global()->set_enabled(true);
     } else if (std::strcmp(arg, "--faults") == 0) {
       options.faults = true;
+    } else if (std::strcmp(arg, "--cache") == 0) {
+      options.cache = true;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
       options.shrink = false;
     } else if (std::strcmp(arg, "--shrink-budget") == 0) {
