@@ -12,6 +12,25 @@ namespace lafp {
 
 namespace {
 
+/// The calling thread's injector override (ScopedFaultInjector); null
+/// means the Global() default applies.
+thread_local FaultInjector* tls_injector = nullptr;
+
+}  // namespace
+
+FaultInjector* FaultInjector::Current() {
+  return tls_injector != nullptr ? tls_injector : Global();
+}
+
+ScopedFaultInjector::ScopedFaultInjector(FaultInjector* injector)
+    : prev_(tls_injector) {
+  tls_injector = injector;
+}
+
+ScopedFaultInjector::~ScopedFaultInjector() { tls_injector = prev_; }
+
+namespace {
+
 /// splitmix64 finalizer — the per-hit probability draw mixes (seed, site
 /// hash, hit index) through this so firing is a pure function of the
 /// configuration and the hit sequence.

@@ -46,10 +46,28 @@ struct FaultSpec {
 /// keys: nth=N | p=0.25 | seed=N | fires=N (-1 = unlimited) |
 ///       code=io|oom|exec|notimpl|invalid|cancelled
 /// Example: LAFP_FAULTS="spill.write:nth=1;csv.read:p=0.01,seed=7"
+/// Injector state is *instantiable*: the process-global instance (armed
+/// from LAFP_FAULTS) is only the default. A session that arms its own
+/// fault config owns a private FaultInjector and installs it as the
+/// calling thread's *current* injector (ScopedFaultInjector) for the
+/// duration of its execution rounds; ThreadPool::Submit captures the
+/// submitter's current injector into every task, so scheduler workers,
+/// partition workers and kernel-morsel workers all hit the session that
+/// launched them — concurrent sessions with different fault configs no
+/// longer stomp one global registry.
 class FaultInjector {
  public:
+  FaultInjector() = default;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
   /// The process-global registry. First use arms any LAFP_FAULTS specs.
   static FaultInjector* Global();
+
+  /// The calling thread's current injector: the innermost
+  /// ScopedFaultInjector, or Global() when none is installed.
+  static FaultInjector* Current();
 
   /// Replace every armed spec (counters reset) and enable the registry;
   /// an empty list disables it.
@@ -77,8 +95,6 @@ class FaultInjector {
                       std::vector<FaultSpec>* out);
 
  private:
-  FaultInjector() = default;
-
   struct SiteState {
     FaultSpec spec;
     int64_t hits = 0;
@@ -90,10 +106,27 @@ class FaultInjector {
   std::unordered_map<std::string, SiteState> sites_;
 };
 
+/// RAII installation of an injector as the calling thread's current one
+/// (thread-scoped, nestable; null restores the Global() default for the
+/// scope). This is the per-session arming path: unlike FaultScope below
+/// it mutates no process-global state, so concurrent sessions can run
+/// with different fault configs.
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(FaultInjector* injector);
+  ~ScopedFaultInjector();
+
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+ private:
+  FaultInjector* prev_;
+};
+
 /// Convenience wrapper used at injection sites:
 ///   LAFP_RETURN_NOT_OK(FaultPoint("spill.write"));
 inline Status FaultPoint(std::string_view site) {
-  FaultInjector* injector = FaultInjector::Global();
+  FaultInjector* injector = FaultInjector::Current();
   if (!injector->enabled()) return Status::OK();
   return injector->Hit(site);
 }

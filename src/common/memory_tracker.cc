@@ -13,11 +13,19 @@ Status MemoryTracker::Reserve(int64_t bytes) {
   // Budget-denial injection site: a fired fault is indistinguishable from
   // a genuine budget rejection (usage stays unchanged either way).
   LAFP_RETURN_NOT_OK(FaultPoint("mem.reserve"));
+  return ReserveChain(bytes);
+}
+
+Status MemoryTracker::ReserveChain(int64_t bytes) {
+  // Charge ancestors first: if this tracker's own budget then rejects,
+  // the ancestor charge is rolled back and the whole chain is unchanged.
+  if (parent_ != nullptr) LAFP_RETURN_NOT_OK(parent_->ReserveChain(bytes));
   const int64_t budget = budget_.load(std::memory_order_relaxed);
   int64_t cur = current_.load(std::memory_order_relaxed);
   while (true) {
     int64_t next = cur + bytes;
     if (budget > 0 && next > budget) {
+      if (parent_ != nullptr) parent_->Release(bytes);  // roll back
       std::ostringstream msg;
       msg << "memory budget exceeded: in use " << cur << " + request "
           << bytes << " > budget " << budget;
@@ -43,6 +51,11 @@ Status MemoryTracker::Reserve(int64_t bytes) {
 
 void MemoryTracker::Release(int64_t bytes) {
   if (bytes <= 0) return;
+  ReleaseLocal(bytes);
+  if (parent_ != nullptr) parent_->Release(bytes);
+}
+
+void MemoryTracker::ReleaseLocal(int64_t bytes) {
   int64_t cur = current_.load(std::memory_order_relaxed);
   while (true) {
     int64_t next = std::max<int64_t>(0, cur - bytes);

@@ -17,10 +17,23 @@ namespace lafp {
 /// reports exactly like the paper reports a process OOM.
 ///
 /// Thread-safe: the Modin backend reserves from worker threads.
+///
+/// Trackers form a tree: a child carved from a parent charges every
+/// reservation to both, so per-session budgets draw down one global
+/// budget (the query service carves one child per admitted session). A
+/// reservation fails if *any* tracker on the chain would exceed its
+/// budget, and a failed child reservation leaves every ancestor
+/// unchanged.
 class MemoryTracker {
  public:
   /// `budget_bytes` == 0 means unlimited.
   explicit MemoryTracker(int64_t budget_bytes = 0) : budget_(budget_bytes) {}
+
+  /// Child tracker drawing from `parent`'s budget. `parent` must outlive
+  /// the child; the child's own budget (0 = unlimited) caps this scope on
+  /// top of whatever the ancestors enforce.
+  MemoryTracker(MemoryTracker* parent, int64_t budget_bytes)
+      : budget_(budget_bytes), parent_(parent) {}
 
   MemoryTracker(const MemoryTracker&) = delete;
   MemoryTracker& operator=(const MemoryTracker&) = delete;
@@ -63,11 +76,19 @@ class MemoryTracker {
 
   std::string ToString() const;
 
+  MemoryTracker* parent() const { return parent_; }
+
   /// Process-wide default tracker (unlimited budget). Sessions use this
   /// unless given their own tracker.
   static MemoryTracker* Default();
 
  private:
+  /// Reserve without the fault-injection check (the chain charges
+  /// ancestors exactly once per logical reservation; only the entry
+  /// tracker consults the injector).
+  Status ReserveChain(int64_t bytes);
+  void ReleaseLocal(int64_t bytes);
+
   std::atomic<int64_t> current_{0};
   std::atomic<int64_t> peak_{0};
   std::atomic<int64_t> round_peak_{0};
@@ -76,6 +97,9 @@ class MemoryTracker {
   /// CAS loops (peak is a monotonic max), so concurrent reserve/release
   /// from morsel-parallel column construction stays exact.
   std::atomic<int64_t> budget_{0};
+  /// Non-owning; null for a root tracker. Never reseated after
+  /// construction, so the chain walk needs no synchronization.
+  MemoryTracker* const parent_ = nullptr;
 };
 
 /// RAII reservation: reserves in the constructor-equivalent factory and

@@ -96,8 +96,21 @@ class Histogram {
 /// create on first use and always return the same pointer for a name;
 /// instruments are never removed. Hot call sites should cache the
 /// pointer (e.g. `static auto* c = Registry::Global()->GetCounter(...)`).
+///
+/// Registries are plain objects: scoped instances (per test, per service)
+/// can be constructed freely, with Global() as the process-wide default
+/// every built-in instrumentation point reports to — and the instance the
+/// query service's /metrics endpoint scrapes. Instruments inside a scoped
+/// registry live until the registry is destroyed; the global registry is
+/// leaky, so its instrument pointers stay valid for the process lifetime.
 class Registry {
  public:
+  Registry() = default;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Process-wide default instance (leaky).
   static Registry* Global();
 
   Counter* GetCounter(std::string_view name);
@@ -112,8 +125,6 @@ class Registry {
   std::string RenderText() const;
 
  private:
-  Registry() = default;
-
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault.h"
 #include "common/macros.h"
 
 namespace lafp {
@@ -24,9 +25,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Pools are shared across concurrent sessions, so per-session execution
+  // context must travel with the task, not live on the worker: capture the
+  // submitter's current fault injector and install it around the body
+  // (trace span context is propagated the same way by the callers that
+  // need it — see SpanContextScope captures in scheduler/backends).
+  FaultInjector* injector = FaultInjector::Current();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back([injector, task = std::move(task)] {
+      ScopedFaultInjector fault_ctx(injector);
+      task();
+    });
   }
   cv_.notify_one();
 }

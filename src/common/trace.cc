@@ -8,6 +8,7 @@
 #include <functional>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace lafp::trace {
 
@@ -80,6 +81,28 @@ void DumpGlobalAtExit() {
   if (path.empty()) return;
   // Best effort: exit-time dump has no caller to report to.
   (void)tracer->WriteChromeTrace(path);
+  // Multi-session processes additionally get one sink per session
+  // ("<path>.s<session id>.json"): the merged dump interleaves every
+  // session, so concurrent sessions would otherwise have no per-session
+  // artifact at all (and tools that post-process "the session's trace"
+  // would read whichever session happened to dominate — effectively
+  // last-writer-wins).
+  std::vector<Event> events = tracer->Snapshot();
+  std::vector<const Event*> session_roots;
+  for (const Event& e : events) {
+    if (e.category == "session" && e.parent_id == 0 && e.span_id != 0) {
+      session_roots.push_back(&e);
+    }
+  }
+  if (session_roots.size() < 2) return;
+  for (const Event* root : session_roots) {
+    int64_t session_id = static_cast<int64_t>(root->span_id);
+    for (const EventArg& a : root->args) {
+      if (a.key == "session_id" && !a.is_string) session_id = a.int_value;
+    }
+    (void)tracer->WriteChromeTraceForRoot(
+        path + ".s" + std::to_string(session_id) + ".json", root->span_id);
+  }
 }
 
 }  // namespace
@@ -171,8 +194,37 @@ void Tracer::Clear() {
   }
 }
 
-std::string Tracer::ChromeTraceJson() const {
+std::vector<Event> Tracer::SnapshotSubtree(uint64_t root_span_id) const {
   std::vector<Event> events = Snapshot();
+  if (root_span_id == 0) return {};
+  // Membership by parent link. Events are sorted by start time and a
+  // parent span *starts* before its children, but it is *recorded* at
+  // destruction — so a single forward pass over start-ordered events sees
+  // every child after its parent's start, which is all membership needs:
+  // iterate to a fixed point to stay robust against clock-equal starts.
+  std::unordered_set<uint64_t> members{root_span_id};
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const Event& e : events) {
+      if (e.span_id == 0 || members.count(e.span_id) > 0) continue;
+      if (members.count(e.parent_id) > 0) {
+        members.insert(e.span_id);
+        grew = true;
+      }
+    }
+  }
+  std::vector<Event> out;
+  for (Event& e : events) {
+    const bool span_member = e.span_id != 0 && members.count(e.span_id) > 0;
+    const bool instant_member =
+        e.span_id == 0 && members.count(e.parent_id) > 0;
+    if (span_member || instant_member) out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string Tracer::EventsToChromeJson(const std::vector<Event>& events) {
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   for (const Event& e : events) {
@@ -203,21 +255,40 @@ std::string Tracer::ChromeTraceJson() const {
   return out;
 }
 
-Status Tracer::WriteChromeTrace(const std::string& path) const {
+std::string Tracer::ChromeTraceJson() const {
+  return EventsToChromeJson(Snapshot());
+}
+
+namespace {
+
+Status WriteStringToFile(const std::string& path, const std::string& body) {
   std::ofstream out(path, std::ios::trunc);
   if (!out.is_open()) {
     return Status::IOError("cannot open trace output " + path);
   }
-  out << ChromeTraceJson();
+  out << body;
   out.flush();
   if (!out.good()) return Status::IOError("failed writing trace " + path);
   return Status::OK();
 }
 
-std::string Tracer::RenderReport() const {
+}  // namespace
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  return WriteStringToFile(path, ChromeTraceJson());
+}
+
+Status Tracer::WriteChromeTraceForRoot(const std::string& path,
+                                       uint64_t root_span_id) const {
+  return WriteStringToFile(path,
+                           EventsToChromeJson(SnapshotSubtree(root_span_id)));
+}
+
+namespace {
+
+std::string RenderReportFromEvents(const std::vector<Event>& events) {
   // EXPLAIN ANALYZE-style tree: spans grouped under their parents,
   // children in start order, instants (faults) inline.
-  std::vector<Event> events = Snapshot();
   std::unordered_map<uint64_t, std::vector<const Event*>> children;
   std::vector<const Event*> roots;
   for (const Event& e : events) {
@@ -266,6 +337,16 @@ std::string Tracer::RenderReport() const {
   };
   for (const Event* r : roots) render(r, 1);
   return os.str();
+}
+
+}  // namespace
+
+std::string Tracer::RenderReport() const {
+  return RenderReportFromEvents(Snapshot());
+}
+
+std::string Tracer::RenderReportForRoot(uint64_t root_span_id) const {
+  return RenderReportFromEvents(SnapshotSubtree(root_span_id));
 }
 
 SpanContextScope::SpanContextScope(uint64_t span_id)

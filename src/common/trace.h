@@ -92,6 +92,25 @@ class Tracer {
   /// while other threads record (their shard lock serializes).
   std::vector<Event> Snapshot() const;
 
+  /// The events of one span subtree (the root span, every span reachable
+  /// through parent links, and instants parented inside it). This is the
+  /// per-session view: pass a session span's id and get exactly that
+  /// session's activity even when other sessions recorded concurrently.
+  std::vector<Event> SnapshotSubtree(uint64_t root_span_id) const;
+
+  /// Chrome trace_event JSON for an explicit event set (Snapshot or
+  /// SnapshotSubtree output).
+  static std::string EventsToChromeJson(const std::vector<Event>& events);
+
+  /// Write one span subtree as Chrome trace JSON (per-session sinks: each
+  /// traced session exports its own subtree to its own path, so
+  /// concurrent sessions never clobber a shared dump).
+  Status WriteChromeTraceForRoot(const std::string& path,
+                                 uint64_t root_span_id) const;
+
+  /// EXPLAIN ANALYZE-style report limited to one span subtree.
+  std::string RenderReportForRoot(uint64_t root_span_id) const;
+
   /// Drop every recorded event (shards stay registered).
   void Clear();
 

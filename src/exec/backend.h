@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "exec/eager_ops.h"
 #include "exec/op.h"
 
@@ -51,6 +52,14 @@ struct BackendConfig {
   /// Extension (paper future work §5.4): persist Dask frames on disk
   /// instead of memory.
   bool spill_persisted = false;
+  /// Non-owning worker pool shared across backend instances. Null = the
+  /// backend owns a private pool sized from the knobs above (the
+  /// single-session default). A query server owns one pool and injects
+  /// it into every session's backend so N concurrent sessions multiplex
+  /// a fixed worker set instead of oversubscribing the machine with N
+  /// private pools; num_threads / intra_op_threads then cap only how
+  /// much work one session keeps in flight. Must outlive the backend.
+  ThreadPool* shared_pool = nullptr;
 };
 
 /// Opaque backend-specific frame representation. Eager backends store

@@ -72,9 +72,13 @@ Status RunPartitions(ThreadPool* pool, size_t np, const char* what,
 ModinBackend::ModinBackend(MemoryTracker* tracker,
                            const BackendConfig& config)
     : Backend(tracker, config),
-      pool_(std::make_unique<ThreadPool>(config.num_threads)) {
+      owned_pool_(config.shared_pool == nullptr
+                      ? std::make_unique<ThreadPool>(config.num_threads)
+                      : nullptr),
+      work_pool_(config.shared_pool != nullptr ? config.shared_pool
+                                               : owned_pool_.get()) {
   if (config_.intra_op_threads >= 1) {
-    kernel_ctx_ = df::KernelContext(pool_.get(), config_.intra_op_threads,
+    kernel_ctx_ = df::KernelContext(work_pool_, config_.intra_op_threads,
                                     config_.morsel_rows);
   }
 }
@@ -151,7 +155,7 @@ Result<BackendValue> ModinBackend::ExecuteMapOp(
   size_t np = primary->num_partitions();
   std::vector<df::DataFrame> results(np);
   LAFP_RETURN_NOT_OK(RunPartitions(
-      pool_.get(), np, "map", [&](int i) -> Status {
+      work_pool_, np, "map", [&](int i) -> Status {
         PayOverhead();
         LAFP_ASSIGN_OR_RETURN(df::DataFrame part,
                               primary->partition(i, tracker_));
@@ -186,7 +190,7 @@ Result<BackendValue> ModinBackend::ExecuteGroupBy(
   // partition order for reproducible output.
   std::vector<df::DataFrame> partial_inputs(np);
   LAFP_RETURN_NOT_OK(RunPartitions(
-      pool_.get(), np, "groupby", [&](int i) -> Status {
+      work_pool_, np, "groupby", [&](int i) -> Status {
         PayOverhead();
         LAFP_ASSIGN_OR_RETURN(df::DataFrame part,
                               parts->partition(i, tracker_));
@@ -230,7 +234,7 @@ Result<BackendValue> ModinBackend::ExecuteMerge(const OpDesc& desc,
   size_t np = lparts->num_partitions();
   std::vector<df::DataFrame> results(np);
   LAFP_RETURN_NOT_OK(RunPartitions(
-      pool_.get(), np, "merge", [&](int i) -> Status {
+      work_pool_, np, "merge", [&](int i) -> Status {
         PayOverhead();
         LAFP_ASSIGN_OR_RETURN(df::DataFrame part,
                               lparts->partition(i, tracker_));

@@ -65,8 +65,11 @@ class ModinBackend : public Backend {
   Result<BackendValue> ExecuteViaConcat(
       const OpDesc& desc, const std::vector<BackendValue>& inputs);
 
-  std::unique_ptr<ThreadPool> pool_;
-  df::KernelContext kernel_ctx_;  // over pool_; default if knob is 0
+  /// Owned only when no shared pool was injected
+  /// (BackendConfig::shared_pool); work_pool_ is what partition ops use.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* work_pool_;
+  df::KernelContext kernel_ctx_;  // over work_pool_; default if knob is 0
 };
 
 }  // namespace lafp::exec

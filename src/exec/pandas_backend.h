@@ -42,7 +42,9 @@ class PandasBackend : public Backend {
   int64_t RowCount(const BackendValue& value) const override;
 
  private:
-  std::unique_ptr<ThreadPool> kernel_pool_;  // only if intra_op_threads > 1
+  /// Owned only when intra_op_threads > 1 and no shared pool was
+  /// injected (BackendConfig::shared_pool).
+  std::unique_ptr<ThreadPool> kernel_pool_;
   df::KernelContext kernel_ctx_;  // default (single-morsel) if knob is 0
 };
 

@@ -122,6 +122,7 @@ ResultCache::ResultCache() : ResultCache(Options()) {}
 
 ResultCache::ResultCache(Options options)
     : capacity_bytes_(options.capacity_bytes),
+      effective_capacity_(options.capacity_bytes),
       owned_tracker_(options.charge_tracker == nullptr
                          ? std::make_unique<MemoryTracker>(0)
                          : nullptr),
@@ -151,7 +152,7 @@ Status ResultCache::Insert(const CacheKey& key,
   Entry entry;
   entry.key = key;
   entry.bytes = ValueBytes(*copy);
-  if (static_cast<size_t>(entry.bytes) > capacity_bytes_) {
+  if (static_cast<size_t>(entry.bytes) > effective_capacity()) {
     return Status::OK();  // larger than the whole cache: skip
   }
   entry.value =
@@ -165,11 +166,21 @@ Status ResultCache::Insert(const CacheKey& key,
   index_[key] = lru_.begin();
   inserts_.fetch_add(1, std::memory_order_relaxed);
   InsertsCounter()->Increment();
-  while (bytes_ > capacity_bytes_ && lru_.size() > 1) {
+  while (bytes_ > effective_capacity() && lru_.size() > 1) {
     EvictOneLocked();
   }
   UpdateGauges();
   return Status::OK();
+}
+
+void ResultCache::set_effective_capacity(size_t bytes) {
+  if (bytes > capacity_bytes_) bytes = capacity_bytes_;
+  effective_capacity_.store(bytes, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  while (bytes_ > bytes && !lru_.empty()) {
+    EvictOneLocked();
+  }
+  UpdateGauges();
 }
 
 std::shared_ptr<const exec::EagerValue> ResultCache::Lookup(
@@ -271,7 +282,11 @@ std::optional<size_t> EnvCacheCapacity() {
 }  // namespace
 
 const std::shared_ptr<ResultCache>& ResultCache::Global() {
-  // Sized from LAFP_CACHE at first use; leaky (process lifetime).
+  // Sized from LAFP_CACHE at first use; leaky (process lifetime). The
+  // function-local static is a C++11 magic static: its initializer runs
+  // exactly once even when many sessions construct concurrently, so the
+  // env parse and the allocation cannot race or double-run (exercised by
+  // the multi-session TSan test).
   static auto* cache = new std::shared_ptr<ResultCache>([] {
     ResultCache::Options opts;
     opts.capacity_bytes =

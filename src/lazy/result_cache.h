@@ -81,6 +81,16 @@ class ResultCache {
   size_t bytes() const;
   size_t entries() const;
   size_t capacity_bytes() const { return capacity_bytes_; }
+
+  /// Admission-aware capacity. The configured capacity is a hard ceiling;
+  /// a server admitting many concurrent sessions can shrink the
+  /// *effective* capacity so cached results yield memory to live queries,
+  /// then restore it when load drains. Shrinking evicts immediately down
+  /// to the new limit; values are clamped to [0, capacity_bytes()].
+  void set_effective_capacity(size_t bytes);
+  size_t effective_capacity() const {
+    return effective_capacity_.load(std::memory_order_relaxed);
+  }
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   int64_t inserts() const { return inserts_.load(std::memory_order_relaxed); }
@@ -111,6 +121,7 @@ class ResultCache {
   void UpdateGauges() const;
 
   const size_t capacity_bytes_;
+  std::atomic<size_t> effective_capacity_;
   std::unique_ptr<MemoryTracker> owned_tracker_;
   MemoryTracker* tracker_;
 

@@ -1,6 +1,8 @@
 #include "lazy/session.h"
 
+#include <atomic>
 #include <iostream>
+#include <optional>
 #include <unordered_set>
 #include <utility>
 
@@ -44,6 +46,10 @@ SessionOptions NormalizeOptions(SessionOptions options) {
   return options;
 }
 
+/// Process-wide session id source: concurrent sessions (one per server
+/// request) get distinct, monotonic ids.
+std::atomic<int64_t> next_session_id{1};
+
 class FunctionPass : public OptimizerPass {
  public:
   FunctionPass(std::string name, OptimizerPassFn fn)
@@ -70,19 +76,27 @@ std::unique_ptr<OptimizerPass> MakeFunctionPass(std::string name,
 
 Session::Session(SessionOptions options)
     : options_(NormalizeOptions(std::move(options))),
+      session_id_(next_session_id.fetch_add(1, std::memory_order_relaxed)),
       tracker_(options_.tracker != nullptr ? options_.tracker
                                            : MemoryTracker::Default()),
       backend_(exec::MakeBackend(options_.backend, tracker_,
                                  options_.backend_config)) {
   if (!options_.fault_config.empty()) {
-    fault_scope_ = std::make_unique<FaultScope>(options_.fault_config);
-    fault_status_ = fault_scope_->status();
+    // Session-private injector: concurrent sessions with different fault
+    // configs coexist (nothing global is mutated). A parse failure still
+    // surfaces from the first execution round, not the constructor.
+    fault_injector_ = std::make_unique<FaultInjector>();
+    fault_status_ = fault_injector_->InstallFromString(options_.fault_config);
   }
   if (options_.exec.trace) trace::Tracer::Global()->set_enabled(true);
   // Inert when the tracer stayed off (neither the option nor LAFP_TRACE).
   session_span_ = std::make_unique<trace::Span>(
       std::string("session:") + backend_->name(), "session",
       /*parent_id=*/0, /*install=*/false);
+  // The at-exit trace splitter and per-session exports key on this arg.
+  if (session_span_->active()) {
+    session_span_->AddArg("session_id", session_id_);
+  }
   // Cross-query cache: an explicit instance wins; bare `enabled` builds a
   // session-private cache charged to the session tracker; otherwise the
   // LAFP_CACHE env knob can attach the process-wide shared cache.
@@ -122,6 +136,9 @@ Result<TaskNodePtr> Session::AddNode(exec::OpDesc desc,
                                      std::vector<TaskNodePtr> inputs) {
   TaskNodePtr node = graph_.NewNode(std::move(desc), std::move(inputs));
   if (options_.mode == ExecutionMode::kEager) {
+    LAFP_RETURN_NOT_OK(fault_status_);
+    std::optional<ScopedFaultInjector> fault_ctx;
+    if (fault_injector_ != nullptr) fault_ctx.emplace(fault_injector_.get());
     LAFP_RETURN_NOT_OK(ExecNode(node, nullptr));
     // Plain-Pandas memory semantics: intermediate results are freed when
     // the program drops its handle, so the node must not pin its inputs.
@@ -179,6 +196,11 @@ Result<exec::EagerValue> Session::Compute(
   last_print_ = nullptr;
   roots.push_back(node);
   LAFP_RETURN_NOT_OK(ExecuteRound(roots, live));
+  // Post-round Persist/Materialize can hit spill/IO fault points too
+  // (Dask streaming evaluation), so they run under the session injector
+  // like the round itself.
+  std::optional<ScopedFaultInjector> fault_ctx;
+  if (fault_injector_ != nullptr) fault_ctx.emplace(fault_injector_.get());
   if (node->result.empty() && !node->result.is_scalar) {
     return Status::ExecutionError("compute produced no result");
   }
@@ -245,6 +267,11 @@ Status Session::ExecuteRound(const std::vector<TaskNodePtr>& roots,
   // A malformed SessionOptions::fault_config cannot surface from the
   // constructor; it fails the first round instead of being ignored.
   LAFP_RETURN_NOT_OK(fault_status_);
+  // Session-private fault context for the whole round: pass bodies,
+  // serial execution, and — via ThreadPool::Submit's capture — every
+  // scheduler / partition / kernel-morsel task this round spawns.
+  std::optional<ScopedFaultInjector> fault_ctx;
+  if (fault_injector_ != nullptr) fault_ctx.emplace(fault_injector_.get());
   Timer round_timer;
   // Per-round memory epoch: ExecutionReport::peak_tracked_bytes is this
   // round's own high-water mark, not the process-lifetime peak.
@@ -319,14 +346,21 @@ Status Session::ExecuteRound(const std::vector<TaskNodePtr>& roots,
   int threads = options_.exec.num_threads;
   const bool parallel = threads > 1 && !options_.exec.serial_scheduler &&
                         !backend_->lazy();
-  if (parallel && scheduler_pool_ == nullptr) {
-    scheduler_pool_ = std::make_unique<ThreadPool>(threads);
+  // An injected pool (query server) is shared across sessions; otherwise
+  // the session lazily builds its own.
+  ThreadPool* pool = options_.exec.scheduler_pool;
+  if (parallel && pool == nullptr) {
+    if (scheduler_pool_ == nullptr) {
+      scheduler_pool_ = std::make_unique<ThreadPool>(threads);
+    }
+    pool = scheduler_pool_.get();
   }
 
   Scheduler::Options sched_options;
   sched_options.num_threads = parallel ? threads : 1;
   sched_options.clear_results = clear_results;
   sched_options.collect_stats = options_.exec.collect_stats;
+  sched_options.cancel = options_.exec.cancel;
   Scheduler::Callbacks callbacks;
   callbacks.exec_node = [this](const TaskNodePtr& node, NodeStats* stats) {
     return ExecNode(node, stats);
@@ -334,8 +368,8 @@ Status Session::ExecuteRound(const std::vector<TaskNodePtr>& roots,
   callbacks.emit_print = [this](const TaskNodePtr& node, NodeStats* stats) {
     return EmitPrint(node, stats);
   };
-  Scheduler scheduler(parallel ? scheduler_pool_.get() : nullptr,
-                      sched_options, std::move(callbacks));
+  Scheduler scheduler(parallel ? pool : nullptr, sched_options,
+                      std::move(callbacks));
   Status status = scheduler.Run(roots, &report);
 
   if (cache_splicer_ != nullptr) {

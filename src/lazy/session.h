@@ -66,6 +66,18 @@ struct ExecutionOptions {
   /// tracer for Chrome-JSON or EXPLAIN ANALYZE export. Independent of the
   /// LAFP_TRACE env knob (either can switch the tracer on).
   bool trace = false;
+  /// External cancellation token checked by the scheduler between nodes
+  /// (common/cancellation.h). Non-owning, must outlive the session; null
+  /// = rounds cancel only on internal failure. A query server trips this
+  /// when the client disconnects, so an abandoned request stops burning
+  /// workers at its next node boundary.
+  CancellationToken* cancel = nullptr;
+  /// Non-owning DAG-scheduler worker pool shared across sessions. Null =
+  /// the session lazily builds a private pool (the single-session
+  /// default). A query server owns one pool and hands it to every
+  /// session so N concurrent sessions multiplex a fixed worker set
+  /// instead of stacking N private pools. Must outlive the session.
+  ThreadPool* scheduler_pool = nullptr;
 
   /// Fully resolved execution knobs — every zero-means-inherit default
   /// collapsed to a concrete value.
@@ -99,10 +111,13 @@ struct SessionOptions {
   /// stringstream; the regression harness hashes it.
   std::ostream* output = nullptr;
   /// Fault-injection specs armed for the session's lifetime (LAFP_FAULTS
-  /// grammar, see common/fault.h). The registry is process-global, so
-  /// this is meant for single-session tools and tests; empty = leave the
-  /// registry alone. A malformed string fails Session construction's
-  /// first execution round.
+  /// grammar, see common/fault.h). The session owns a *private*
+  /// FaultInjector installed as the thread-current injector around its
+  /// execution paths (and propagated into pool tasks by
+  /// ThreadPool::Submit), so concurrent sessions with different fault
+  /// configs never stomp the process-global registry. Empty = the
+  /// Global() registry (LAFP_FAULTS) applies. A malformed string fails
+  /// the session's first execution round.
   std::string fault_config;
   /// Scheduler / threading knobs (see ExecutionOptions).
   ExecutionOptions exec;
@@ -190,6 +205,22 @@ class SessionOptions::Builder {
     opts_.exec.trace = on;
     return *this;
   }
+  /// External cancellation token (non-owning; see ExecutionOptions).
+  Builder& cancel(CancellationToken* token) {
+    opts_.exec.cancel = token;
+    return *this;
+  }
+  /// Shared DAG-scheduler pool (non-owning; see ExecutionOptions).
+  Builder& scheduler_pool(ThreadPool* pool) {
+    opts_.exec.scheduler_pool = pool;
+    return *this;
+  }
+  /// Shared backend worker pool (non-owning; see
+  /// exec::BackendConfig::shared_pool).
+  Builder& backend_pool(ThreadPool* pool) {
+    opts_.backend_config.shared_pool = pool;
+    return *this;
+  }
   Builder& spill_fallback_dir(std::string dir) {
     opts_.backend_config.spill_fallback_dir = std::move(dir);
     return *this;
@@ -271,6 +302,17 @@ class Session {
   MemoryTracker* tracker() { return tracker_; }
   const SessionOptions& options() const { return options_; }
 
+  /// Process-unique id (monotonic, assigned at construction). Stamped
+  /// onto the session trace span so per-session trace sinks and the
+  /// server's request logs can correlate.
+  int64_t session_id() const { return session_id_; }
+  /// Span id of the session-lifetime trace span (0 when tracing was off
+  /// at construction). Pass to Tracer::WriteChromeTraceForRoot /
+  /// RenderReportForRoot for this session's isolated trace view.
+  uint64_t trace_root() const {
+    return session_span_ != nullptr ? session_span_->id() : 0;
+  }
+
   /// Create a node; in eager mode it executes immediately (and its input
   /// edges are dropped so intermediate results can be garbage collected,
   /// like plain Pandas temporaries).
@@ -345,16 +387,21 @@ class Session {
                             const std::vector<TaskNodePtr>& live);
 
   SessionOptions options_;
+  const int64_t session_id_;
   MemoryTracker* tracker_;
   std::unique_ptr<exec::Backend> backend_;
-  /// Arms SessionOptions::fault_config for the session's lifetime.
-  std::unique_ptr<FaultScope> fault_scope_;
+  /// Session-private injector armed from SessionOptions::fault_config
+  /// (null when the config is empty and the Global() registry applies).
+  /// Installed as the thread-current injector around execution paths;
+  /// ThreadPool::Submit carries it into pool tasks.
+  std::unique_ptr<FaultInjector> fault_injector_;
   /// Parse result of fault_config; surfaced by the next execution round.
   Status fault_status_;
-  /// Workers for graph-level parallelism. Created once (first parallel
-  /// round) and shared across rounds; distinct from the Modin backend's
-  /// partition pool so a scheduler worker blocking in Backend::Execute can
-  /// never starve the backend's own ParallelFor.
+  /// Workers for graph-level parallelism when no shared pool was
+  /// injected (ExecutionOptions::scheduler_pool). Created once (first
+  /// parallel round) and shared across rounds; distinct from the Modin
+  /// backend's partition pool so a scheduler worker blocking in
+  /// Backend::Execute can never starve the backend's own ParallelFor.
   std::unique_ptr<ThreadPool> scheduler_pool_;
   /// Session-lifetime trace span (inert when tracing is off). Never
   /// installed as thread context — sessions are not LIFO on a thread;

@@ -1,0 +1,208 @@
+#include "serve/http.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace lafp::serve {
+
+namespace {
+
+constexpr size_t kMaxHeaderBytes = 64u << 10;
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Percent-decoding for query components ('+' decodes to space).
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size() &&
+               HexDigit(s[i + 1]) >= 0 && HexDigit(s[i + 2]) >= 0) {
+      out.push_back(static_cast<char>(HexDigit(s[i + 1]) * 16 +
+                                      HexDigit(s[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+/// Blocking read of exactly `n` more bytes into `buf` (appends).
+Status ReadExact(int fd, size_t n, std::string* buf) {
+  size_t start = buf->size();
+  buf->resize(start + n);
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd, buf->data() + start + got, n - got, 0);
+    if (r == 0) {
+      return Status::IOError("peer closed connection mid-request");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv failed: ") +
+                             std::strerror(errno));
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 499: return "Client Closed Request";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 507: return "Insufficient Storage";
+    default: return "Unknown";
+  }
+}
+
+void ParseTarget(const std::string& target, std::string* path,
+                 std::map<std::string, std::string>* params) {
+  params->clear();
+  auto q = target.find('?');
+  *path = target.substr(0, q);
+  if (q == std::string::npos) return;
+  for (const std::string& pair : Split(target.substr(q + 1), '&')) {
+    if (pair.empty()) continue;
+    auto eq = pair.find('=');
+    std::string key = UrlDecode(pair.substr(0, eq));
+    std::string value =
+        eq == std::string::npos ? "" : UrlDecode(pair.substr(eq + 1));
+    (*params)[std::move(key)] = std::move(value);
+  }
+}
+
+Status ReadHttpRequest(int fd, HttpRequest* out, size_t max_body_bytes) {
+  *out = HttpRequest();
+  // Accumulate until the blank line ending the header section; anything
+  // past it is the body prefix.
+  std::string buf;
+  size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    if (buf.size() > kMaxHeaderBytes) {
+      return Status::Invalid("http: header section too large");
+    }
+    char chunk[4096];
+    ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (r == 0) {
+      if (buf.empty()) return Status::IOError("http: empty connection");
+      return Status::IOError("peer closed connection mid-request");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv failed: ") +
+                             std::strerror(errno));
+    }
+    buf.append(chunk, static_cast<size_t>(r));
+    header_end = buf.find("\r\n\r\n");
+  }
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  size_t line_end = buf.find("\r\n");
+  std::string request_line = buf.substr(0, line_end);
+  std::vector<std::string> parts = Split(request_line, ' ');
+  if (parts.size() != 3 || parts[0].empty() || parts[1].empty() ||
+      parts[2].rfind("HTTP/", 0) != 0) {
+    return Status::Invalid("http: malformed request line '" + request_line +
+                           "'");
+  }
+  out->method = parts[0];
+  ParseTarget(parts[1], &out->path, &out->params);
+
+  // Header fields.
+  size_t pos = line_end + 2;
+  while (pos < header_end) {
+    size_t end = buf.find("\r\n", pos);
+    std::string_view line(buf.data() + pos, end - pos);
+    pos = end + 2;
+    auto colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::Invalid("http: malformed header '" + std::string(line) +
+                             "'");
+    }
+    out->headers[ToLower(Trim(line.substr(0, colon)))] =
+        std::string(Trim(line.substr(colon + 1)));
+  }
+
+  // Body: Content-Length framing only (no chunked encoding).
+  size_t content_length = 0;
+  auto it = out->headers.find("content-length");
+  if (it != out->headers.end()) {
+    auto n = ParseInt64(it->second);
+    if (!n.has_value() || *n < 0) {
+      return Status::Invalid("http: bad Content-Length '" + it->second + "'");
+    }
+    content_length = static_cast<size_t>(*n);
+  }
+  if (content_length > max_body_bytes) {
+    return Status::Invalid("http: body larger than " +
+                           std::to_string(max_body_bytes) + " bytes");
+  }
+  out->body = buf.substr(header_end + 4);
+  if (out->body.size() > content_length) {
+    return Status::Invalid("http: body longer than Content-Length");
+  }
+  if (out->body.size() < content_length) {
+    LAFP_RETURN_NOT_OK(
+        ReadExact(fd, content_length - out->body.size(), &out->body));
+  }
+  return Status::OK();
+}
+
+Status WriteHttpResponse(int fd, const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    HttpStatusReason(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  size_t sent = 0;
+  while (sent < out.size()) {
+    // MSG_NOSIGNAL: a disconnected client must surface as EPIPE, not kill
+    // the server process with SIGPIPE.
+    ssize_t r = ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send failed: ") +
+                             std::strerror(errno));
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace lafp::serve

@@ -1,0 +1,54 @@
+#ifndef LAFP_SERVE_HTTP_H_
+#define LAFP_SERVE_HTTP_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace lafp::serve {
+
+/// One parsed HTTP/1.1 request. The parser is deliberately minimal — a
+/// request line, headers, and a Content-Length body are all the query
+/// service needs — but strict about what it does accept: malformed
+/// framing is an error, never a guess.
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // target path without the query string
+  /// Decoded query parameters (?mode=lazy&trace=1).
+  std::map<std::string, std::string> params;
+  /// Header names are lower-cased; values are trimmed.
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// The standard reason phrase for `status` ("OK", "Too Many Requests",
+/// ...); "Unknown" for codes the service never emits.
+const char* HttpStatusReason(int status);
+
+/// Read one request from a blocking socket. Fails with kInvalid on
+/// malformed framing (bad request line, non-numeric Content-Length, a
+/// header section over 64 KiB, a body over `max_body_bytes`) and with
+/// kIOError when the peer closes mid-request.
+Status ReadHttpRequest(int fd, HttpRequest* out,
+                       size_t max_body_bytes = 4u << 20);
+
+/// Write a complete response (status line, headers, body) to a blocking
+/// socket. Always sends Content-Length and Connection: close — the
+/// service is one-request-per-connection by design.
+Status WriteHttpResponse(int fd, const HttpResponse& response);
+
+/// Split a request target into path + decoded query parameters
+/// ("/run?mode=lazy&trace=1"). Exposed for tests.
+void ParseTarget(const std::string& target, std::string* path,
+                 std::map<std::string, std::string>* params);
+
+}  // namespace lafp::serve
+
+#endif  // LAFP_SERVE_HTTP_H_

@@ -1,0 +1,155 @@
+#ifndef LAFP_SERVE_SERVER_H_
+#define LAFP_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/memory_tracker.h"
+#include "common/thread_pool.h"
+#include "exec/backend.h"
+#include "lazy/result_cache.h"
+#include "serve/http.h"
+
+namespace lafp::serve {
+
+/// Query-service tuning. The defaults suit the smoke tests and the
+/// quickstart; lafp_serve's flags map onto these one-to-one.
+struct ServeOptions {
+  /// TCP port to listen on; 0 = pick an ephemeral port (tests read it
+  /// back through QueryService::port()).
+  int port = 8080;
+  /// Threads handling HTTP connections. This is also the hard ceiling on
+  /// concurrently *parsing* requests; admitted queries then run inside
+  /// these same threads against the shared engine pools.
+  int worker_threads = 8;
+  /// Admission cap: /run requests in flight at once. Requests over the
+  /// cap are rejected immediately with 429, never queued — a loaded
+  /// server stays responsive and the client owns the retry policy.
+  int max_sessions = 8;
+  /// Process budget carved across admitted sessions (bytes; 0 =
+  /// unlimited). Each request executes under a child MemoryTracker of
+  /// this budget, so one fat query OOMs cleanly instead of sinking the
+  /// service.
+  int64_t memory_budget_bytes = 0;
+  /// Per-session budget (bytes); 0 = memory_budget_bytes / max_sessions
+  /// (unlimited when the process budget is unlimited).
+  int64_t session_budget_bytes = 0;
+  /// Shared cross-query result cache capacity (bytes; 0 disables).
+  size_t cache_bytes = lazy::ResultCache::kDefaultCapacityBytes;
+  /// DAG-scheduler threads one session may use (its num_threads knob;
+  /// the actual workers come from one shared pool).
+  int session_threads = 4;
+  /// Morsel parallelism per kernel (0 = off; workers shared).
+  int intra_op_threads = 0;
+  /// Backend when a request does not pass ?backend=.
+  exec::BackendKind default_backend = exec::BackendKind::kPandas;
+  /// Test seam: invoked after a /run request is admitted and registered
+  /// with the disconnect monitor, before the program executes. The smoke
+  /// tests use it to hold requests in flight deterministically (admission
+  /// and cancellation behavior); never set in production.
+  std::function<void(CancellationToken*)> run_started_hook;
+};
+
+/// The lafp_serve engine: a blocking-socket HTTP front end where each
+/// request runs a PdScript program in an isolated lazy::Session wired to
+/// shared process resources (DESIGN.md "Query service & multi-session
+/// re-entrancy").
+///
+/// Endpoints:
+///   POST /run[?mode=lafp|lazy|eager][&backend=pandas|modin|dask]
+///            [&trace=1]          — body is the program; 200 = its output
+///   GET  /metrics               — text scrape of the metrics registry
+///   GET  /healthz               — liveness probe
+///
+/// Isolation per request: fresh Session + child MemoryTracker carved
+/// from the process budget + private CancellationToken (tripped by the
+/// disconnect monitor when the client goes away). Shared across
+/// requests: the scheduler/backend thread pools (fixed worker count, no
+/// per-session oversubscription) and the ResultCache, whose effective
+/// capacity shrinks under admission pressure.
+class QueryService {
+ public:
+  explicit QueryService(ServeOptions options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Bind + listen + start the accept loop and handler pool. Fails on
+  /// socket errors (port in use).
+  Status Start();
+  /// Stop accepting, drain handlers, join threads. Idempotent.
+  void Stop();
+
+  /// The bound port (after Start; useful with port = 0).
+  int port() const { return port_; }
+  const ServeOptions& options() const { return options_; }
+
+  /// In-flight /run requests (tests assert admission behavior).
+  int64_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+  /// Request dispatch, exposed for in-process tests: returns the response
+  /// for an already-parsed request. `client_fd` (-1 = none) is watched
+  /// for disconnect while the program runs.
+  HttpResponse Dispatch(const HttpRequest& request, int client_fd);
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  HttpResponse HandleRun(const HttpRequest& request, int client_fd);
+  HttpResponse HandleMetrics() const;
+
+  /// Admission slot guard; see HandleRun.
+  class AdmissionSlot;
+  /// Scale the shared cache's effective capacity to the current load.
+  void UpdateCachePressure();
+
+  /// Disconnect monitor: polls in-flight client sockets; a closed peer
+  /// trips the request's CancellationToken so the scheduler abandons the
+  /// round at its next node boundary. `disconnected` is set alongside —
+  /// the token alone is ambiguous, because the scheduler also trips it
+  /// to cooperatively stop co-running nodes after an engine failure.
+  void MonitorLoop();
+  void WatchClient(int fd, CancellationToken* token,
+                   std::atomic<bool>* disconnected);
+  void UnwatchClient(int fd);
+
+  ServeOptions options_;
+  int port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+
+  /// Process budget; parent of every request's child tracker.
+  MemoryTracker tracker_;
+  /// Shared engine pools (fixed size; sessions multiplex them).
+  std::unique_ptr<ThreadPool> scheduler_pool_;
+  std::unique_ptr<ThreadPool> backend_pool_;
+  std::shared_ptr<lazy::ResultCache> cache_;
+
+  std::atomic<int64_t> in_flight_{0};
+
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> handler_pool_;
+
+  std::thread monitor_thread_;
+  std::mutex watch_mu_;
+  struct WatchedClient {
+    CancellationToken* token;
+    std::atomic<bool>* disconnected;
+  };
+  std::map<int, WatchedClient> watched_;  // fd -> in-flight request
+};
+
+}  // namespace lafp::serve
+
+#endif  // LAFP_SERVE_SERVER_H_

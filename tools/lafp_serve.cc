@@ -1,0 +1,109 @@
+// lafp_serve: the LaFP query service. Accepts PdScript programs over
+// HTTP, runs each request in an isolated session against shared engine
+// pools, and exposes a metrics scrape.
+//
+//   lafp_serve --port 8080 --threads 8 --max-sessions 8 --budget-mb 1024
+//   curl -s -X POST --data-binary @program.py localhost:8080/run
+//   curl -s localhost:8080/metrics
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "serve/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true, std::memory_order_release); }
+
+void Usage() {
+  std::cerr <<
+      "usage: lafp_serve [options]\n"
+      "  --port N          listen port (default 8080; 0 = ephemeral)\n"
+      "  --threads N       HTTP worker threads (default 8)\n"
+      "  --max-sessions N  concurrent /run admission cap (default 8)\n"
+      "  --budget-mb N     process memory budget in MiB (default 0 = off)\n"
+      "  --cache-mb N      shared result-cache capacity in MiB "
+      "(default 256; 0 = off)\n"
+      "  --session-threads N  scheduler threads per session (default 4)\n"
+      "  --intra-op N      morsel threads per kernel (default 0 = off)\n"
+      "  --backend NAME    default backend: pandas|modin|dask "
+      "(default pandas)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lafp::serve::ServeOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      options.port = std::atoi(next());
+    } else if (arg == "--threads") {
+      options.worker_threads = std::atoi(next());
+    } else if (arg == "--max-sessions") {
+      options.max_sessions = std::atoi(next());
+    } else if (arg == "--budget-mb") {
+      options.memory_budget_bytes = std::atoll(next()) << 20;
+    } else if (arg == "--cache-mb") {
+      options.cache_bytes = static_cast<size_t>(std::atoll(next())) << 20;
+    } else if (arg == "--session-threads") {
+      options.session_threads = std::atoi(next());
+    } else if (arg == "--intra-op") {
+      options.intra_op_threads = std::atoi(next());
+    } else if (arg == "--backend") {
+      std::string name = next();
+      if (name == "pandas") {
+        options.default_backend = lafp::exec::BackendKind::kPandas;
+      } else if (name == "modin") {
+        options.default_backend = lafp::exec::BackendKind::kModin;
+      } else if (name == "dask") {
+        options.default_backend = lafp::exec::BackendKind::kDask;
+      } else {
+        std::cerr << "unknown backend '" << name << "'\n";
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::cerr << "unknown flag '" << arg << "'\n";
+      Usage();
+      return 2;
+    }
+  }
+
+  lafp::serve::QueryService service(options);
+  lafp::Status started = service.Start();
+  if (!started.ok()) {
+    std::cerr << "lafp_serve: " << started.ToString() << "\n";
+    return 1;
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::cout << "lafp_serve listening on port " << service.port()
+            << " (max " << service.options().max_sessions
+            << " concurrent sessions)" << std::endl;
+  while (!g_stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cout << "lafp_serve: shutting down" << std::endl;
+  service.Stop();
+  return 0;
+}
