@@ -139,6 +139,66 @@ class CsvStream : public PartitionStream {
   bool eof_ = false;
 };
 
+class LfcStream : public PartitionStream {
+ public:
+  LfcStream(std::unique_ptr<io::LfcReader> reader, io::LfcReadOptions options,
+            int64_t overhead_us, MemoryTracker* tracker)
+      : reader_(std::move(reader)),
+        options_(std::move(options)),
+        overhead_us_(overhead_us),
+        tracker_(tracker),
+        remaining_(options_.nrows == 0 ? std::numeric_limits<uint64_t>::max()
+                                       : options_.nrows) {}
+
+  Result<std::optional<df::DataFrame>> Next() override {
+    if (!resolved_) {
+      LAFP_ASSIGN_OR_RETURN(sel_, reader_->SelectColumns(options_.usecols));
+      resolved_ = true;
+    }
+    // One surviving LFC chunk per partition; pruned chunks still consume
+    // their slice of the nrows quota (matches the eager scan exactly).
+    const bool pruning = options_.prune_enabled && !options_.prune.empty();
+    while (chunk_ < reader_->num_chunks() && remaining_ > 0) {
+      const size_t chunk = chunk_++;
+      const uint64_t take =
+          std::min<uint64_t>(reader_->chunk_rows(chunk), remaining_);
+      remaining_ -= take;
+      if (pruning && !reader_->ChunkMayMatch(chunk, options_.prune)) {
+        continue;
+      }
+      if (overhead_us_ > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(overhead_us_));
+      }
+      ++emitted_;
+      LAFP_ASSIGN_OR_RETURN(
+          df::DataFrame part,
+          reader_->ReadChunk(chunk, sel_, static_cast<size_t>(take)));
+      return std::optional<df::DataFrame>(std::move(part));
+    }
+    if (emitted_ == 0 && !empty_emitted_) {
+      // All chunks pruned (or an empty file): emit one empty partition
+      // carrying the projected schema, like the header-only CSV case.
+      empty_emitted_ = true;
+      LAFP_ASSIGN_OR_RETURN(df::DataFrame empty, reader_->EmptyFrame(sel_));
+      return std::optional<df::DataFrame>(std::move(empty));
+    }
+    return std::optional<df::DataFrame>();
+  }
+
+ private:
+  std::unique_ptr<io::LfcReader> reader_;
+  io::LfcReadOptions options_;
+  int64_t overhead_us_;
+  MemoryTracker* tracker_;
+  std::vector<size_t> sel_;
+  bool resolved_ = false;
+  size_t chunk_ = 0;
+  uint64_t remaining_;
+  size_t emitted_ = 0;
+  bool empty_emitted_ = false;
+};
+
 class SingleFrameStream : public PartitionStream {
  public:
   explicit SingleFrameStream(df::DataFrame frame)
@@ -505,6 +565,13 @@ Result<std::unique_ptr<PartitionStream>> DaskEvaluator::StreamInner(
           std::move(reader), backend_->config().partition_rows,
           backend_->config().task_overhead_us,
           backend_->config().prefetch_partitions, tracker_));
+    }
+    case OpKind::kReadLfc: {
+      LAFP_ASSIGN_OR_RETURN(auto reader,
+                            io::LfcReader::Open(desc.path, tracker_));
+      return std::unique_ptr<PartitionStream>(std::make_unique<LfcStream>(
+          std::move(reader), desc.lfc_options,
+          backend_->config().task_overhead_us, tracker_));
     }
     case OpKind::kGroupByAgg: {
       GroupByCombiner combiner(desc.columns, desc.aggs);

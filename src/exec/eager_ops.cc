@@ -60,6 +60,12 @@ Result<EagerValue> ExecuteEagerOp(const OpDesc& desc,
           DataFrame frame, io::ReadCsv(desc.path, desc.csv_options, tracker));
       return EagerValue::Frame(std::move(frame));
     }
+    case OpKind::kReadLfc: {
+      LAFP_ASSIGN_OR_RETURN(
+          DataFrame frame,
+          io::ReadLfcFile(desc.path, desc.lfc_options, tracker));
+      return EagerValue::Frame(std::move(frame));
+    }
     case OpKind::kSelect: {
       LAFP_ASSIGN_OR_RETURN(DataFrame frame,
                             inputs[0].frame.Select(desc.columns));

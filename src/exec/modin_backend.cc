@@ -1,6 +1,7 @@
 #include "exec/modin_backend.h"
 
 #include <chrono>
+#include <limits>
 #include <mutex>
 #include <thread>
 
@@ -116,6 +117,38 @@ Result<BackendValue> ModinBackend::Execute(
         LAFP_ASSIGN_OR_RETURN(
             df::DataFrame empty,
             io::ReadCsv(desc.path, desc.csv_options, tracker_));
+        parts.Add(std::move(empty));
+      }
+      return WrapParts(std::move(parts));
+    }
+    case OpKind::kReadLfc: {
+      // Native columnar scan: each surviving LFC chunk becomes one
+      // partition. Zone-pruned chunks still consume their share of the
+      // nrows quota so the partitioned read matches the eager scan.
+      LAFP_ASSIGN_OR_RETURN(auto reader,
+                            io::LfcReader::Open(desc.path, tracker_));
+      const auto& o = desc.lfc_options;
+      LAFP_ASSIGN_OR_RETURN(std::vector<size_t> sel,
+                            reader->SelectColumns(o.usecols));
+      const bool pruning = o.prune_enabled && !o.prune.empty();
+      PartitionedFrame parts;
+      uint64_t remaining = o.nrows == 0
+                               ? std::numeric_limits<uint64_t>::max()
+                               : o.nrows;
+      for (size_t chunk = 0; chunk < reader->num_chunks(); ++chunk) {
+        if (remaining == 0) break;
+        const uint64_t take =
+            std::min<uint64_t>(reader->chunk_rows(chunk), remaining);
+        remaining -= take;
+        if (pruning && !reader->ChunkMayMatch(chunk, o.prune)) continue;
+        LAFP_ASSIGN_OR_RETURN(
+            df::DataFrame part,
+            reader->ReadChunk(chunk, sel, static_cast<size_t>(take)));
+        PayOverhead();
+        parts.Add(std::move(part));
+      }
+      if (parts.num_partitions() == 0) {
+        LAFP_ASSIGN_OR_RETURN(df::DataFrame empty, reader->EmptyFrame(sel));
         parts.Add(std::move(empty));
       }
       return WrapParts(std::move(parts));

@@ -74,6 +74,8 @@ const char* OpKindName(OpKind kind) {
       return "isin";
     case OpKind::kConcat:
       return "concat";
+    case OpKind::kReadLfc:
+      return "read_lfc";
     case OpKind::kMaterialized:
       return "materialized";
   }
@@ -95,6 +97,27 @@ std::string OpDesc::ToString() const {
         os << "]";
       }
       if (!csv_options.dtypes.empty()) os << ", dtypes=" << csv_options.dtypes.size();
+      os << ")";
+      break;
+    case OpKind::kReadLfc:
+      os << "(" << path;
+      if (!lfc_options.usecols.empty()) {
+        os << ", usecols=[";
+        for (size_t i = 0; i < lfc_options.usecols.size(); ++i) {
+          if (i > 0) os << ",";
+          os << lfc_options.usecols[i];
+        }
+        os << "]";
+      }
+      if (!lfc_options.prune.empty()) {
+        os << ", prune=[";
+        for (size_t i = 0; i < lfc_options.prune.size(); ++i) {
+          if (i > 0) os << " & ";
+          const auto& p = lfc_options.prune[i];
+          os << p.column << df::CompareOpSymbol(p.op) << p.scalar.ToString();
+        }
+        os << "]";
+      }
       os << ")";
       break;
     case OpKind::kGetColumn:
@@ -184,12 +207,22 @@ std::string OpDesc::Fingerprint() const {
   for (const auto& s : scalar_list) {
     os << static_cast<int>(s.type()) << ":" << s.ToString() << ",";
   }
+  os << "|";
+  for (const auto& c : lfc_options.usecols) os << c << ",";
+  os << "|" << lfc_options.nrows << "|" << lfc_options.prune_enabled << "|";
+  for (const auto& p : lfc_options.prune) {
+    // Pruned and unpruned scans are distinct nodes: their outputs differ.
+    os << p.column << ":" << static_cast<int>(p.op) << ":"
+       << static_cast<int>(p.scalar.type()) << ":" << p.scalar.ToString()
+       << ",";
+  }
   return os.str();
 }
 
 int ExpectedArity(const OpDesc& desc) {
   switch (desc.kind) {
     case OpKind::kReadCsv:
+    case OpKind::kReadLfc:
     case OpKind::kMaterialized:
       return 0;
     case OpKind::kFilter:

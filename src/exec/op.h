@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dataframe/ops.h"
+#include "io/columnar.h"
 #include "io/csv.h"
 
 namespace lafp::exec {
@@ -47,6 +48,7 @@ enum class OpKind : int {
   kLen,             // len(df) -> scalar (lazy integer)
   kIsIn,            // col.isin([...]) -> bool series
   kConcat,          // pd.concat([a, b, ...]) (variadic)
+  kReadLfc,         // leaf; path + LfcReadOptions (native columnar scan)
   kMaterialized,    // leaf carrying a cached result (cache splice); the
                     // payload lives on the TaskNode, never in OpDesc
 };
@@ -58,9 +60,12 @@ const char* OpKindName(OpKind kind);
 struct OpDesc {
   OpKind kind = OpKind::kReadCsv;
 
-  std::string path;                 // kReadCsv
+  std::string path;                 // kReadCsv / kReadLfc
   io::CsvReadOptions csv_options;   // kReadCsv (usecols/dtypes carry the
                                     // column-selection & metadata rewrites)
+  io::LfcReadOptions lfc_options;   // kReadLfc (usecols/nrows mirror the
+                                    // CSV knobs; prune holds zone-map
+                                    // predicates attached by the optimizer)
 
   std::vector<std::string> columns;  // kSelect / kDropColumns /
                                      // kGroupByAgg keys / kMerge on /

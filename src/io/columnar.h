@@ -1,0 +1,181 @@
+#ifndef LAFP_IO_COLUMNAR_H_
+#define LAFP_IO_COLUMNAR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "common/result.h"
+#include "dataframe/dataframe.h"
+#include "io/csv.h"
+
+namespace lafp::io {
+
+/// LFC ("Lazy Fat Columnar") — the native on-disk table format
+/// (ROADMAP item 2, DESIGN.md "Native columnar storage"). One file per
+/// table:
+///
+///   [magic u64]
+///   [chunk data: per chunk, per column: validity bitmap + payload]
+///   [dictionary section: per string/category column]
+///   [footer: versioned metadata + per-chunk zone maps]
+///   [trailer: footer_len u64 | footer_checksum u64 | magic u64]
+///
+/// The footer lives at the end so the writer streams chunk payloads
+/// without back-patching; readers locate it through the fixed-size
+/// trailer. Reads are mmap-backed and validate every offset/length
+/// against the mapped size before touching bytes (the spill-reader
+/// clamping discipline, hardened further by tests/lfc_corpus).
+///
+/// Fault points: `lfc.write` fires once per column-chunk while writing
+/// (partial tmp files are unlinked; the final rename is atomic) and
+/// `lfc.read` fires at open.
+
+inline constexpr uint64_t kLfcMagic = 0x4c41465043465331ULL;  // "LAFPCFS1"
+inline constexpr uint32_t kLfcVersion = 1;
+
+struct LfcWriteOptions {
+  /// Rows per chunk; each chunk carries its own zone maps, so smaller
+  /// chunks prune harder but cost more metadata.
+  size_t chunk_rows = 65536;
+};
+
+/// One conjunctive scan predicate (`column <op> scalar`) consulted
+/// against zone maps at scan time. Pruning only ever *skips* chunks that
+/// cannot contain a matching row — the actual filter kernel still runs
+/// above the scan, so an over-conservative zone test is never wrong.
+struct LfcPredicate {
+  std::string column;
+  df::CompareOp op = df::CompareOp::kEq;
+  df::Scalar scalar;
+};
+
+struct LfcReadOptions {
+  std::vector<std::string> usecols;  // empty = all; selected in file order
+  size_t nrows = 0;                  // 0 = all rows
+  /// Conjunctive zone-map predicates attached by the optimizer's
+  /// zone-prune pass (or tests). Skipped chunks still consume their
+  /// `nrows` quota so pruned output == Filter(unpruned output).
+  std::vector<LfcPredicate> prune;
+  bool prune_enabled = true;
+};
+
+struct LfcReadStats {
+  size_t chunks_total = 0;    // chunks inside the nrows window
+  size_t chunks_skipped = 0;  // zone-map pruned
+};
+
+/// Per-chunk zone map. `has_bounds` is false when the chunk holds no
+/// valid, non-NaN value (then no comparison against a non-null scalar
+/// can match) and always for dictionary-encoded columns (their pruning
+/// uses dictionary membership, not ordering).
+struct LfcZoneMap {
+  uint64_t null_count = 0;
+  bool has_bounds = false;
+  int64_t min_i = 0, max_i = 0;  // int64 / timestamp / bool space
+  double min_d = 0.0, max_d = 0.0;  // double space
+};
+
+struct LfcColumnInfo {
+  std::string name;
+  df::DataType type = df::DataType::kNull;  // logical (kCategory kept)
+};
+
+struct LfcFileInfo {
+  uint64_t nrows = 0;
+  size_t num_chunks = 0;
+  std::vector<LfcColumnInfo> columns;
+  uint64_t footer_checksum = 0;
+};
+
+/// True when `path` starts with the LFC magic (false on any IO error).
+/// Cheap enough for per-read dispatch sniffing.
+bool IsLfcFile(const std::string& path);
+
+/// Write `frame` as an LFC file. Streams into `path + ".tmp"` and
+/// renames atomically; a failed or faulted write never leaves a partial
+/// file at either path. kNull-typed columns are rejected.
+Status WriteLfcFile(const df::DataFrame& frame, const std::string& path,
+                    const LfcWriteOptions& options = {});
+
+/// Eager whole-file read with projection, row limit, and zone-map
+/// pruning. `stats`, when non-null, reports chunk-skip counts.
+Result<df::DataFrame> ReadLfcFile(const std::string& path,
+                                  const LfcReadOptions& options,
+                                  MemoryTracker* tracker,
+                                  LfcReadStats* stats = nullptr);
+
+/// Footer-only metadata: schema, row/chunk counts, footer checksum.
+/// Used by plan fingerprinting, the rewriter, and the result cache.
+Result<LfcFileInfo> ReadLfcInfo(const std::string& path);
+
+/// Convert a CSV file (with full read options) into an LFC file.
+Status ConvertCsvToLfc(const std::string& csv_path,
+                       const std::string& lfc_path,
+                       const CsvReadOptions& csv_options,
+                       const LfcWriteOptions& options,
+                       MemoryTracker* tracker);
+
+/// mmap-backed chunk reader — the streaming/partitioned scan surface
+/// (Dask partitions, Modin chunk-per-partition reads). Thread-safe for
+/// concurrent ReadChunk calls: the mapping is immutable and decoded
+/// columns charge the (thread-safe) MemoryTracker.
+class LfcReader {
+ public:
+  static Result<std::unique_ptr<LfcReader>> Open(const std::string& path,
+                                                 MemoryTracker* tracker);
+  ~LfcReader();
+
+  LfcReader(const LfcReader&) = delete;
+  LfcReader& operator=(const LfcReader&) = delete;
+
+  const LfcFileInfo& info() const { return info_; }
+  const std::string& path() const { return path_; }
+  size_t num_chunks() const { return chunk_rows_.size(); }
+  uint64_t chunk_rows(size_t chunk) const { return chunk_rows_[chunk]; }
+  const LfcZoneMap& zone_map(size_t col, size_t chunk) const;
+
+  /// Resolve `usecols` to column indexes in file order (the pandas
+  /// usecols contract, matching the CSV reader). KeyError on a missing
+  /// name; empty input selects every column.
+  Result<std::vector<size_t>> SelectColumns(
+      const std::vector<std::string>& usecols) const;
+
+  /// Zone-map test: can `chunk` contain a row satisfying every
+  /// predicate? Indeterminate predicates (unknown column, type mismatch
+  /// the compare kernel would reject) conservatively return true.
+  bool ChunkMayMatch(size_t chunk,
+                     const std::vector<LfcPredicate>& prune) const;
+
+  /// Decode the first `limit` rows (0 = all) of `chunk`, projected to
+  /// `col_idxs` (file-order indexes from SelectColumns).
+  Result<df::DataFrame> ReadChunk(size_t chunk,
+                                  const std::vector<size_t>& col_idxs,
+                                  size_t limit = 0) const;
+
+  /// An empty frame carrying the projected schema (header-only reads).
+  Result<df::DataFrame> EmptyFrame(const std::vector<size_t>& col_idxs) const;
+
+ private:
+  struct Impl;
+  LfcReader();
+
+  // ReadLfcFile assembles multi-chunk columns straight from the mapping
+  // (one allocation per column) instead of concatenating ReadChunk frames.
+  friend Result<df::DataFrame> ReadLfcFile(const std::string& path,
+                                           const LfcReadOptions& options,
+                                           MemoryTracker* tracker,
+                                           LfcReadStats* stats);
+
+  std::unique_ptr<Impl> impl_;
+  std::string path_;
+  LfcFileInfo info_;
+  std::vector<uint64_t> chunk_rows_;
+  MemoryTracker* tracker_ = nullptr;
+};
+
+}  // namespace lafp::io
+
+#endif  // LAFP_IO_COLUMNAR_H_

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/hash.h"
+#include "io/columnar.h"
 #include "io/csv.h"
 
 namespace lafp::io {
@@ -47,6 +48,45 @@ Result<FileFingerprint> FingerprintFile(const std::string& path,
   h = HashCombine(h, static_cast<uint64_t>(fp.mtime_ns));
   fp.hash = h;
   return fp;
+}
+
+Result<FileFingerprint> FingerprintLfcFile(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IOError("cannot stat " + path + ": " + ec.message());
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return Status::IOError("cannot stat " + path + ": " + ec.message());
+  constexpr uint64_t kTrailer = 24;  // footer_len | footer_checksum | magic
+  if (size < sizeof(kLfcMagic) + kTrailer) {
+    return Status::IOError("not an lfc file (too small): " + path);
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  in.seekg(-static_cast<std::streamoff>(16), std::ios::end);
+  uint64_t footer_checksum = 0, tail_magic = 0;
+  in.read(reinterpret_cast<char*>(&footer_checksum), 8);
+  in.read(reinterpret_cast<char*>(&tail_magic), 8);
+  if (!in.good() || tail_magic != kLfcMagic) {
+    return Status::IOError("not an lfc file (bad trailer): " + path);
+  }
+
+  FileFingerprint fp;
+  fp.size_bytes = static_cast<int64_t>(size);
+  fp.mtime_ns = static_cast<int64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          mtime.time_since_epoch())
+          .count());
+  uint64_t h = Fnv1a64(path);
+  h = HashCombine(h, footer_checksum);
+  h = HashCombine(h, static_cast<uint64_t>(fp.size_bytes));
+  h = HashCombine(h, static_cast<uint64_t>(fp.mtime_ns));
+  fp.hash = h;
+  return fp;
+}
+
+Result<FileFingerprint> FingerprintInputFile(const std::string& path) {
+  if (IsLfcFile(path)) return FingerprintLfcFile(path);
+  return FingerprintFile(path);
 }
 
 Result<std::vector<std::string>> ReadCsvHeaderNames(const std::string& path,

@@ -27,6 +27,18 @@ struct FileFingerprint {
 Result<FileFingerprint> FingerprintFile(const std::string& path,
                                         size_t sample_bytes = 4096);
 
+/// Fingerprint an LFC columnar file: path + size + mtime + the stored
+/// footer checksum read from the fixed-size trailer (stat + 24 tail
+/// bytes — no content sampling needed, the writer already checksummed
+/// the footer, which covers schema, chunk layout, and zone maps).
+/// IOError when the file is missing or its trailer is not LFC-shaped.
+Result<FileFingerprint> FingerprintLfcFile(const std::string& path);
+
+/// Dispatching fingerprint for result-cache input keys: routes LFC files
+/// (by magic sniff) to FingerprintLfcFile and everything else to
+/// FingerprintFile.
+Result<FileFingerprint> FingerprintInputFile(const std::string& path);
+
 /// Column names from a CSV header line (before any usecols selection).
 /// Used by plan fingerprinting to seed schema tracking. IOError when the
 /// file cannot be opened or is empty.

@@ -10,10 +10,31 @@ using exec::OpKind;
 Result<FatDataFrame> FatDataFrame::ReadCsv(Session* session,
                                            const std::string& path,
                                            io::CsvReadOptions options) {
+  if (io::IsLfcFile(path)) {
+    // Transparent dispatch: a read_csv pointed at a converted file scans
+    // natively. dtype hints don't apply (LFC types are stored), and the
+    // usecols/nrows contracts are identical.
+    io::LfcReadOptions lfc;
+    lfc.usecols = std::move(options.usecols);
+    lfc.nrows = options.nrows;
+    return ReadLfc(session, path, std::move(lfc));
+  }
   OpDesc desc;
   desc.kind = OpKind::kReadCsv;
   desc.path = path;
   desc.csv_options = std::move(options);
+  LAFP_ASSIGN_OR_RETURN(TaskNodePtr node,
+                        session->AddNode(std::move(desc), {}));
+  return FatDataFrame(session, std::move(node));
+}
+
+Result<FatDataFrame> FatDataFrame::ReadLfc(Session* session,
+                                           const std::string& path,
+                                           io::LfcReadOptions options) {
+  OpDesc desc;
+  desc.kind = OpKind::kReadLfc;
+  desc.path = path;
+  desc.lfc_options = std::move(options);
   LAFP_ASSIGN_OR_RETURN(TaskNodePtr node,
                         session->AddNode(std::move(desc), {}));
   return FatDataFrame(session, std::move(node));

@@ -50,10 +50,18 @@ class FatDataFrame {
   const TaskNodePtr& node() const { return node_; }
   bool valid() const { return session_ != nullptr && node_ != nullptr; }
 
-  /// pd.read_csv(path, usecols=..., dtype=...).
+  /// pd.read_csv(path, usecols=..., dtype=...). When `path` is actually
+  /// an LFC columnar file (magic sniff), the scan dispatches to ReadLfc
+  /// with the shared knobs (usecols/nrows) carried over — scripts can
+  /// point an unchanged read_csv call at a converted file.
   static Result<FatDataFrame> ReadCsv(Session* session,
                                       const std::string& path,
                                       io::CsvReadOptions options = {});
+
+  /// pd.read_lfc(path, usecols=..., nrows=...) — native columnar scan.
+  static Result<FatDataFrame> ReadLfc(Session* session,
+                                      const std::string& path,
+                                      io::LfcReadOptions options = {});
 
   /// pd.concat([a, b, ...]) — vertical concatenation.
   static Result<FatDataFrame> Concat(Session* session,

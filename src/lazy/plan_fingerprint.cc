@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "common/hash.h"
+#include "io/columnar.h"
 #include "io/fingerprint.h"
 
 namespace lafp::lazy {
@@ -117,7 +118,9 @@ std::optional<uint64_t> PlanFingerprinter::FileHash(const std::string& path) {
   auto it = file_memo_.find(path);
   if (it != file_memo_.end()) return it->second;
   std::optional<uint64_t> hash;
-  auto fp = io::FingerprintFile(path);
+  // Dispatches on the file's magic: LFC files key on their stored
+  // footer checksum, everything else on the sampled-content hash.
+  auto fp = io::FingerprintInputFile(path);
   if (fp.ok()) hash = fp->hash;
   file_memo_.emplace(path, hash);
   return hash;
@@ -195,6 +198,33 @@ PlanFingerprint PlanFingerprinter::Compute(const TaskNodePtr& node) {
         fp.schema = IdentitySchema(d.csv_options.usecols);
       } else if (header.has_value()) {
         fp.schema = IdentitySchema(*header);
+      }
+      break;
+    }
+    case OpKind::kReadLfc: {
+      auto file = FileHash(d.path);
+      if (!file.has_value()) return Poison(node);
+      fp.input_hash = *file;
+      for (const auto& c : d.lfc_options.usecols) Append(&cs, c);
+      Append(&cs, static_cast<int64_t>(d.lfc_options.nrows));
+      Append(&cs, d.lfc_options.prune_enabled ? 1 : 0);
+      // Prune conjuncts change the node's output (fewer chunks), so a
+      // pruned and an unpruned scan must never share a fingerprint.
+      for (const auto& p : d.lfc_options.prune) {
+        Append(&cs, p.column);
+        Append(&cs, static_cast<int64_t>(p.op));
+        AppendScalar(&cs, p.scalar);
+      }
+      if (!d.lfc_options.usecols.empty()) {
+        fp.schema = IdentitySchema(d.lfc_options.usecols);
+      } else {
+        auto info = io::ReadLfcInfo(d.path);
+        if (info.ok()) {
+          std::vector<std::string> names;
+          names.reserve(info->columns.size());
+          for (const auto& c : info->columns) names.push_back(c.name);
+          fp.schema = IdentitySchema(names);
+        }
       }
       break;
     }

@@ -202,7 +202,70 @@ bool TryPushFilter(Session* session, const TaskNodePtr& filter) {
   return true;
 }
 
+/// Flatten the kAnd spine of `pred` into compare-with-scalar conjuncts.
+/// kOr/kNot subtrees and non-compare leaves (isna, str.contains)
+/// contribute nothing — pruning on any subset of the conjunction is
+/// still sound, since a chunk where one conjunct matches no row has no
+/// row matching the whole predicate.
+void CollectPruneConjuncts(const Predicate& pred,
+                           std::vector<io::LfcPredicate>* out) {
+  if (pred.kind == Predicate::Kind::kAnd) {
+    for (const auto& child : pred.children) {
+      CollectPruneConjuncts(child, out);
+    }
+    return;
+  }
+  if (pred.kind == Predicate::Kind::kLeaf &&
+      pred.op.kind == OpKind::kCompare && pred.op.has_scalar) {
+    out->push_back({pred.column, pred.op.compare_op, pred.op.scalar});
+  }
+}
+
 }  // namespace
+
+Status PruneZoneMaps(Session* session,
+                     const std::vector<TaskNodePtr>& roots,
+                     PassStats* stats) {
+  TaskGraph* graph = session->graph();
+  for (const auto& node : TaskGraph::TopoSort(roots)) {
+    if (node->desc.kind != OpKind::kFilter) continue;
+    if (node->executed || node->inputs.size() != 2) continue;
+    const TaskNodePtr read = node->inputs[0];
+    if (read->desc.kind != OpKind::kReadLfc || read->executed) continue;
+    if (!read->desc.lfc_options.prune_enabled) continue;
+    if (!read->desc.lfc_options.prune.empty()) continue;  // already pruned
+    // Same sole-consumer condition as pushdown: if anything besides this
+    // filter (and its own mask chain) reads the scan, a cloned pruned
+    // read would run the IO twice.
+    std::unordered_set<const TaskNode*> mask_nodes;
+    for (const auto& n : TaskGraph::TopoSort({node->inputs[1]})) {
+      mask_nodes.insert(n.get());
+    }
+    bool sole = true;
+    for (const auto& consumer : graph->Consumers(read.get())) {
+      if (consumer.get() == node.get()) continue;
+      if (mask_nodes.count(consumer.get()) > 0) continue;
+      sole = false;
+      break;
+    }
+    if (!sole) continue;
+    auto pred = ExtractPredicate(node->inputs[1], read);
+    if (!pred.has_value()) continue;
+    std::vector<io::LfcPredicate> conjuncts;
+    CollectPruneConjuncts(*pred, &conjuncts);
+    if (conjuncts.empty()) continue;
+    // Clone rather than mutate: interior mask nodes can be user-held
+    // variables forced in a later round, and those must keep seeing the
+    // unpruned scan.
+    OpDesc pruned_desc = read->desc;
+    pruned_desc.lfc_options.prune = std::move(conjuncts);
+    TaskNodePtr pruned_read = graph->NewNode(std::move(pruned_desc), {});
+    TaskNodePtr mask = BuildMask(graph, *pred, pruned_read);
+    node->inputs = {pruned_read, mask};
+    if (stats != nullptr) ++stats->zone_prunes_attached;
+  }
+  return Status::OK();
+}
 
 Status PushDownPredicates(Session* session,
                           const std::vector<TaskNodePtr>& roots,
@@ -271,6 +334,11 @@ void InstallDefaultOptimizer(Session* session,
   }
   if (options.pushdown) {
     add("pushdown", WrapPass(&PushDownPredicates, stats));
+  }
+  if (options.zone_prune) {
+    // After pushdown: filters have been sunk onto their scan leaves, so
+    // the filter-directly-on-kReadLfc shape this pass matches exists.
+    add("zone-prune", WrapPass(&PruneZoneMaps, stats));
   }
   if (options.deduplicate) {
     // Pushdown can re-create structurally identical filter chains; a

@@ -13,6 +13,7 @@ struct PassStats {
   int predicates_pushed = 0;
   int nodes_deduplicated = 0;
   int redundant_ops_removed = 0;
+  int zone_prunes_attached = 0;
 };
 
 /// Merge structurally identical nodes (same op fingerprint, same inputs)
@@ -40,10 +41,25 @@ Status PushDownPredicates(lazy::Session* session,
                           const std::vector<lazy::TaskNodePtr>& roots,
                           PassStats* stats);
 
+/// Zone-map pruning for native columnar scans: for each filter sitting
+/// directly on a kReadLfc leaf (after pushdown has sunk it there), reify
+/// the mask into a Predicate and attach its top-level compare-with-scalar
+/// conjuncts as `LfcReadOptions::prune`, so the scan skips chunks whose
+/// zone maps prove no row can match. The shared read node is never
+/// mutated: the filter is repointed at a cloned read (+ re-anchored mask)
+/// so interior mask nodes held as user variables still observe the full
+/// scan if forced later. Sound by construction — a chunk is only skipped
+/// when *some* conjunct provably matches no row in it, and the filter
+/// kernel still runs above the pruned scan.
+Status PruneZoneMaps(lazy::Session* session,
+                     const std::vector<lazy::TaskNodePtr>& roots,
+                     PassStats* stats);
+
 struct OptimizerOptions {
   bool deduplicate = true;
   bool pushdown = true;
   bool redundant = true;
+  bool zone_prune = true;
 };
 
 /// Register the default pass pipeline with the session's OptimizerPass

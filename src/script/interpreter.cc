@@ -719,6 +719,30 @@ class Interpreter {
                                                     std::move(options)));
         return Value::Frame(std::move(frame));
       }
+      if (method == "read_lfc") {
+        LAFP_ASSIGN_OR_RETURN(Value path, Load(expr.operands.at(0)));
+        if (path.kind != Value::Kind::kStr) {
+          return Status::TypeError("read_lfc expects a path string");
+        }
+        io::LfcReadOptions options;
+        for (const auto& [name, raw] : expr.kwargs) {
+          LAFP_ASSIGN_OR_RETURN(Value v, Load(raw));
+          if (name == "usecols") {
+            LAFP_ASSIGN_OR_RETURN(options.usecols, ToStringList(v));
+          } else if (name == "nrows") {
+            if (v.kind != Value::Kind::kInt) {
+              return Status::TypeError("nrows must be an integer");
+            }
+            options.nrows = static_cast<size_t>(v.i);
+          } else {
+            return Status::NotImplemented("read_lfc kwarg '" + name + "'");
+          }
+        }
+        LAFP_ASSIGN_OR_RETURN(FatDataFrame frame,
+                              FatDataFrame::ReadLfc(session_, path.s,
+                                                    std::move(options)));
+        return Value::Frame(std::move(frame));
+      }
       if (method == "to_datetime") {
         LAFP_ASSIGN_OR_RETURN(Value arg, Load(expr.operands.at(0)));
         if (arg.kind != Value::Kind::kFrame) {

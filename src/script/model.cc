@@ -170,7 +170,8 @@ VarInfo InferExpr(const IRExpr& expr, ProgramModel* model) {
       VarKind recv_kind = model->KindOf(recv);
       const std::string& method = expr.attr;
       if (model->IsPandasModule(recv)) {
-        if (method == "read_csv" || method == "read_parquet") {
+        if (method == "read_csv" || method == "read_parquet" ||
+            method == "read_lfc") {
           out.kind = VarKind::kDataFrame;
         } else if (method == "to_datetime") {
           out.kind = VarKind::kSeries;

@@ -4,16 +4,18 @@
 #include <fstream>
 
 #include "common/macros.h"
+#include "io/columnar.h"
 #include "io/csv.h"
 
 namespace lafp::script {
 
 namespace {
 
-bool IsReadCsv(const IRStmt& stmt, const ProgramModel& model) {
+bool IsFileRead(const IRStmt& stmt, const ProgramModel& model) {
   return stmt.kind == IRStmtKind::kAssign &&
          stmt.expr.kind == IRExprKind::kCall &&
-         stmt.expr.is_method_call() && stmt.expr.attr == "read_csv" &&
+         stmt.expr.is_method_call() &&
+         (stmt.expr.attr == "read_csv" || stmt.expr.attr == "read_lfc") &&
          stmt.expr.object.is_var() &&
          model.IsPandasModule(stmt.expr.object.var);
 }
@@ -30,12 +32,19 @@ bool HasKwarg(const IRExpr& expr, const std::string& name) {
 /// come from either side); reading a column the file lacks would fail.
 void FilterToFileColumns(const std::string& path,
                          std::vector<std::string>* cols) {
-  std::ifstream in(path);
-  if (!in.is_open()) return;  // cannot verify: leave as-is
-  std::string header;
-  if (!std::getline(in, header)) return;
-  if (!header.empty() && header.back() == '\r') header.pop_back();
-  std::vector<std::string> fields = io::SplitCsvLine(header, ',');
+  std::vector<std::string> fields;
+  if (io::IsLfcFile(path)) {
+    auto info = io::ReadLfcInfo(path);
+    if (!info.ok()) return;  // cannot verify: leave as-is
+    for (const auto& c : info->columns) fields.push_back(c.name);
+  } else {
+    std::ifstream in(path);
+    if (!in.is_open()) return;  // cannot verify: leave as-is
+    std::string header;
+    if (!std::getline(in, header)) return;
+    if (!header.empty() && header.back() == '\r') header.pop_back();
+    fields = io::SplitCsvLine(header, ',');
+  }
   cols->erase(std::remove_if(cols->begin(), cols->end(),
                              [&](const std::string& c) {
                                return std::find(fields.begin(), fields.end(),
@@ -125,8 +134,8 @@ Result<IRProgram> Rewrite(const IRProgram& program,
   for (size_t i = 0; i < program.stmts.size(); ++i) {
     IRStmt stmt = program.stmts[i];
 
-    // ---- §3.1 column selection + §3.6 dtype hints on read_csv ----
-    if (IsReadCsv(stmt, model)) {
+    // ---- §3.1 column selection + §3.6 dtype hints on file reads ----
+    if (IsFileRead(stmt, model)) {
       bool all_columns = false;
       std::vector<std::string> live_cols =
           liveness.LiveColumnsAfter(i, stmt.target, &all_columns);
@@ -153,8 +162,12 @@ Result<IRProgram> Rewrite(const IRProgram& program,
         ++stats->reads_pruned;
       }
 
+      // §3.6 dtype hints sample the CSV text; LFC files store exact
+      // types in their footer, so hints are both unneeded and unparsable.
       if (options.metadata_dtypes && options.metastore != nullptr &&
+          stmt.expr.attr == "read_csv" &&
           !stmt.expr.operands.empty() && stmt.expr.operands[0].is_str() &&
+          !io::IsLfcFile(stmt.expr.operands[0].str_value) &&
           !HasKwarg(stmt.expr, "dtype")) {
         auto md =
             options.metastore->GetOrCompute(stmt.expr.operands[0].str_value);

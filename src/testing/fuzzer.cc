@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "io/columnar.h"
 #include "testing/rng.h"
 
 namespace lafp::testing {
@@ -42,20 +43,56 @@ CaseResult CheckCase(const ShrinkCase& c,
                      const std::vector<OracleConfig>& configs,
                      const std::string& data_dir) {
   CaseResult result;
-  auto source = MaterializeCase(c, data_dir);
-  if (!source.ok()) {
-    result.verdict = CaseVerdict::kReferenceFailed;
-    result.detail = source.status().ToString();
-    return result;
+  std::vector<std::pair<std::string, std::string>> csv_paths;
+  for (const auto& table : c.tables) {
+    auto path = WriteTable(table, data_dir);
+    if (!path.ok()) {
+      result.verdict = CaseVerdict::kReferenceFailed;
+      result.detail = path.status().ToString();
+      return result;
+    }
+    csv_paths.emplace_back(table.name, *path);
   }
-  RunOutcome reference = ExecuteUnderConfig(*source, ReferenceConfig());
+  const std::string source = SubstitutePaths(c.source, csv_paths);
+  RunOutcome reference = ExecuteUnderConfig(source, ReferenceConfig());
   if (!reference.status.ok()) {
     result.verdict = CaseVerdict::kReferenceFailed;
     result.detail = reference.status.ToString();
     return result;
   }
+  // LFC configs replay the same program against native-columnar
+  // conversions of the base tables (converted lazily, once per case).
+  // Tiny chunks force multi-chunk column assembly and give the zone-prune
+  // pass real chunk boundaries to skip.
+  std::string lfc_source;
+  bool lfc_converted = false;
   for (const auto& config : configs) {
-    RunOutcome run = ExecuteUnderConfig(*source, config);
+    const std::string* src = &source;
+    if (config.lfc) {
+      if (!lfc_converted) {
+        std::vector<std::pair<std::string, std::string>> lfc_paths;
+        for (const auto& [name, csv] : csv_paths) {
+          const std::string lfc = csv + ".lfc";
+          io::LfcWriteOptions write_options;
+          write_options.chunk_rows = 31;
+          auto converted = io::ConvertCsvToLfc(csv, lfc, io::CsvReadOptions{},
+                                               write_options, nullptr);
+          if (!converted.ok()) {
+            result.verdict = CaseVerdict::kDiverged;
+            result.config_name = config.Name();
+            result.detail =
+                "lfc conversion failed for " + csv + ": " +
+                converted.ToString();
+            return result;
+          }
+          lfc_paths.emplace_back(name, lfc);
+        }
+        lfc_source = SubstitutePaths(c.source, lfc_paths);
+        lfc_converted = true;
+      }
+      src = &lfc_source;
+    }
+    RunOutcome run = ExecuteUnderConfig(*src, config);
     auto divergence = CompareOutcomes(reference, run, config);
     if (divergence.has_value()) {
       result.verdict = CaseVerdict::kDiverged;
@@ -117,6 +154,12 @@ FuzzStats RunFuzz(const FuzzOptions& options) {
         configs.push_back(std::move(c));
       }
     }
+    if (options.lfc) {
+      const int n = std::max(2, options.matrix / 2);
+      for (auto& c : LfcConfigs(program_seed, n)) {
+        configs.push_back(std::move(c));
+      }
+    }
     if (single) {
       // Replay is a debugging aid: widen the matrix and report every
       // config's verdict instead of stopping at the first divergence.
@@ -127,12 +170,23 @@ FuzzStats RunFuzz(const FuzzOptions& options) {
         if (reference.status.ok() && options.log != nullptr) {
           *options.log << "[replay] reference output:\n" << reference.output;
           for (const auto& config : configs) {
-            RunOutcome run = ExecuteUnderConfig(*source, config);
-            auto diff = CompareOutcomes(reference, run, config);
-            *options.log << "[replay] " << config.Name() << ": "
-                         << (diff.has_value() ? FirstLine(*diff) : "ok")
+            // LFC configs run one at a time here so conversion failures
+            // surface per-config; CheckCase below converts once per case.
+            std::string verdict;
+            RunOutcome run;
+            if (config.lfc) {
+              CaseResult one = CheckCase(original, {config}, data_dir);
+              verdict = one.verdict == CaseVerdict::kOk
+                            ? "ok"
+                            : FirstLine(one.detail);
+            } else {
+              run = ExecuteUnderConfig(*source, config);
+              auto diff = CompareOutcomes(reference, run, config);
+              verdict = diff.has_value() ? FirstLine(*diff) : "ok";
+            }
+            *options.log << "[replay] " << config.Name() << ": " << verdict
                          << "\n";
-            if (diff.has_value() && run.status.ok() &&
+            if (!config.lfc && verdict != "ok" && run.status.ok() &&
                 run.output != reference.output) {
               *options.log << run.output;
             }

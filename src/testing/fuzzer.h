@@ -42,6 +42,12 @@ struct FuzzOptions {
   /// warm pass splicing from it; the warm outcome must match the
   /// reference and the cold pass byte for byte).
   bool cache = false;
+  /// Add the native-columnar axis: each program is additionally checked
+  /// under LfcConfigs() points. The harness converts the materialized
+  /// base-table CSVs to LFC (deliberately tiny chunks so multi-chunk
+  /// assembly and zone-map pruning both engage) and substitutes the
+  /// `.lfc` paths for those configs; the reference keeps reading CSV.
+  bool lfc = false;
   /// Progress / divergence log; null = silent.
   std::ostream* log = nullptr;
   ProgramGenOptions progen;

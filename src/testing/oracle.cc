@@ -39,6 +39,7 @@ std::string OracleConfig::Name() const {
   if (spill) name += " spill";
   if (!faults.empty()) name += " faults[" + faults + "]";
   if (cache) name += " cache";
+  if (lfc) name += lfc_prune ? " lfc" : " lfc-np";
   return name;
 }
 
@@ -155,6 +156,21 @@ std::vector<OracleConfig> CacheConfigs(uint64_t seed, int n) {
   return configs;
 }
 
+std::vector<OracleConfig> LfcConfigs(uint64_t seed, int n) {
+  std::vector<OracleConfig> configs = SampleConfigs(seed ^ 0x1fcull, n);
+  size_t i = 0;
+  for (auto& c : configs) {
+    // The harness points these configs at LFC conversions of the base
+    // tables; faults stay off so a failed Status is always a genuine
+    // divergence. Alternate points run with zone-map pruning disabled so
+    // the unpruned native scan is cross-checked too.
+    c.lfc = true;
+    c.lfc_prune = (i++ % 2) == 0;
+    c.faults.clear();
+  }
+  return configs;
+}
+
 std::vector<OracleConfig> RegressionConfigs() {
   std::vector<OracleConfig> configs;
   for (auto backend :
@@ -221,12 +237,16 @@ RunOutcome ExecuteOnce(const std::string& source, const OracleConfig& config,
   }
 
   lazy::Session session(opts);
+  // LFC configs install the optimizer even with every rewrite pass off so
+  // the zone-prune pass can run (it is the only path that attaches prune
+  // predicates to native scans); lfc_prune=false checks the unpruned scan.
   if (config.mode != OracleMode::kEager &&
-      (config.dedup || config.redundant || config.pushdown)) {
+      (config.dedup || config.redundant || config.pushdown || config.lfc)) {
     opt::OptimizerOptions pass_options;
     pass_options.deduplicate = config.dedup;
     pass_options.redundant = config.redundant;
     pass_options.pushdown = config.pushdown;
+    pass_options.zone_prune = config.lfc_prune;
     opt::InstallDefaultOptimizer(&session, pass_options);
   }
 

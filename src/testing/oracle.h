@@ -45,6 +45,13 @@ struct OracleConfig {
   /// Status (which the oracle treats as a divergence since cache configs
   /// never arm faults).
   bool cache = false;
+  /// Native-columnar axis: the program replays against LFC conversions of
+  /// its base tables (the fuzz harness substitutes `.lfc` paths for this
+  /// config; read_csv transparently dispatches on the magic). `lfc_prune`
+  /// toggles the zone-map pruning optimizer pass so both the pruned and
+  /// unpruned scan paths are cross-checked against the CSV reference.
+  bool lfc = false;
+  bool lfc_prune = true;
 
   /// Compact display name, e.g. "lafp-modin+dp t4 m1".
   std::string Name() const;
@@ -71,6 +78,12 @@ std::vector<OracleConfig> FaultConfigs(uint64_t seed, int n);
 /// base configs drawn like SampleConfigs, forced into a lazy mode (the
 /// splicer only runs in lazy sessions) with `cache = true` and no faults.
 std::vector<OracleConfig> CacheConfigs(uint64_t seed, int n);
+
+/// `n` matrix points with the native-columnar axis armed (the --lfc
+/// axis): base configs drawn like SampleConfigs with `lfc = true` and no
+/// faults; alternate points disable the zone-prune pass so pruned and
+/// unpruned LFC scans are both differentially checked.
+std::vector<OracleConfig> LfcConfigs(uint64_t seed, int n);
 
 /// Result of one program execution.
 struct RunOutcome {

@@ -1,0 +1,69 @@
+// The native-columnar axis of the differential fuzzer wired into the
+// tier-1 suite: generated programs replay with their base tables
+// converted to LFC (tiny chunks, zone-map pruning on and off) and must
+// match the eager-Pandas CSV reference byte for byte. The standalone
+// acceptance run is `lafp_fuzz --seed 42 --iters 200 --lfc`; this keeps
+// a fast deterministic slice of it in every ctest round.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "testing/fuzzer.h"
+#include "testing/oracle.h"
+
+namespace {
+
+using lafp::testing::CaseResult;
+using lafp::testing::CaseVerdict;
+using lafp::testing::CheckCase;
+using lafp::testing::FuzzOptions;
+using lafp::testing::FuzzStats;
+using lafp::testing::LfcConfigs;
+using lafp::testing::OracleConfig;
+using lafp::testing::RunFuzz;
+
+std::string DataDir() {
+  auto dir = std::filesystem::temp_directory_path() / "lafp_fuzz_lfc";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+TEST(ColumnarSmokeTest, LfcConfigsAreDeterministicAndArmed) {
+  auto a = LfcConfigs(7, 12);
+  auto b = LfcConfigs(7, 12);
+  ASSERT_EQ(a.size(), 12u);
+  bool saw_pruned = false, saw_unpruned = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].Name(), b[i].Name());
+    EXPECT_TRUE(a[i].lfc);
+    EXPECT_TRUE(a[i].faults.empty());
+    (a[i].lfc_prune ? saw_pruned : saw_unpruned) = true;
+  }
+  // Both scan paths must be in the matrix: pruned and unpruned.
+  EXPECT_TRUE(saw_pruned);
+  EXPECT_TRUE(saw_unpruned);
+}
+
+TEST(ColumnarSmokeTest, ProgramsAgreeOnLfcTables) {
+  FuzzOptions options;
+  options.seed = 42;
+  options.iters = 12;
+  options.matrix = 4;  // plus matrix/2 LFC points per program
+  options.lfc = true;
+  options.shrink = false;
+  options.data_dir = DataDir();
+  std::ostringstream log;
+  options.log = &log;
+
+  FuzzStats stats = RunFuzz(options);
+  EXPECT_EQ(stats.iterations, 12);
+  EXPECT_EQ(stats.reference_failures, 0) << log.str();
+  ASSERT_TRUE(stats.divergences.empty())
+      << "first divergence: seed " << stats.divergences[0].program_seed
+      << " under " << stats.divergences[0].config_name << "\n"
+      << stats.divergences[0].detail << "\n"
+      << log.str();
+}
+
+}  // namespace

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "io/columnar.h"
 #include "lazy/fat_dataframe.h"
 #include "lazy/plan_fingerprint.h"
 #include "lazy/result_cache.h"
@@ -317,6 +318,96 @@ TEST_F(ResultCacheTest, BuilderKnobsControlSessionCache) {
   auto shared = std::make_shared<ResultCache>();
   auto shared_session = MakeSession(shared);
   EXPECT_EQ(shared_session->result_cache(), shared);
+}
+
+// ---- LFC input fingerprints (io/fingerprint.h FingerprintInputFile) ----
+//
+// Regression for the CSV-only fingerprint path: native columnar inputs
+// must carry their own identity (stat + footer checksum), so an edited
+// LFC file invalidates cached results even when size/mtime are
+// indistinguishable at stat granularity.
+
+class LfcCacheTest : public ResultCacheTest {
+ protected:
+  void WriteLfc(int rows, int fare_offset = -2) {
+    WriteCsv(rows, fare_offset);
+    lfc_path_ = dir_ + "/taxi.lfc";
+    io::LfcWriteOptions wo;
+    wo.chunk_rows = 16;
+    ASSERT_TRUE(io::ConvertCsvToLfc(csv_path_, lfc_path_, {}, wo, &tracker_)
+                    .ok());
+  }
+
+  Result<FatDataFrame> LfcFilterPlan(Session* session, double threshold) {
+    LAFP_ASSIGN_OR_RETURN(FatDataFrame frame,
+                          FatDataFrame::ReadLfc(session, lfc_path_));
+    LAFP_ASSIGN_OR_RETURN(FatDataFrame fare, frame.Col("fare_amount"));
+    LAFP_ASSIGN_OR_RETURN(FatDataFrame mask,
+                          fare.CompareTo(CompareOp::kGt,
+                                         Scalar::Double(threshold)));
+    return frame.FilterBy(mask);
+  }
+
+  std::string lfc_path_;
+};
+
+TEST_F(LfcCacheTest, LfcEditChangesInputHashNotPlanHash) {
+  WriteLfc(100);
+  auto session = MakeSession();
+  auto plan = LfcFilterPlan(session.get(), 0.0);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  PlanFingerprinter before;
+  const PlanFingerprint fa = before.Fingerprint(plan->node());
+  ASSERT_TRUE(fa.cacheable);
+  // Same row count and byte size — only cell values (and therefore the
+  // footer checksum) change.
+  WriteLfc(100, /*fare_offset=*/1);
+  PlanFingerprinter after;
+  const PlanFingerprint fb = after.Fingerprint(plan->node());
+  ASSERT_TRUE(fb.cacheable);
+  EXPECT_EQ(fa.plan_hash, fb.plan_hash);
+  EXPECT_NE(fa.input_hash, fb.input_hash);
+}
+
+TEST_F(LfcCacheTest, WarmSessionHitsCacheOverLfcScan) {
+  WriteLfc(100);
+  auto cache = std::make_shared<ResultCache>();
+  auto cold = MakeSession(cache);
+  auto plan1 = LfcFilterPlan(cold.get(), 0.0);
+  ASSERT_TRUE(plan1.ok());
+  auto eager1 = plan1->Compute();
+  ASSERT_TRUE(eager1.ok()) << eager1.status().ToString();
+  EXPECT_GE(cache->inserts(), 1);
+
+  auto warm = MakeSession(cache);
+  auto plan2 = LfcFilterPlan(warm.get(), 0.0);
+  ASSERT_TRUE(plan2.ok());
+  auto eager2 = plan2->Compute();
+  ASSERT_TRUE(eager2.ok());
+  EXPECT_GE(cache->hits(), 1);
+  EXPECT_EQ(eager2->frame.num_rows(), eager1->frame.num_rows());
+}
+
+TEST_F(LfcCacheTest, LfcMutationInvalidates) {
+  WriteLfc(100);
+  auto cache = std::make_shared<ResultCache>();
+  auto cold = MakeSession(cache);
+  auto plan1 = LfcFilterPlan(cold.get(), 0.0);
+  ASSERT_TRUE(plan1.ok());
+  auto eager1 = plan1->Compute();
+  ASSERT_TRUE(eager1.ok());
+  EXPECT_EQ(eager1->frame.num_rows(), 80u);
+
+  WriteLfc(100, /*fare_offset=*/1);  // every fare now > 0; same shape
+
+  auto warm = MakeSession(cache);
+  auto plan2 = LfcFilterPlan(warm.get(), 0.0);
+  ASSERT_TRUE(plan2.ok());
+  const int64_t hits_before = cache->hits();
+  auto eager2 = plan2->Compute();
+  ASSERT_TRUE(eager2.ok()) << eager2.status().ToString();
+  EXPECT_EQ(cache->hits(), hits_before);  // stale entry unreachable
+  EXPECT_EQ(eager2->frame.num_rows(), 100u);
 }
 
 }  // namespace

@@ -34,6 +34,10 @@ void Usage() {
       << "  --cache           add the result-cache axis: each program also\n"
       << "                    runs cold-then-warm against a shared plan/\n"
       << "                    result cache; warm must match the reference\n"
+      << "  --lfc             add the native-columnar axis: each program\n"
+      << "                    also replays with its base tables converted\n"
+      << "                    to LFC (zone-map pruning on and off); output\n"
+      << "                    must match the CSV reference exactly\n"
       << "  --trace PATH      enable structured tracing and write a\n"
       << "                    Chrome trace_event JSON to PATH at exit\n"
       << "  --no-shrink       keep failing programs unminimized\n"
@@ -127,6 +131,8 @@ int main(int argc, char** argv) {
       options.faults = true;
     } else if (std::strcmp(arg, "--cache") == 0) {
       options.cache = true;
+    } else if (std::strcmp(arg, "--lfc") == 0) {
+      options.lfc = true;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
       options.shrink = false;
     } else if (std::strcmp(arg, "--shrink-budget") == 0) {
