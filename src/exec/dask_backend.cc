@@ -141,12 +141,13 @@ class CsvStream : public PartitionStream {
 
 class LfcStream : public PartitionStream {
  public:
+  // The reader already carries the MemoryTracker it was opened with, so
+  // the stream needs no tracker of its own.
   LfcStream(std::unique_ptr<io::LfcReader> reader, io::LfcReadOptions options,
-            int64_t overhead_us, MemoryTracker* tracker)
+            int64_t overhead_us)
       : reader_(std::move(reader)),
         options_(std::move(options)),
         overhead_us_(overhead_us),
-        tracker_(tracker),
         remaining_(options_.nrows == 0 ? std::numeric_limits<uint64_t>::max()
                                        : options_.nrows) {}
 
@@ -190,7 +191,6 @@ class LfcStream : public PartitionStream {
   std::unique_ptr<io::LfcReader> reader_;
   io::LfcReadOptions options_;
   int64_t overhead_us_;
-  MemoryTracker* tracker_;
   std::vector<size_t> sel_;
   bool resolved_ = false;
   size_t chunk_ = 0;
@@ -571,7 +571,7 @@ Result<std::unique_ptr<PartitionStream>> DaskEvaluator::StreamInner(
                             io::LfcReader::Open(desc.path, tracker_));
       return std::unique_ptr<PartitionStream>(std::make_unique<LfcStream>(
           std::move(reader), desc.lfc_options,
-          backend_->config().task_overhead_us, tracker_));
+          backend_->config().task_overhead_us));
     }
     case OpKind::kGroupByAgg: {
       GroupByCombiner combiner(desc.columns, desc.aggs);

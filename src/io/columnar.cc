@@ -582,10 +582,22 @@ Result<std::unique_ptr<LfcReader>> LfcReader::Open(const std::string& path,
     if (reader->chunk_rows_[i] == 0 || reader->chunk_rows_[i] > nrows) {
       return Corrupt(path, "chunk row count out of range");
     }
+    // Overflow-safe accumulation: huge per-chunk counts must not wrap
+    // rows_sum back onto nrows and launder themselves through the sum
+    // check below.
+    if (reader->chunk_rows_[i] > nrows - rows_sum) {
+      return Corrupt(path, "chunk rows exceed row count");
+    }
     rows_sum += reader->chunk_rows_[i];
   }
   if (rows_sum != nrows) {
     return Corrupt(path, "chunk rows do not sum to row count");
+  }
+  if (ncols == 0 && nrows != 0) {
+    // The writer only emits chunks for frames with columns; without this
+    // a column-less footer could claim an arbitrary row count that no
+    // per-chunk payload check below would ever bound.
+    return Corrupt(path, "row count without columns");
   }
   if (ncols > cur.remaining() / 6) {
     return Corrupt(path, "column count exceeds footer size");
@@ -670,15 +682,6 @@ Result<std::unique_ptr<LfcReader>> LfcReader::Open(const std::string& path,
       }
       cm.zone.has_bounds = has_bounds != 0;
       const uint64_t rows = reader->chunk_rows_[i];
-      if (cm.validity_bytes != 0 && cm.validity_bytes != (rows + 7) / 8) {
-        return Corrupt(path, "validity bitmap size mismatch");
-      }
-      if (cm.payload_bytes != rows * width) {
-        return Corrupt(path, "payload size mismatch");
-      }
-      if (cm.zone.null_count > rows) {
-        return Corrupt(path, "null count exceeds chunk rows");
-      }
       // The chunk's bytes must lie entirely inside the data section
       // (between the head magic and the footer), checked without
       // overflow: each length is clamped against what is left.
@@ -687,6 +690,25 @@ Result<std::unique_ptr<LfcReader>> LfcReader::Open(const std::string& path,
           cm.payload_bytes >
               footer_start - cm.offset - cm.validity_bytes) {
         return Corrupt(path, "chunk extends past data section");
+      }
+      // Bound the row count in division form BEFORE any arithmetic on
+      // it: a crafted `rows` near 2^64/width would wrap `rows * width`
+      // (and `rows + 7`) and make a zero-byte chunk claim to hold 2^61
+      // rows, sending the decoder far past the mapping. `width` is 1, 4,
+      // or 8 for every column type accepted above.
+      const uint64_t payload_room =
+          footer_start - cm.offset - cm.validity_bytes;
+      if (rows > payload_room / width) {
+        return Corrupt(path, "chunk row count exceeds data section");
+      }
+      if (cm.validity_bytes != 0 && cm.validity_bytes != (rows + 7) / 8) {
+        return Corrupt(path, "validity bitmap size mismatch");
+      }
+      if (cm.payload_bytes != rows * width) {
+        return Corrupt(path, "payload size mismatch");
+      }
+      if (cm.zone.null_count > rows) {
+        return Corrupt(path, "null count exceeds chunk rows");
       }
     }
     reader->info_.columns.push_back(

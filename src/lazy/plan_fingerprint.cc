@@ -141,6 +141,20 @@ const std::optional<std::vector<std::string>>& PlanFingerprinter::Header(
   return header_memo_.emplace(path, std::move(header)).first->second;
 }
 
+const std::optional<std::vector<std::string>>& PlanFingerprinter::LfcColumns(
+    const std::string& path) {
+  auto it = lfc_header_memo_.find(path);
+  if (it != lfc_header_memo_.end()) return it->second;
+  std::optional<std::vector<std::string>> names;
+  auto info = io::ReadLfcInfo(path);
+  if (info.ok()) {
+    names.emplace();
+    names->reserve(info->columns.size());
+    for (const auto& c : info->columns) names->push_back(c.name);
+  }
+  return lfc_header_memo_.emplace(path, std::move(names)).first->second;
+}
+
 PlanFingerprint PlanFingerprinter::Compute(const TaskNodePtr& node) {
   using exec::OpKind;
   const exec::OpDesc& d = node->desc;
@@ -218,13 +232,8 @@ PlanFingerprint PlanFingerprinter::Compute(const TaskNodePtr& node) {
       if (!d.lfc_options.usecols.empty()) {
         fp.schema = IdentitySchema(d.lfc_options.usecols);
       } else {
-        auto info = io::ReadLfcInfo(d.path);
-        if (info.ok()) {
-          std::vector<std::string> names;
-          names.reserve(info->columns.size());
-          for (const auto& c : info->columns) names.push_back(c.name);
-          fp.schema = IdentitySchema(names);
-        }
+        const auto& names = LfcColumns(d.path);
+        if (names.has_value()) fp.schema = IdentitySchema(*names);
       }
       break;
     }

@@ -75,11 +75,18 @@ class PlanFingerprinter {
   /// Header names for a CSV source; nullopt on IO error or duplicates.
   const std::optional<std::vector<std::string>>& Header(
       const std::string& path, char delimiter);
+  /// Column names for an LFC source; nullopt on IO error. Memoized like
+  /// Header: footer parsing mmaps and decodes dictionaries, which must
+  /// not be repaid on every fingerprint of the same path.
+  const std::optional<std::vector<std::string>>& LfcColumns(
+      const std::string& path);
 
   std::unordered_map<const TaskNode*, PlanFingerprint> memo_;
   std::unordered_map<std::string, std::optional<uint64_t>> file_memo_;
   std::unordered_map<std::string, std::optional<std::vector<std::string>>>
       header_memo_;
+  std::unordered_map<std::string, std::optional<std::vector<std::string>>>
+      lfc_header_memo_;
   uint64_t poison_seq_ = 0;
 };
 
