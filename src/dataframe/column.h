@@ -86,6 +86,17 @@ class Column {
   const std::vector<int32_t>& codes() const { return codes_; }
   const std::vector<uint8_t>& validity() const { return validity_; }
 
+  // ---- Raw contiguous spans for the vectorized kernels. The typed data
+  // pointers alias the vectors above; validity_data() is nullptr when the
+  // column has no nulls, which is the kernels' all-valid fast-path gate. ----
+  const int64_t* int_data() const { return ints_.data(); }
+  const double* double_data() const { return doubles_.data(); }
+  const uint8_t* bool_data() const { return bools_.data(); }
+  const int32_t* code_data() const { return codes_.data(); }
+  const uint8_t* validity_data() const {
+    return validity_.empty() ? nullptr : validity_.data();
+  }
+
   /// Value at `i` boxed as a Scalar (null-aware).
   Scalar ScalarAt(size_t i) const;
 

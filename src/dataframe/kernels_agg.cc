@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/macros.h"
+#include "dataframe/arith_semantics.h"
 #include "dataframe/kahan.h"
 #include "dataframe/kernel_context.h"
 #include "dataframe/ops.h"
@@ -62,7 +63,8 @@ void Accumulate(AggState* st, AggFunc func, const Column& col, size_t row) {
   switch (col.type()) {
     case DataType::kInt64:
     case DataType::kTimestamp:
-      st->isum += col.IntAt(row);
+      // NumPy int64 sum wraps; plain += would be signed-overflow UB.
+      st->isum = WrapAdd(st->isum, col.IntAt(row));
       v = static_cast<double>(col.IntAt(row));
       break;
     case DataType::kDouble:
@@ -80,6 +82,65 @@ void Accumulate(AggState* st, AggFunc func, const Column& col, size_t row) {
   ++st->count;
   if (v < st->dmin) st->dmin = v;
   if (v > st->dmax) st->dmax = v;
+}
+
+/// Accumulate rows [begin, end) of `col` into `st`: the Reduce hot loop
+/// with the type switch and validity dispatch hoisted out of the inner
+/// loop. Row order and the per-row operations match Accumulate exactly
+/// (same Kahan add sequence, same min/max comparisons), so the resulting
+/// state is bit-identical to the per-row path. Numeric columns accumulate
+/// the same fields for every AggFunc (EmitAgg picks what it needs), so
+/// the loop is func-independent; string/nunique fall back per row.
+void AccumulateRange(AggState* st, AggFunc func, const Column& col,
+                     size_t begin, size_t end) {
+  if (func != AggFunc::kNunique && !IsStringy(col.type())) {
+    const uint8_t* valid = col.validity_data();
+    switch (col.type()) {
+      case DataType::kInt64:
+      case DataType::kTimestamp: {
+        const int64_t* vals = col.int_data();
+        for (size_t i = begin; i < end; ++i) {
+          if (valid != nullptr && valid[i] == 0) continue;
+          st->isum = WrapAdd(st->isum, vals[i]);
+          const double v = static_cast<double>(vals[i]);
+          st->sum.Add(v);
+          ++st->count;
+          if (v < st->dmin) st->dmin = v;
+          if (v > st->dmax) st->dmax = v;
+        }
+        return;
+      }
+      case DataType::kDouble: {
+        const double* vals = col.double_data();
+        for (size_t i = begin; i < end; ++i) {
+          if (valid != nullptr && valid[i] == 0) continue;
+          const double v = vals[i];
+          if (std::isnan(v)) continue;  // pandas skipna
+          st->sum.Add(v);
+          ++st->count;
+          if (v < st->dmin) st->dmin = v;
+          if (v > st->dmax) st->dmax = v;
+        }
+        return;
+      }
+      case DataType::kBool: {
+        const uint8_t* vals = col.bool_data();
+        for (size_t i = begin; i < end; ++i) {
+          if (valid != nullptr && valid[i] == 0) continue;
+          const double v = vals[i] != 0 ? 1.0 : 0.0;
+          st->isum += vals[i] != 0 ? 1 : 0;
+          st->sum.Add(v);
+          ++st->count;
+          if (v < st->dmin) st->dmin = v;
+          if (v > st->dmax) st->dmax = v;
+        }
+        return;
+      }
+      default:
+        return;  // mirrors Accumulate's default: nothing to do
+    }
+  }
+  for (size_t i = begin; i < end; ++i) Accumulate(st, func, col, i);
 }
 
 /// Fold a morsel-partial accumulator into `into`. Called serially in fixed
@@ -184,7 +245,7 @@ Result<Scalar> Reduce(const Column& col, AggFunc func) {
   AggState st;
   if (NumMorsels(n) <= 1) {
     // Single morsel: the legacy sequential accumulation, byte-for-byte.
-    for (size_t i = 0; i < n; ++i) Accumulate(&st, func, col, i);
+    AccumulateRange(&st, func, col, 0, n);
   } else {
     // Partial aggregate per morsel, merged serially in morsel order. The
     // morsel boundaries depend only on (n, morsel_rows), so the result is
@@ -192,8 +253,7 @@ Result<Scalar> Reduce(const Column& col, AggFunc func) {
     const size_t morsel_rows = KernelContext::Current().morsel_rows();
     std::vector<AggState> partials(NumMorsels(n));
     LAFP_RETURN_NOT_OK(RunMorsels(n, [&](size_t begin, size_t end) {
-      AggState& p = partials[begin / morsel_rows];
-      for (size_t i = begin; i < end; ++i) Accumulate(&p, func, col, i);
+      AccumulateRange(&partials[begin / morsel_rows], func, col, begin, end);
       return Status::OK();
     }));
     st = std::move(partials[0]);

@@ -41,6 +41,118 @@ Status ForEachRow(size_t n,
   return RunMorsels(n, body);
 }
 
+// ---------------------------------------------------------------------------
+// Vectorization-friendly range loops: the CompareOp switch is hoisted out
+// of the inner loop so each case is a tight branch-free compare over raw
+// spans. Rows are computed unconditionally; invalid rows are patched to 0
+// afterwards (identical to the legacy skip since `out` starts zeroed).
+// NaN needs no special-casing except for kNe: IEEE comparisons with a NaN
+// operand are false for every op but !=, and the kernels' contract is that
+// NaN rows compare false everywhere — so kNe masks NaN via v == v.
+// ---------------------------------------------------------------------------
+
+/// out[i] = vals[i] <op> r over [b, e), double spans.
+void CmpRangeDouble(CompareOp op, const double* vals, double r, uint8_t* out,
+                    size_t b, size_t e) {
+  switch (op) {
+    case CompareOp::kEq:
+      for (size_t i = b; i < e; ++i) out[i] = vals[i] == r ? 1 : 0;
+      break;
+    case CompareOp::kNe:
+      for (size_t i = b; i < e; ++i) {
+        out[i] = (vals[i] != r) & (vals[i] == vals[i]) ? 1 : 0;
+      }
+      break;
+    case CompareOp::kLt:
+      for (size_t i = b; i < e; ++i) out[i] = vals[i] < r ? 1 : 0;
+      break;
+    case CompareOp::kLe:
+      for (size_t i = b; i < e; ++i) out[i] = vals[i] <= r ? 1 : 0;
+      break;
+    case CompareOp::kGt:
+      for (size_t i = b; i < e; ++i) out[i] = vals[i] > r ? 1 : 0;
+      break;
+    case CompareOp::kGe:
+      for (size_t i = b; i < e; ++i) out[i] = vals[i] >= r ? 1 : 0;
+      break;
+  }
+}
+
+/// out[i] = (double)vals[i] <op> r over [b, e), int64 span vs double
+/// scalar (the legacy loop widened per element; NaN is impossible here).
+void CmpRangeIntVsDouble(CompareOp op, const int64_t* vals, double r,
+                         uint8_t* out, size_t b, size_t e) {
+  switch (op) {
+    case CompareOp::kEq:
+      for (size_t i = b; i < e; ++i) {
+        out[i] = static_cast<double>(vals[i]) == r ? 1 : 0;
+      }
+      break;
+    case CompareOp::kNe:
+      for (size_t i = b; i < e; ++i) {
+        out[i] = static_cast<double>(vals[i]) != r ? 1 : 0;
+      }
+      break;
+    case CompareOp::kLt:
+      for (size_t i = b; i < e; ++i) {
+        out[i] = static_cast<double>(vals[i]) < r ? 1 : 0;
+      }
+      break;
+    case CompareOp::kLe:
+      for (size_t i = b; i < e; ++i) {
+        out[i] = static_cast<double>(vals[i]) <= r ? 1 : 0;
+      }
+      break;
+    case CompareOp::kGt:
+      for (size_t i = b; i < e; ++i) {
+        out[i] = static_cast<double>(vals[i]) > r ? 1 : 0;
+      }
+      break;
+    case CompareOp::kGe:
+      for (size_t i = b; i < e; ++i) {
+        out[i] = static_cast<double>(vals[i]) >= r ? 1 : 0;
+      }
+      break;
+  }
+}
+
+/// out[i] = a[i] <op> b[i] over [lo, hi), double spans; either-NaN rows
+/// compare false for every op (kNe included — legacy skipped NaN rows).
+void CmpRangeCols(CompareOp op, const double* a, const double* b,
+                  uint8_t* out, size_t lo, size_t hi) {
+  switch (op) {
+    case CompareOp::kEq:
+      for (size_t i = lo; i < hi; ++i) out[i] = a[i] == b[i] ? 1 : 0;
+      break;
+    case CompareOp::kNe:
+      for (size_t i = lo; i < hi; ++i) {
+        out[i] = (a[i] != b[i]) & (a[i] == a[i]) & (b[i] == b[i]) ? 1 : 0;
+      }
+      break;
+    case CompareOp::kLt:
+      for (size_t i = lo; i < hi; ++i) out[i] = a[i] < b[i] ? 1 : 0;
+      break;
+    case CompareOp::kLe:
+      for (size_t i = lo; i < hi; ++i) out[i] = a[i] <= b[i] ? 1 : 0;
+      break;
+    case CompareOp::kGt:
+      for (size_t i = lo; i < hi; ++i) out[i] = a[i] > b[i] ? 1 : 0;
+      break;
+    case CompareOp::kGe:
+      for (size_t i = lo; i < hi; ++i) out[i] = a[i] >= b[i] ? 1 : 0;
+      break;
+  }
+}
+
+/// Zero out rows whose validity byte is unset over [b, e); no-op when the
+/// column is all-valid. Branch-free select so the loop vectorizes.
+void PatchInvalidToZero(const Column& col, uint8_t* out, size_t b,
+                        size_t e) {
+  const uint8_t* valid = col.validity_data();
+  if (valid == nullptr) return;
+  for (size_t i = b; i < e; ++i) out[i] = valid[i] != 0 ? out[i] : 0;
+}
+
 }  // namespace
 
 Result<ColumnPtr> Compare(const Column& col, CompareOp op,
@@ -52,7 +164,12 @@ Result<ColumnPtr> Compare(const Column& col, CompareOp op,
     // except != which pandas makes all-true for non-null entries.
     if (op == CompareOp::kNe) {
       LAFP_RETURN_NOT_OK(ForEachRow(n, [&](size_t b, size_t e) {
-        for (size_t i = b; i < e; ++i) out[i] = col.IsValid(i) ? 1 : 0;
+        const uint8_t* valid = col.validity_data();
+        if (valid == nullptr) {
+          std::memset(out.data() + b, 1, e - b);
+        } else {
+          for (size_t i = b; i < e; ++i) out[i] = valid[i] != 0 ? 1 : 0;
+        }
         return Status::OK();
       }));
     }
@@ -75,11 +192,29 @@ Result<ColumnPtr> Compare(const Column& col, CompareOp op,
   if (col.type() == DataType::kTimestamp &&
       rhs.type() == DataType::kString) {
     LAFP_ASSIGN_OR_RETURN(int64_t ts, ParseTimestamp(rhs.string_value()));
+    const int64_t* vals = col.int_data();
     LAFP_RETURN_NOT_OK(ForEachRow(n, [&](size_t b, size_t e) {
-      for (size_t i = b; i < e; ++i) {
-        if (!col.IsValid(i)) continue;
-        out[i] = ApplyCmp<int64_t>(op, col.IntAt(i), ts) ? 1 : 0;
+      switch (op) {
+        case CompareOp::kEq:
+          for (size_t i = b; i < e; ++i) out[i] = vals[i] == ts ? 1 : 0;
+          break;
+        case CompareOp::kNe:
+          for (size_t i = b; i < e; ++i) out[i] = vals[i] != ts ? 1 : 0;
+          break;
+        case CompareOp::kLt:
+          for (size_t i = b; i < e; ++i) out[i] = vals[i] < ts ? 1 : 0;
+          break;
+        case CompareOp::kLe:
+          for (size_t i = b; i < e; ++i) out[i] = vals[i] <= ts ? 1 : 0;
+          break;
+        case CompareOp::kGt:
+          for (size_t i = b; i < e; ++i) out[i] = vals[i] > ts ? 1 : 0;
+          break;
+        case CompareOp::kGe:
+          for (size_t i = b; i < e; ++i) out[i] = vals[i] >= ts ? 1 : 0;
+          break;
       }
+      PatchInvalidToZero(col, out.data(), b, e);
       return Status::OK();
     }));
     return Column::MakeBool(std::move(out), {}, col.tracker());
@@ -89,30 +224,25 @@ Result<ColumnPtr> Compare(const Column& col, CompareOp op,
   switch (col.type()) {
     case DataType::kInt64:
     case DataType::kTimestamp: {
-      const auto& vals = col.ints();
+      const int64_t* vals = col.int_data();
       LAFP_RETURN_NOT_OK(ForEachRow(n, [&](size_t b, size_t e) {
-        for (size_t i = b; i < e; ++i) {
-          if (!col.IsValid(i)) continue;
-          out[i] =
-              ApplyCmp<double>(op, static_cast<double>(vals[i]), r) ? 1 : 0;
-        }
+        CmpRangeIntVsDouble(op, vals, r, out.data(), b, e);
+        PatchInvalidToZero(col, out.data(), b, e);
         return Status::OK();
       }));
       break;
     }
     case DataType::kDouble: {
-      const auto& vals = col.doubles();
+      const double* vals = col.double_data();
       LAFP_RETURN_NOT_OK(ForEachRow(n, [&](size_t b, size_t e) {
-        for (size_t i = b; i < e; ++i) {
-          if (!col.IsValid(i) || std::isnan(vals[i])) continue;
-          out[i] = ApplyCmp<double>(op, vals[i], r) ? 1 : 0;
-        }
+        CmpRangeDouble(op, vals, r, out.data(), b, e);
+        PatchInvalidToZero(col, out.data(), b, e);
         return Status::OK();
       }));
       break;
     }
     case DataType::kBool: {
-      const auto& vals = col.bools();
+      const uint8_t* vals = col.bool_data();
       LAFP_RETURN_NOT_OK(ForEachRow(n, [&](size_t b, size_t e) {
         for (size_t i = b; i < e; ++i) {
           if (!col.IsValid(i)) continue;
@@ -153,6 +283,19 @@ Result<ColumnPtr> CompareColumns(const Column& lhs, CompareOp op,
                              std::string(DataTypeName(lhs.type())) + " and " +
                              DataTypeName(rhs.type()));
   }
+  if (lhs.type() == DataType::kDouble && rhs.type() == DataType::kDouble) {
+    // Both contiguous doubles: compare straight off the spans, then zero
+    // rows where either side is invalid.
+    const double* a = lhs.double_data();
+    const double* b = rhs.double_data();
+    LAFP_RETURN_NOT_OK(ForEachRow(n, [&](size_t lo, size_t hi) {
+      CmpRangeCols(op, a, b, out.data(), lo, hi);
+      PatchInvalidToZero(lhs, out.data(), lo, hi);
+      PatchInvalidToZero(rhs, out.data(), lo, hi);
+      return Status::OK();
+    }));
+    return Column::MakeBool(std::move(out), {}, lhs.tracker());
+  }
   LAFP_RETURN_NOT_OK(ForEachRow(n, [&](size_t b, size_t e) {
     for (size_t i = b; i < e; ++i) {
       if (!lhs.IsValid(i) || !rhs.IsValid(i)) continue;
@@ -183,11 +326,21 @@ Status CheckBoolPair(const Column& a, const Column& b) {
 Result<ColumnPtr> BooleanAnd(const Column& a, const Column& b) {
   LAFP_RETURN_NOT_OK(CheckBoolPair(a, b));
   std::vector<uint8_t> out(a.size());
+  const uint8_t* ad = a.bool_data();
+  const uint8_t* bd = b.bool_data();
+  const uint8_t* av = a.validity_data();
+  const uint8_t* bv = b.validity_data();
   LAFP_RETURN_NOT_OK(ForEachRow(a.size(), [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      out[i] = (a.IsValid(i) && b.IsValid(i) && a.BoolAt(i) && b.BoolAt(i))
-                   ? 1
-                   : 0;
+    if (av == nullptr && bv == nullptr) {
+      for (size_t i = begin; i < end; ++i) {
+        out[i] = (ad[i] != 0) & (bd[i] != 0) ? 1 : 0;
+      }
+    } else {
+      for (size_t i = begin; i < end; ++i) {
+        const bool lok = (av == nullptr || av[i] != 0) && ad[i] != 0;
+        const bool rok = (bv == nullptr || bv[i] != 0) && bd[i] != 0;
+        out[i] = lok && rok ? 1 : 0;
+      }
     }
     return Status::OK();
   }));
@@ -197,11 +350,21 @@ Result<ColumnPtr> BooleanAnd(const Column& a, const Column& b) {
 Result<ColumnPtr> BooleanOr(const Column& a, const Column& b) {
   LAFP_RETURN_NOT_OK(CheckBoolPair(a, b));
   std::vector<uint8_t> out(a.size());
+  const uint8_t* ad = a.bool_data();
+  const uint8_t* bd = b.bool_data();
+  const uint8_t* av = a.validity_data();
+  const uint8_t* bv = b.validity_data();
   LAFP_RETURN_NOT_OK(ForEachRow(a.size(), [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      bool av = a.IsValid(i) && a.BoolAt(i);
-      bool bv = b.IsValid(i) && b.BoolAt(i);
-      out[i] = (av || bv) ? 1 : 0;
+    if (av == nullptr && bv == nullptr) {
+      for (size_t i = begin; i < end; ++i) {
+        out[i] = (ad[i] != 0) | (bd[i] != 0) ? 1 : 0;
+      }
+    } else {
+      for (size_t i = begin; i < end; ++i) {
+        const bool lok = (av == nullptr || av[i] != 0) && ad[i] != 0;
+        const bool rok = (bv == nullptr || bv[i] != 0) && bd[i] != 0;
+        out[i] = lok || rok ? 1 : 0;
+      }
     }
     return Status::OK();
   }));
@@ -213,9 +376,15 @@ Result<ColumnPtr> BooleanNot(const Column& a) {
     return Status::TypeError("boolean not requires a bool column");
   }
   std::vector<uint8_t> out(a.size());
+  const uint8_t* ad = a.bool_data();
+  const uint8_t* av = a.validity_data();
   LAFP_RETURN_NOT_OK(ForEachRow(a.size(), [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      out[i] = (a.IsValid(i) && a.BoolAt(i)) ? 0 : 1;
+    if (av == nullptr) {
+      for (size_t i = begin; i < end; ++i) out[i] = ad[i] != 0 ? 0 : 1;
+    } else {
+      for (size_t i = begin; i < end; ++i) {
+        out[i] = (av[i] != 0) & (ad[i] != 0) ? 0 : 1;
+      }
     }
     return Status::OK();
   }));
@@ -224,14 +393,15 @@ Result<ColumnPtr> BooleanNot(const Column& a) {
 
 Result<ColumnPtr> IsNull(const Column& a) {
   std::vector<uint8_t> out(a.size(), 0);
+  const uint8_t* av = a.validity_data();
   LAFP_RETURN_NOT_OK(ForEachRow(a.size(), [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      bool null = !a.IsValid(i);
-      if (!null && a.type() == DataType::kDouble &&
-          std::isnan(a.DoubleAt(i))) {
-        null = true;
+    if (a.type() == DataType::kDouble) {
+      const double* v = a.double_data();
+      for (size_t i = begin; i < end; ++i) {
+        out[i] = ((av != nullptr && av[i] == 0) | (v[i] != v[i])) ? 1 : 0;
       }
-      out[i] = null ? 1 : 0;
+    } else if (av != nullptr) {
+      for (size_t i = begin; i < end; ++i) out[i] = av[i] != 0 ? 0 : 1;
     }
     return Status::OK();
   }));
@@ -294,18 +464,18 @@ Result<ColumnPtr> IsIn(const Column& col,
   return Column::MakeBool(std::move(out), {}, col.tracker());
 }
 
-namespace {
-
-/// The mask -> row-index step shared by Filter and FilterColumn, morsel-
-/// parallelized in two passes: count selected rows per morsel, exclusive-
-/// prefix-sum the counts into write offsets, then fill each morsel's
-/// disjoint output range. Output order is ascending row order — exactly
-/// the serial push_back result — for every thread count.
+/// The mask -> row-index step shared by Filter, FilterColumn and the fused
+/// evaluator, morsel-parallelized in two passes: count selected rows per
+/// morsel, exclusive-prefix-sum the counts into write offsets, then fill
+/// each morsel's disjoint output range. Output order is ascending row
+/// order — exactly the serial push_back result — for every thread count.
 Result<std::vector<int64_t>> MaskToIndices(const Column& mask) {
   const size_t n = mask.size();
   const size_t morsels = NumMorsels(n);
-  auto selected = [&mask](size_t i) {
-    return mask.IsValid(i) && mask.BoolAt(i);
+  const uint8_t* vals = mask.bool_data();
+  const uint8_t* valid = mask.validity_data();
+  auto selected = [vals, valid](size_t i) {
+    return (valid == nullptr || valid[i] != 0) && vals[i] != 0;
   };
   if (morsels <= 1) {
     std::vector<int64_t> indices;
@@ -318,8 +488,15 @@ Result<std::vector<int64_t>> MaskToIndices(const Column& mask) {
   const size_t morsel_rows = KernelContext::Current().morsel_rows();
   std::vector<size_t> counts(morsels, 0);
   LAFP_RETURN_NOT_OK(RunMorsels(n, [&](size_t begin, size_t end) {
+    // Branchless popcount-style pass: sums of 0/1 bytes autovectorize.
     size_t c = 0;
-    for (size_t i = begin; i < end; ++i) c += selected(i) ? 1 : 0;
+    if (valid == nullptr) {
+      for (size_t i = begin; i < end; ++i) c += vals[i] != 0 ? 1 : 0;
+    } else {
+      for (size_t i = begin; i < end; ++i) {
+        c += (valid[i] != 0) & (vals[i] != 0) ? 1 : 0;
+      }
+    }
     counts[begin / morsel_rows] = c;
     return Status::OK();
   }));
@@ -336,8 +513,6 @@ Result<std::vector<int64_t>> MaskToIndices(const Column& mask) {
   }));
   return indices;
 }
-
-}  // namespace
 
 Result<ColumnPtr> FilterColumn(const Column& col, const Column& mask) {
   if (mask.type() != DataType::kBool) {

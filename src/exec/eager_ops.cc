@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/macros.h"
+#include "exec/fused.h"
 
 namespace lafp::exec {
 
@@ -295,6 +296,8 @@ Result<EagerValue> ExecuteEagerOp(const OpDesc& desc,
       return EagerValue::FromScalar(
           df::Scalar::Int(static_cast<int64_t>(inputs[0].frame.num_rows())));
     }
+    case OpKind::kFusedMap:
+      return ExecuteFusedMap(desc, inputs, tracker);
     case OpKind::kPrint:
       return Status::Invalid("print is executed by the session, not a kernel");
   }

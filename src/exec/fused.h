@@ -1,0 +1,22 @@
+#ifndef LAFP_EXEC_FUSED_H_
+#define LAFP_EXEC_FUSED_H_
+
+#include "exec/eager_ops.h"
+
+namespace lafp::exec {
+
+/// Execute a kFusedMap node: the filter+project variant consumes
+/// (frame, mask) and projects `desc.column` through the selection vector;
+/// the pure series-chain variant consumes one series. Either way the
+/// fused steps in `desc.fused` run in a single morsel pass over lane
+/// buffers, so no per-step intermediate column is materialized. Output is
+/// byte-identical to executing the unfused chain: chains whose static
+/// dtype analysis hits an unsupported step fall back to composing the
+/// ordinary kernels (which also reproduces their exact error behavior).
+Result<EagerValue> ExecuteFusedMap(const OpDesc& desc,
+                                   const std::vector<EagerValue>& inputs,
+                                   MemoryTracker* tracker);
+
+}  // namespace lafp::exec
+
+#endif  // LAFP_EXEC_FUSED_H_

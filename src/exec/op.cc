@@ -78,6 +78,8 @@ const char* OpKindName(OpKind kind) {
       return "read_lfc";
     case OpKind::kMaterialized:
       return "materialized";
+    case OpKind::kFusedMap:
+      return "fused_map";
   }
   return "?";
 }
@@ -172,6 +174,16 @@ std::string OpDesc::ToString() const {
     case OpKind::kAsType:
       os << "(" << df::DataTypeName(dtype) << ")";
       break;
+    case OpKind::kFusedMap: {
+      os << "(";
+      if (!column.empty()) os << "filter[" << column << "]";
+      for (size_t i = 0; i < fused.size(); ++i) {
+        if (i > 0 || !column.empty()) os << " -> ";
+        os << fused[i].ToString();
+      }
+      os << ")";
+      break;
+    }
     default:
       break;
   }
@@ -216,6 +228,10 @@ std::string OpDesc::Fingerprint() const {
        << static_cast<int>(p.scalar.type()) << ":" << p.scalar.ToString()
        << ",";
   }
+  os << "|";
+  // kFusedMap steps, recursively: two fused nodes are equal only if every
+  // step matches (dedup correctness depends on this).
+  for (const auto& f : fused) os << "{" << f.Fingerprint() << "}";
   return os.str();
 }
 
@@ -230,6 +246,10 @@ int ExpectedArity(const OpDesc& desc) {
     case OpKind::kBooleanOr:
     case OpKind::kMerge:
       return 2;
+    case OpKind::kFusedMap:
+      // Filter+project variant consumes (frame, mask); the pure series
+      // chain consumes just the series.
+      return desc.column.empty() ? 1 : 2;
     case OpKind::kCompare:
     case OpKind::kArith:
     case OpKind::kSetColumn:
@@ -265,6 +285,7 @@ bool IsMapOp(OpKind kind) {
     case OpKind::kToDatetime:
     case OpKind::kDtAccessor:
     case OpKind::kIsIn:
+    case OpKind::kFusedMap:  // row-wise by construction: filter + per-row steps
       return true;
     default:
       return false;

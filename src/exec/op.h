@@ -51,6 +51,12 @@ enum class OpKind : int {
   kReadLfc,         // leaf; path + LfcReadOptions (native columnar scan)
   kMaterialized,    // leaf carrying a cached result (cache splice); the
                     // payload lives on the TaskNode, never in OpDesc
+  kFusedMap,        // optimizer-fused elementwise chain (§fusion): either
+                    // filter+project+steps (frame, mask -> series; `column`
+                    // names the projected column) or a pure series chain
+                    // (series -> series; `column` empty). The per-element
+                    // steps live in `fused`, applied in order in one
+                    // morsel pass with no intermediate materialization.
 };
 
 const char* OpKindName(OpKind kind);
@@ -90,6 +96,12 @@ struct OpDesc {
   std::string str_arg;                 // kStrContains needle; kPrint prefix
   std::vector<df::Scalar> scalar_list;  // kIsIn membership values
   int digits = 0;                      // kRound
+
+  /// kFusedMap: the fused elementwise steps, in application order. Each
+  /// entry is a full OpDesc of an eligible step kind (kArith/kCompare with
+  /// has_scalar, kAbs, kRound, kBooleanNot, kIsNull) whose single input is
+  /// the running value of the chain.
+  std::vector<OpDesc> fused;
 
   /// Human-readable summary for debug dumps / DOT output.
   std::string ToString() const;

@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "dataframe/arith_semantics.h"
 
 namespace lafp::script {
 
@@ -324,13 +325,13 @@ class Interpreter {
       int64_t b = r.int_value();
       switch (aop) {
         case ArithOp::kAdd:
-          return Value::Int(a + b);
+          return Value::Int(df::WrapAdd(a, b));
         case ArithOp::kSub:
-          return Value::Int(a - b);
+          return Value::Int(df::WrapSub(a, b));
         case ArithOp::kMul:
-          return Value::Int(a * b);
+          return Value::Int(df::WrapMul(a, b));
         case ArithOp::kMod:
-          return Value::Int(b == 0 ? 0 : a % b);
+          return Value::Int(df::FlooredModInt(a, b));
         default:
           break;
       }
@@ -347,7 +348,7 @@ class Interpreter {
       case ArithOp::kDiv:
         return Value::Float(a / b);
       case ArithOp::kMod:
-        return Value::Float(std::fmod(a, b));
+        return Value::Float(df::FlooredModDouble(a, b));
     }
     return Status::ExecutionError("bad arithmetic");
   }

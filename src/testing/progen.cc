@@ -248,8 +248,8 @@ class ProgramBuilder {
       EmitFilter();
       return;
     }
-    static const char* kOps[] = {"+", "-", "*"};
-    std::string op = kOps[rng_.Below(3)];
+    static const char* kOps[] = {"+", "-", "*", "%"};
+    std::string op = kOps[rng_.Below(4)];
     FuzzColumn added;
     added.name = NewColName();
     std::string rhs;
@@ -262,7 +262,13 @@ class ProgramBuilder {
             b->name;
       added.kind = (a->kind == 'f' || b->kind == 'f') ? 'f' : 'i';
     } else {
-      std::string lit = std::to_string(1 + rng_.Below(4));
+      // Span negative operands so floored-mod sign handling and signed
+      // wraparound stay under differential test (pandas `%` follows the
+      // divisor's sign; literal 0 is legal — int mod-by-zero yields 0).
+      int64_t mag = op == "%" ? static_cast<int64_t>(rng_.Below(5))
+                              : 1 + static_cast<int64_t>(rng_.Below(4));
+      std::string lit =
+          std::to_string(rng_.Chance(0.4) ? -mag : mag);
       rhs = src->name + "." + a->name + " " + op + " " + lit;
       added.kind = a->kind;
     }

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "dataframe/ops.h"
 
@@ -201,6 +202,64 @@ TEST_F(KernelsTest, ArithNullPropagation) {
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE((*r)->IsValid(0));
   EXPECT_FALSE((*r)->IsValid(1));
+}
+
+TEST_F(KernelsTest, FlooredModFollowsDivisorSign) {
+  // Python/pandas `%` is floored: the result takes the divisor's sign.
+  auto r = Arith(*Ints({-7, 7, -7, 7, 0}), ArithOp::kMod, Scalar::Int(3));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->type(), DataType::kInt64);
+  EXPECT_EQ((*r)->IntAt(0), 2);   // -7 % 3 == 2, not -1
+  EXPECT_EQ((*r)->IntAt(1), 1);
+  EXPECT_EQ((*r)->IntAt(4), 0);
+
+  auto n = Arith(*Ints({-7, 7}), ArithOp::kMod, Scalar::Int(-3));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ((*n)->IntAt(0), -1);  // -7 % -3 == -1
+  EXPECT_EQ((*n)->IntAt(1), -2);  //  7 % -3 == -2
+
+  auto d = Arith(*Doubles({-7.5, 7.5}), ArithOp::kMod, Scalar::Double(3.0));
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ((*d)->DoubleAt(0), 1.5);   // fmod gives -1.5
+  EXPECT_DOUBLE_EQ((*d)->DoubleAt(1), 1.5);
+  auto dn = Arith(*Doubles({7.5, -6.0}), ArithOp::kMod, Scalar::Double(-3.0));
+  ASSERT_TRUE(dn.ok());
+  EXPECT_DOUBLE_EQ((*dn)->DoubleAt(0), -1.5);
+  // Exact-zero result carries the divisor's sign bit, like numpy.
+  EXPECT_TRUE(std::signbit((*dn)->DoubleAt(1)));
+  EXPECT_EQ((*dn)->DoubleAt(1), 0.0);
+}
+
+TEST_F(KernelsTest, IntModByZeroAndMinusOneAreDefined) {
+  // pandas int64 % 0 yields 0 (no hardware trap), and INT64_MIN % -1 is 0
+  // rather than the UB overflow the raw `%` instruction would hit.
+  auto z = Arith(*Ints({5, -5, 0}), ArithOp::kMod, Scalar::Int(0));
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ((*z)->IntAt(0), 0);
+  EXPECT_EQ((*z)->IntAt(1), 0);
+  auto m = Arith(*Ints({INT64_MIN, 7}), ArithOp::kMod, Scalar::Int(-1));
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ((*m)->IntAt(0), 0);
+  EXPECT_EQ((*m)->IntAt(1), 0);
+}
+
+TEST_F(KernelsTest, Int64ArithmeticWrapsLikeNumpy) {
+  // numpy int64 add/sub/mul wrap modulo 2^64; the C++ kernels must match
+  // without tripping signed-overflow UB.
+  auto add = Arith(*Ints({INT64_MAX}), ArithOp::kAdd, Scalar::Int(1));
+  ASSERT_TRUE(add.ok());
+  EXPECT_EQ((*add)->IntAt(0), INT64_MIN);
+  auto sub = Arith(*Ints({INT64_MIN}), ArithOp::kSub, Scalar::Int(1));
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ((*sub)->IntAt(0), INT64_MAX);
+  auto mul = ArithColumns(*Ints({INT64_MAX, INT64_MIN}), ArithOp::kMul,
+                          *Ints({2, -1}));
+  ASSERT_TRUE(mul.ok());
+  EXPECT_EQ((*mul)->IntAt(0), -2);          // INT64_MAX * 2 wraps to -2
+  EXPECT_EQ((*mul)->IntAt(1), INT64_MIN);   // -INT64_MIN wraps to itself
+  auto abs = Abs(*Ints({INT64_MIN}));
+  ASSERT_TRUE(abs.ok());
+  EXPECT_EQ((*abs)->IntAt(0), INT64_MIN);   // numpy abs wraps too
 }
 
 TEST_F(KernelsTest, StringConcatWithScalar) {

@@ -1,9 +1,10 @@
 // Exhaustive optimizer-pass matrix over a fixed program that contains a
 // target shape for every pass: duplicate mask subexpressions (dedup),
-// head-of-head chains (redundant elimination), and a filter above a
-// row-wise-invariant op (predicate pushdown). Every subset of
-// {dedup, redundant, pushdown} on every backend, serial and parallel,
-// must print and checksum exactly what the eager reference prints.
+// head-of-head chains (redundant elimination), a filter above a
+// row-wise-invariant op (predicate pushdown), and elementwise chains over
+// filtered projections (fusion). Every subset of {dedup, redundant,
+// pushdown, fuse} on every backend, serial and parallel, must print and
+// checksum exactly what the eager reference prints.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -53,11 +54,19 @@ class OptimizerPassMatrixTest : public ::testing::Test {
         "v7 = v6[(v6.key != 1)]\n"
         "s0 = len(v3)\n"
         "s1 = v7.f1_t0.sum()\n"
+        // Anonymous filter -> get_column -> elementwise chain: fusion
+        // collapses it into one kFusedMap pass over a selection vector.
+        "s2 = (df0[(df0.f1_t0 < 0.75)].f0_t0 * 2.0 + 0.25).abs().sum()\n"
+        // Pure series chain inside a mask (arith, arith, compare): the
+        // series-chain fusion variant.
+        "v8 = df0[(df0.f2_t0 * 2.0 + 0.25 >= 1.0)]\n"
         "print(f\"s0: {s0}\")\n"
         "print(f\"s1: {s1}\")\n"
+        "print(f\"s2: {s2}\")\n"
         "checksum(v3)\n"
         "checksum(v5)\n"
-        "checksum(v7)\n",
+        "checksum(v7)\n"
+        "checksum(v8)\n",
         {{"t0", *path}});
     reference_ = ExecuteUnderConfig(source_, ReferenceConfig());
     ASSERT_TRUE(reference_.status.ok())
@@ -72,7 +81,7 @@ TEST_F(OptimizerPassMatrixTest, EveryPassSubsetMatchesReference) {
   for (auto backend :
        {lafp::exec::BackendKind::kPandas, lafp::exec::BackendKind::kModin,
         lafp::exec::BackendKind::kDask}) {
-    for (unsigned mask = 0; mask < 8; ++mask) {
+    for (unsigned mask = 0; mask < 16; ++mask) {
       for (int threads : {1, 4}) {
         OracleConfig config;
         config.backend = backend;
@@ -80,6 +89,7 @@ TEST_F(OptimizerPassMatrixTest, EveryPassSubsetMatchesReference) {
         config.dedup = (mask & 1) != 0;
         config.redundant = (mask & 2) != 0;
         config.pushdown = (mask & 4) != 0;
+        config.fuse = (mask & 8) != 0;
         config.num_threads = threads;
         config.partition_rows = 16;  // several partitions per frame
         RunOutcome run = ExecuteUnderConfig(source_, config);
