@@ -22,6 +22,16 @@ FaultInjector* FaultInjector::Current() {
   return tls_injector != nullptr ? tls_injector : Global();
 }
 
+void FaultInjector::ResetForkedChild() {
+  // The forked child starts with a copy-on-write image of the parent's
+  // fault state: the calling thread's tls_injector may point at a parent
+  // session's private injector, and the copied Global() registry may hold
+  // coordinator-side specs. Neither belongs in a worker — fault injection
+  // for the shard protocol happens on the coordinator side of the socket.
+  tls_injector = nullptr;
+  Global()->Clear();
+}
+
 ScopedFaultInjector::ScopedFaultInjector(FaultInjector* injector)
     : prev_(tls_injector) {
   tls_injector = injector;

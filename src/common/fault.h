@@ -69,6 +69,17 @@ class FaultInjector {
   /// ScopedFaultInjector, or Global() when none is installed.
   static FaultInjector* Current();
 
+  /// Reinitialize fault state in a freshly forked child process (shard
+  /// workers). fork() copies the parent's thread-local injector pointer
+  /// and the armed Global() specs into the child, where both are stale:
+  /// the pointed-to session injector belongs to a parent session the
+  /// child is not part of, and coordinator-side fault configs
+  /// (shard.send, spill.write, ...) must fire in the coordinator, not be
+  /// double-counted in every worker. Call this first thing in the child;
+  /// it clears the thread-local override and disarms the (copied) global
+  /// registry so the child starts fault-free.
+  static void ResetForkedChild();
+
   /// Replace every armed spec (counters reset) and enable the registry;
   /// an empty list disables it.
   void Install(std::vector<FaultSpec> specs);

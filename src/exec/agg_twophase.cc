@@ -77,6 +77,18 @@ Status GroupByCombiner::AddPartition(const DataFrame& partition) {
   return Status::OK();
 }
 
+Result<DataFrame> GroupByCombiner::PartialAggregate(
+    const DataFrame& partition) const {
+  if (!supported_) return Status::Invalid("nunique is not two-phase");
+  return df::GroupByAgg(partition, keys_, partial_specs_);
+}
+
+Status GroupByCombiner::AddPartial(DataFrame partial) {
+  if (!supported_) return Status::Invalid("nunique is not two-phase");
+  partials_.push_back(std::move(partial));
+  return Status::OK();
+}
+
 Result<DataFrame> GroupByCombiner::Finish() {
   if (!supported_) return Status::Invalid("nunique is not two-phase");
   if (partials_.empty()) {

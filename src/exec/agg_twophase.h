@@ -25,6 +25,18 @@ class GroupByCombiner {
   /// Partially aggregate one partition and retain the (small) partial.
   Status AddPartition(const df::DataFrame& partition);
 
+  /// Phase one alone: partially aggregate a partition without retaining
+  /// it. The shard workers run this remotely and ship the (small) partial
+  /// back; the coordinator folds the results with AddPartial in global
+  /// partition order so the combined output is byte-identical to the
+  /// single-process two-phase path.
+  Result<df::DataFrame> PartialAggregate(const df::DataFrame& partition) const;
+
+  /// Fold a partial produced by PartialAggregate (possibly in another
+  /// process). Order matters: partials must be added in global partition
+  /// order for deterministic first-appearance group ordering.
+  Status AddPartial(df::DataFrame partial);
+
   /// Combine all partials into the final result. The combiner is spent.
   Result<df::DataFrame> Finish();
 

@@ -3,6 +3,7 @@
 #include "exec/dask_backend.h"
 #include "exec/modin_backend.h"
 #include "exec/pandas_backend.h"
+#include "shard/shard_backend.h"
 
 namespace lafp::exec {
 
@@ -14,6 +15,8 @@ const char* BackendKindName(BackendKind kind) {
       return "modin";
     case BackendKind::kDask:
       return "dask";
+    case BackendKind::kShard:
+      return "shard";
   }
   return "?";
 }
@@ -27,6 +30,8 @@ std::unique_ptr<Backend> MakeBackend(BackendKind kind, MemoryTracker* tracker,
       return std::make_unique<ModinBackend>(tracker, config);
     case BackendKind::kDask:
       return std::make_unique<DaskBackend>(tracker, config);
+    case BackendKind::kShard:
+      return std::make_unique<shard::ShardBackend>(tracker, config);
   }
   return nullptr;
 }

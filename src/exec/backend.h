@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/thread_pool.h"
 #include "exec/eager_ops.h"
 #include "exec/op.h"
@@ -60,6 +61,18 @@ struct BackendConfig {
   /// private pools; num_threads / intra_op_threads then cap only how
   /// much work one session keeps in flight. Must outlive the backend.
   ThreadPool* shared_pool = nullptr;
+  /// Worker processes for the shard backend (BackendKind::kShard). 0 =
+  /// unresolved; the session resolves it from Builder::shards(n) /
+  /// LAFP_SHARDS (default 2). 1 is a valid degenerate cluster (one
+  /// worker process) used for shard-count-invariance testing.
+  int shards = 0;
+  /// External cancellation token surfaced to backends that run long
+  /// multi-step exchanges (the shard coordinator checks it between
+  /// request waves and fails the op with kCancelled). Non-owning; null =
+  /// never cancelled externally. The session copies
+  /// lazy::ExecutionOptions::cancel here so the scheduler and the
+  /// backend watch one token.
+  CancellationToken* cancel = nullptr;
 };
 
 /// Opaque backend-specific frame representation. Eager backends store
@@ -173,7 +186,12 @@ class Backend {
   BackendConfig config_;
 };
 
-enum class BackendKind : int { kPandas = 0, kModin = 1, kDask = 2 };
+enum class BackendKind : int {
+  kPandas = 0,
+  kModin = 1,
+  kDask = 2,
+  kShard = 3,  // shared-nothing multi-process executor (src/shard/)
+};
 
 const char* BackendKindName(BackendKind kind);
 

@@ -1,16 +1,20 @@
 #ifndef LAFP_EXEC_SPILL_H_
 #define LAFP_EXEC_SPILL_H_
 
+#include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "dataframe/dataframe.h"
 
 namespace lafp::exec {
 
 /// Binary columnar spill format for partitions (the §5.4 disk-persist
-/// extension). Unlike a CSV round trip, reload is a straight typed read —
-/// no parsing, no type inference — so re-reading a spilled partition is
-/// much cheaper than recomputing it.
+/// extension) — also the shard executor's partition-exchange wire format
+/// (src/shard/): the same length-validated encoding travels over worker
+/// socketpairs as lives in spill files. Unlike a CSV round trip, reload
+/// is a straight typed read — no parsing, no type inference — so
+/// re-reading a spilled partition is much cheaper than recomputing it.
 ///
 /// Layout (little-endian, host order):
 ///   u64 magic | u32 ncols | u64 nrows
@@ -18,10 +22,36 @@ namespace lafp::exec {
 ///               [validity: nrows bytes] | payload
 ///   payload: int64/timestamp/double = nrows*8 raw; bool = nrows raw;
 ///            string/category = per row u32 len + bytes.
+///
+/// A zero-row frame with a non-empty column table is a first-class value
+/// (the shard exchange ships empty partitions routinely) and must round-
+/// trip; `ncols == 0 && nrows > 0` is rejected as corrupt (such a frame is
+/// unrepresentable, so the header is lying).
 Status WriteSpillFile(const df::DataFrame& frame, const std::string& path);
 
 Result<df::DataFrame> ReadSpillFile(const std::string& path,
                                     MemoryTracker* tracker);
+
+/// Stream core shared by the file API above and the shard exchange.
+/// Write appends the encoded frame to `out`; no fault injection, no
+/// cleanup — callers own the surrounding failure policy.
+Status WriteSpillStream(const df::DataFrame& frame, std::ostream& out);
+
+/// Decode one frame from `in`, trusting at most `limit` readable bytes
+/// (every length field is clamp-validated against it before any
+/// allocation). `context` names the source in error messages ("spill file
+/// p.bin", "shard exchange"). When `expect_exact` is set, leftover bytes
+/// inside `limit` after the frame are an error — on a message-framed
+/// exchange payload trailing bytes mean protocol desync, never padding.
+Result<df::DataFrame> ReadSpillStream(std::istream& in, uint64_t limit,
+                                      MemoryTracker* tracker,
+                                      const std::string& context,
+                                      bool expect_exact = false);
+
+/// In-memory wrappers used for exchange message payloads.
+Result<std::string> SerializeFrame(const df::DataFrame& frame);
+Result<df::DataFrame> DeserializeFrame(std::string_view bytes,
+                                       MemoryTracker* tracker);
 
 }  // namespace lafp::exec
 

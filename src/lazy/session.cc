@@ -1,6 +1,7 @@
 #include "lazy/session.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <unordered_set>
@@ -8,6 +9,7 @@
 
 #include "common/macros.h"
 #include "common/metrics.h"
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "common/trace.h"
 #include "dataframe/kernel_context.h"
@@ -43,6 +45,23 @@ SessionOptions NormalizeOptions(SessionOptions options) {
   options.exec.intra_op_threads = r.intra_op_threads;
   options.backend_config.intra_op_threads = r.intra_op_threads;
   options.backend_config.morsel_rows = r.morsel_rows;
+  // Shard-count resolution: Builder::shards(n) wins; an unset count on
+  // the shard backend falls back to LAFP_SHARDS, then to 2 workers.
+  if (options.backend == exec::BackendKind::kShard &&
+      options.backend_config.shards <= 0) {
+    int shards = 2;
+    if (const char* env = std::getenv("LAFP_SHARDS")) {
+      auto parsed = ParseInt64(env);
+      if (parsed.has_value() && *parsed >= 1 && *parsed <= 64) {
+        shards = static_cast<int>(*parsed);
+      }
+    }
+    options.backend_config.shards = shards;
+  }
+  // One cancellation token for the scheduler and the backend: the shard
+  // coordinator checks it between request waves, so a cancelled query
+  // stops fanning out mid-exchange, not just at node boundaries.
+  options.backend_config.cancel = options.exec.cancel;
   return options;
 }
 

@@ -215,6 +215,15 @@ class SessionOptions::Builder {
     opts_.exec.scheduler_pool = pool;
     return *this;
   }
+  /// Shared-nothing multi-process execution: selects the shard backend
+  /// with `n` forked worker processes (1 is a valid degenerate cluster;
+  /// results are byte-identical for any n). 0 defers the count to the
+  /// LAFP_SHARDS env knob, defaulting to 2.
+  Builder& shards(int n) {
+    opts_.backend = exec::BackendKind::kShard;
+    opts_.backend_config.shards = n;
+    return *this;
+  }
   /// Shared backend worker pool (non-owning; see
   /// exec::BackendConfig::shared_pool).
   Builder& backend_pool(ThreadPool* pool) {

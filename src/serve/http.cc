@@ -128,6 +128,14 @@ Status ReadHttpRequest(int fd, HttpRequest* out, size_t max_body_bytes) {
                              std::strerror(errno));
     }
     buf.append(chunk, static_cast<size_t>(r));
+    // RFC 9112 §2.2: ignore CRLFs arriving before the request line (some
+    // clients terminate the previous message with an extra CRLF). Without
+    // this, two leading CRLFs would satisfy the blank-line search below
+    // and parse an empty request line. Stripped as bytes arrive so the
+    // check stays O(1) per chunk regardless of segmentation.
+    while (buf.size() >= 2 && buf[0] == '\r' && buf[1] == '\n') {
+      buf.erase(0, 2);
+    }
     header_end = buf.find("\r\n\r\n");
   }
 
@@ -174,7 +182,14 @@ Status ReadHttpRequest(int fd, HttpRequest* out, size_t max_body_bytes) {
   }
   out->body = buf.substr(header_end + 4);
   if (out->body.size() > content_length) {
-    return Status::Invalid("http: body longer than Content-Length");
+    // Bytes past Content-Length are outside this message (a trailing
+    // CRLF from a sloppy client, or the start of a pipelined request).
+    // They used to 400 the request — but only when the client's write
+    // segmentation happened to land them in the same recv burst as the
+    // header, which made slow and fast clients see different answers for
+    // identical bytes. The message itself ends at Content-Length;
+    // truncate to it.
+    out->body.resize(content_length);
   }
   if (out->body.size() < content_length) {
     LAFP_RETURN_NOT_OK(

@@ -235,6 +235,11 @@ HttpResponse QueryService::HandleRun(const HttpRequest& request,
     backend = exec::BackendKind::kModin;
   } else if (backend_param == "dask") {
     backend = exec::BackendKind::kDask;
+  } else if (backend_param == "shard") {
+    // Multi-process execution per request: the session forks its own
+    // worker pool (count from LAFP_SHARDS, default 2) and reaps it when
+    // the session ends.
+    backend = exec::BackendKind::kShard;
   } else if (!backend_param.empty()) {
     return HttpResponse{400, "text/plain; charset=utf-8",
                         "unknown backend '" + backend_param + "'\n"};

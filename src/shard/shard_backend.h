@@ -1,0 +1,186 @@
+#ifndef LAFP_SHARD_SHARD_BACKEND_H_
+#define LAFP_SHARD_SHARD_BACKEND_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/backend.h"
+#include "shard/wire.h"
+
+namespace lafp::shard {
+
+/// Coordinator-side handle to one fork()ed worker process pool connected
+/// over AF_UNIX socketpairs. Single-threaded protocol: at most one
+/// request is in flight per worker (the backend serializes queries, and
+/// RunCalls pipelines across workers, never within one). A worker that
+/// dies — killed by fault injection, crashed, or poisoned by a failed
+/// exchange — is reaped, its generation bumps, and every partition handle
+/// minted under the old generation becomes invalid.
+class Cluster {
+ public:
+  static Result<std::unique_ptr<Cluster>> Spawn(int num_workers);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  bool alive(int w) const { return workers_[w].alive; }
+  uint64_t generation(int w) const { return workers_[w].generation; }
+
+  /// Respawn worker `w` if it is down (bumps its generation).
+  Status EnsureAlive(int w);
+
+  /// Sends one framed request. Fault points "shard.worker_kill" (SIGKILLs
+  /// the target first, then proceeds so the failure takes the real dead-
+  /// peer path) and "shard.send" (fails the send cleanly) hook here.
+  Status Send(int w, MsgType type, std::string_view payload);
+
+  /// Receives the matching reply; fault point "shard.recv". An injected
+  /// or real receive failure leaves a reply potentially buffered in the
+  /// stream, so callers must KillWorker on any Recv failure to resync.
+  Result<Message> Recv(int w);
+
+  /// SIGKILL + reap + close: deterministic, synchronous worker death.
+  void KillWorker(int w);
+
+  /// Next coordinator-assigned frame handle (distinct from the worker
+  /// scan-handle space above kWorkerHandleBase).
+  uint64_t NextHandle() { return next_handle_++; }
+
+  /// Thread-safe: remote-frame releases arrive from whatever scheduler
+  /// thread drops the last ShardFrame reference. The actual kFreeFrames
+  /// calls happen on the coordinator thread via FlushFrees.
+  void QueueFree(int worker, uint64_t generation, uint64_t handle);
+
+  /// Drain queued frees (best-effort; coordinator thread only).
+  void FlushFrees();
+
+ private:
+  Cluster() = default;
+
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;
+    bool alive = false;
+    uint64_t generation = 0;
+  };
+
+  Status SpawnWorker(int w);
+  void MarkDead(int w);
+
+  std::vector<Worker> workers_;
+  uint64_t next_handle_ = 1;
+
+  struct PendingFree {
+    int worker;
+    uint64_t generation;
+    uint64_t handle;
+  };
+  std::mutex free_mu_;
+  std::vector<PendingFree> pending_frees_;
+};
+
+/// One partition of a sharded frame: `rows` cached for O(1) row counts,
+/// the data resident on `worker` under `handle`. Partitions are ordered
+/// by global index; `generation` pins the worker incarnation that holds
+/// the data (a respawned worker starts empty).
+struct ShardPartition {
+  uint64_t rows = 0;
+  int worker = 0;
+  uint64_t generation = 0;
+  uint64_t handle = 0;
+};
+
+/// Shared-nothing multi-process backend (paper §2.6 taken across process
+/// boundaries): a coordinator forks N single-threaded workers, scans
+/// partition across them (global chunk index mod N), map ops run where
+/// their partition lives, group-bys run as distributed two-phase
+/// aggregation (exec/agg_twophase.h) with partials shipped back and
+/// folded in global partition order, and merges broadcast the right side.
+/// Frames cross the socket in the hardened spill stream format
+/// (exec/spill.h). Ops outside the distributed vocabulary gather to the
+/// coordinator, run the eager kernel, and re-scatter — the same
+/// transparent-fallback contract as the other backends, so results are
+/// byte-identical to the single-process engines for any shard count.
+class ShardBackend : public exec::Backend {
+ public:
+  ShardBackend(MemoryTracker* tracker, const exec::BackendConfig& config);
+  ~ShardBackend() override;
+
+  const char* name() const override { return "shard"; }
+  bool preserves_row_order() const override { return true; }
+  bool SupportsOp(const exec::OpDesc& desc) const override;
+
+  Result<exec::BackendValue> Execute(
+      const exec::OpDesc& desc,
+      const std::vector<exec::BackendValue>& inputs) override;
+  Result<exec::EagerValue> Materialize(
+      const exec::BackendValue& value) override;
+  Result<exec::BackendValue> FromEager(
+      const exec::EagerValue& value) override;
+  int64_t RowCount(const exec::BackendValue& value) const override;
+
+ private:
+  struct WorkerCall {
+    int worker = 0;
+    MsgType type = MsgType::kShutdown;
+    std::string payload;
+  };
+
+  Status EnsureCluster();
+
+  /// Runs `calls` with at most one request in flight per worker,
+  /// pipelined across workers in waves. `statuses`/`replies` are
+  /// positionally aligned with `calls`. Transport failures kill the
+  /// worker (stream resync); worker-side kError replies decode to their
+  /// original Status and leave the worker alive. Checks the external
+  /// cancellation token between waves, draining in-flight replies before
+  /// failing so the mailbox stays consistent.
+  Status RunCalls(const std::vector<WorkerCall>& calls,
+                  std::vector<Message>* replies,
+                  std::vector<Status>* statuses);
+
+  Result<exec::BackendValue> ExecuteScan(const exec::OpDesc& desc);
+  Result<exec::BackendValue> ExecuteMapOp(
+      const exec::OpDesc& desc,
+      const std::vector<exec::BackendValue>& inputs);
+  Result<exec::BackendValue> ExecuteGroupBy(const exec::OpDesc& desc,
+                                            const exec::BackendValue& input);
+  Result<exec::BackendValue> ExecuteReduce(const exec::OpDesc& desc,
+                                           const exec::BackendValue& input);
+  Result<exec::BackendValue> ExecuteMerge(const exec::OpDesc& desc,
+                                          const exec::BackendValue& left,
+                                          const exec::BackendValue& right);
+  Result<exec::BackendValue> ExecuteViaGather(
+      const exec::OpDesc& desc,
+      const std::vector<exec::BackendValue>& inputs);
+
+  Result<exec::EagerValue> MaterializeLocked(const exec::BackendValue& value);
+  Result<exec::BackendValue> FromEagerLocked(const exec::EagerValue& value);
+  Result<exec::BackendValue> ScatterFrame(const df::DataFrame& frame);
+
+  /// All partitions must be on live workers of the current generation;
+  /// otherwise the data died with a worker and the op fails cleanly.
+  Status ValidateLive(const std::vector<ShardPartition>& parts) const;
+
+  /// Gather a sharded frame's partitions to the coordinator, in global
+  /// partition order.
+  Result<std::vector<df::DataFrame>> GatherParts(
+      const std::vector<ShardPartition>& parts);
+
+  /// Serializes coordinator-side protocol state: Execute, Materialize and
+  /// FromEager may race from scheduler workers, but the mailbox admits
+  /// one query at a time.
+  std::mutex mu_;
+  std::shared_ptr<Cluster> cluster_;
+};
+
+}  // namespace lafp::shard
+
+#endif  // LAFP_SHARD_SHARD_BACKEND_H_

@@ -160,6 +160,12 @@ FuzzStats RunFuzz(const FuzzOptions& options) {
         configs.push_back(std::move(c));
       }
     }
+    if (options.shards) {
+      const int n = std::max(2, options.matrix / 2);
+      for (auto& c : ShardConfigs(program_seed, n)) {
+        configs.push_back(std::move(c));
+      }
+    }
     if (single) {
       // Replay is a debugging aid: widen the matrix and report every
       // config's verdict instead of stopping at the first divergence.

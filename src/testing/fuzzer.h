@@ -48,6 +48,11 @@ struct FuzzOptions {
   /// assembly and zone-map pruning both engage) and substitutes the
   /// `.lfc` paths for those configs; the reference keeps reading CSV.
   bool lfc = false;
+  /// Add the shared-nothing axis: each program is additionally checked
+  /// under ShardConfigs() points, which run it on the shard backend with
+  /// 1/2/4 forked worker processes. Output must match the single-process
+  /// reference byte for byte — any cross-process drift is a divergence.
+  bool shards = false;
   /// Progress / divergence log; null = silent.
   std::ostream* log = nullptr;
   ProgramGenOptions progen;

@@ -41,6 +41,7 @@ std::string OracleConfig::Name() const {
   if (!faults.empty()) name += " faults[" + faults + "]";
   if (cache) name += " cache";
   if (lfc) name += lfc_prune ? " lfc" : " lfc-np";
+  if (shards > 0) name += " sh" + std::to_string(shards);
   return name;
 }
 
@@ -173,6 +174,22 @@ std::vector<OracleConfig> LfcConfigs(uint64_t seed, int n) {
   return configs;
 }
 
+std::vector<OracleConfig> ShardConfigs(uint64_t seed, int n) {
+  std::vector<OracleConfig> configs = SampleConfigs(seed ^ 0x54a7dull, n);
+  SplitMix rng(seed * 0x9e3779b9ULL + 0x54);
+  for (auto& c : configs) {
+    // The shard count (1 included: the degenerate single-worker cluster
+    // must also match) is the variable under test; faults stay off so a
+    // failed Status is always a genuine divergence under this axis.
+    static const int kShardCounts[] = {1, 2, 4};
+    c.backend = exec::BackendKind::kShard;
+    c.shards = kShardCounts[rng.Below(3)];
+    c.spill = false;
+    c.faults.clear();
+  }
+  return configs;
+}
+
 std::vector<OracleConfig> RegressionConfigs() {
   std::vector<OracleConfig> configs;
   for (auto backend :
@@ -230,6 +247,10 @@ RunOutcome ExecuteOnce(const std::string& source, const OracleConfig& config,
   opts.exec.morsel_rows = config.morsel_rows;
   opts.backend_config.partition_rows = config.partition_rows;
   opts.backend_config.spill_persisted = config.spill;
+  if (config.shards > 0) {
+    opts.backend = exec::BackendKind::kShard;
+    opts.backend_config.shards = config.shards;
+  }
   // Faults arm via the session so they cover exactly the program's
   // execution: the table CSVs were materialized before this call, and the
   // session's FaultScope restores (with fresh counters) on return —

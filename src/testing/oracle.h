@@ -54,6 +54,9 @@ struct OracleConfig {
   /// unpruned scan paths are cross-checked against the CSV reference.
   bool lfc = false;
   bool lfc_prune = true;
+  /// Shared-nothing axis: > 0 runs the program on the shard backend with
+  /// that many forked worker processes (overrides `backend`). 0 = off.
+  int shards = 0;
 
   /// Compact display name, e.g. "lafp-modin+dp t4 m1".
   std::string Name() const;
@@ -86,6 +89,12 @@ std::vector<OracleConfig> CacheConfigs(uint64_t seed, int n);
 /// faults; alternate points disable the zone-prune pass so pruned and
 /// unpruned LFC scans are both differentially checked.
 std::vector<OracleConfig> LfcConfigs(uint64_t seed, int n);
+
+/// `n` matrix points with the shared-nothing axis armed (the --shards
+/// axis): base configs drawn like SampleConfigs, forced onto the shard
+/// backend with 1/2/4 worker processes and no faults, so any divergence
+/// from the single-process reference is a real cross-process bug.
+std::vector<OracleConfig> ShardConfigs(uint64_t seed, int n);
 
 /// Result of one program execution.
 struct RunOutcome {

@@ -1,11 +1,15 @@
 #include "common/fault.h"
 
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
+
+#include "common/thread_pool.h"
 
 namespace lafp {
 namespace {
@@ -116,6 +120,65 @@ TEST(FaultInjectorTest, ParsesMultipleSpecs) {
   EXPECT_DOUBLE_EQ(specs[1].probability, 0.25);
   EXPECT_EQ(specs[1].seed, 9u);
   EXPECT_EQ(specs[1].max_fires, -1);
+}
+
+// Shard-worker fork regression: a child forked while the parent thread
+// has a session injector installed (and the global registry armed) must
+// start fault-free after ResetForkedChild — including on pool workers,
+// whose tasks capture the submitter's *current* injector at Submit time.
+// Without the reset, coordinator-side specs (shard.send, spill.write)
+// would fire once per worker process and stale parent-session injector
+// pointers would be dereferenced in the child.
+TEST(FaultInjectorTest, ForkedChildStartsFaultFreeAfterReset) {
+  // Reproduce the coordinator's state at fork time: global spec armed,
+  // private session injector installed on the forking thread.
+  FaultScope global_arm("shard.send:nth=1,fires=-1");
+  ASSERT_TRUE(global_arm.status().ok());
+  ASSERT_FALSE(FaultPoint("shard.send").ok());
+  FaultInjector session;
+  ASSERT_TRUE(
+      session.InstallFromString("csv.read:nth=1,fires=-1").ok());
+  // The session injector shadows the global registry for this thread
+  // (Current() returns the innermost scope) — exactly the coordinator's
+  // view at fork time.
+  ScopedFaultInjector install(&session);
+  ASSERT_FALSE(FaultPoint("csv.read").ok());
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    FaultInjector::ResetForkedChild();
+    int failures = 0;
+    // The thread-local override is cleared back to the (disarmed) global.
+    if (FaultInjector::Current() != FaultInjector::Global()) ++failures;
+    if (FaultInjector::Global()->enabled()) ++failures;
+    if (!FaultPoint("csv.read").ok()) ++failures;
+    if (!FaultPoint("shard.send").ok()) ++failures;
+    {
+      // Tasks submitted after the reset capture the clean global, not a
+      // stale parent-session injector (the submitter-capture path).
+      ThreadPool pool(2);
+      std::atomic<int> pool_failures{0};
+      for (int i = 0; i < 8; ++i) {
+        pool.Submit([&pool_failures] {
+          if (!FaultPoint("csv.read").ok()) pool_failures.fetch_add(1);
+          if (!FaultPoint("shard.send").ok()) pool_failures.fetch_add(1);
+        });
+      }
+      pool.WaitIdle();
+      failures += pool_failures.load();
+    }
+    _exit(failures);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  // The parent's armed state survives the child's reset untouched: the
+  // session injector still fires, and the global registry (shadowed
+  // while the scope is installed) is still enabled.
+  EXPECT_FALSE(FaultPoint("csv.read").ok());
+  EXPECT_TRUE(FaultInjector::Global()->enabled());
 }
 
 TEST(FaultInjectorTest, ConcurrentHitsFireExactlyNTimes) {

@@ -111,6 +111,20 @@ TEST_F(SpillFaultTest, CorruptCorpusFailsCleanly) {
   EXPECT_GE(checked, 8);
 }
 
+// Positive pin: the checked-in zero-row-with-columns encoding (the exact
+// bytes shard workers emit for an empty partition) must stay readable
+// forever — a clamp tightened for hostile files must not regress it.
+TEST_F(SpillFaultTest, ZeroRowCorpusPinStaysReadable) {
+  const fs::path pin =
+      fs::path(LAFP_SPILL_CORPUS_DIR) / "zero_rows_nonempty_cols.spill";
+  ASSERT_TRUE(fs::exists(pin)) << pin;
+  auto frame = ReadSpillFile(pin.string(), &tracker_);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->num_rows(), 0u);
+  ASSERT_EQ(frame->num_columns(), 2u);
+  EXPECT_EQ(frame->names(), (std::vector<std::string>{"i", "s"}));
+}
+
 // Every strict prefix of a valid spill file is a truncation the reader
 // must reject; none may succeed or crash.
 TEST_F(SpillFaultTest, EveryTruncationFailsCleanly) {

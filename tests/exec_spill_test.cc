@@ -75,6 +75,54 @@ TEST_F(SpillTest, EmptyFrameRoundTrips) {
   EXPECT_EQ(back->num_columns(), 1u);
 }
 
+// The exchange wire format must round-trip a zero-row partition that
+// still carries a real column table (names + dtypes). Shard workers send
+// these routinely — a filter that empties one partition must not lose
+// the schema or fail the clamp checks sized for nrows >= 1.
+TEST_F(SpillTest, ZeroRowNonEmptyColumnsRoundTripOnWire) {
+  df::ColumnBuilder ints(DataType::kInt64, &tracker_);
+  df::ColumnBuilder strs(DataType::kString, &tracker_);
+  df::ColumnBuilder dbls(DataType::kDouble, &tracker_);
+  auto empty = *DataFrame::Make(
+      {"i", "s", "d"}, {*ints.Finish(), *strs.Finish(), *dbls.Finish()});
+  auto bytes = SerializeFrame(empty);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  auto back = DeserializeFrame(*bytes, &tracker_);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_rows(), 0u);
+  ASSERT_EQ(back->num_columns(), 3u);
+  EXPECT_EQ(back->names(), empty.names());
+  EXPECT_EQ((*back->column("i"))->type(), DataType::kInt64);
+  EXPECT_EQ((*back->column("s"))->type(), DataType::kString);
+  EXPECT_EQ((*back->column("d"))->type(), DataType::kDouble);
+}
+
+// Message-framed payloads carry an exact length: trailing bytes after
+// the frame mean protocol desync and must fail, not be ignored.
+TEST_F(SpillTest, WirePayloadRejectsTrailingJunk) {
+  DataFrame frame = AllTypesFrame();
+  auto bytes = SerializeFrame(frame);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_TRUE(DeserializeFrame(*bytes, &tracker_).ok());
+  EXPECT_FALSE(DeserializeFrame(*bytes + "x", &tracker_).ok());
+}
+
+// Rows claimed with no columns to hold them are unrepresentable; the
+// header clamp must reject the combination (ncols == 0 && nrows > 0)
+// while keeping the legitimate zero-row / zero-column cases working.
+TEST_F(SpillTest, RejectsRowsWithoutColumns) {
+  auto bytes = SerializeFrame(DataFrame());
+  ASSERT_TRUE(bytes.ok());
+  // Patch nrows (u64 at offset 12, after u64 magic + u32 ncols) to 5.
+  std::string forged = *bytes;
+  ASSERT_GE(forged.size(), 20u);
+  forged[12] = 5;
+  auto back = DeserializeFrame(forged, &tracker_);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().message().find("no columns"), std::string::npos)
+      << back.status().ToString();
+}
+
 TEST_F(SpillTest, RejectsGarbageAndTruncation) {
   std::string path = dir_ + "/garbage.bin";
   {

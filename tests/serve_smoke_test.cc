@@ -324,6 +324,62 @@ TEST_F(ServeSmokeTest, TraceParameterAppendsReport) {
   service.Stop();
 }
 
+// The request reader must be segmentation-independent: a request split
+// into arbitrary write bursts (slow client, small MTU) parses exactly
+// like the same bytes in one burst. The old reader 400ed when the body's
+// trailing bytes or a leading keep-alive CRLF landed in the header recv.
+TEST_F(ServeSmokeTest, SplitWritesParseIdentically) {
+  ServeOptions options;
+  options.port = 0;
+  QueryService service(options);
+  ASSERT_TRUE(service.Start().ok());
+  const std::string body = Program();
+  std::string req = "POST /run HTTP/1.1\r\nHost: localhost\r\n";
+  req += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  req += body;
+  // Dribble the request a few bytes at a time, pausing so each write
+  // lands in its own recv on the server side.
+  for (size_t chunk : {1u, 3u, 7u, 16u}) {
+    Client client(service.port());
+    ASSERT_TRUE(client.connected());
+    for (size_t i = 0; i < req.size(); i += chunk) {
+      client.SendRaw(req.substr(i, chunk));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::string response = client.ReadAll();
+    EXPECT_EQ(StatusOf(response), 200)
+        << "chunk=" << chunk << ": " << response;
+  }
+  service.Stop();
+}
+
+TEST_F(ServeSmokeTest, LeadingAndTrailingCrlfTolerated) {
+  ServeOptions options;
+  options.port = 0;
+  QueryService service(options);
+  ASSERT_TRUE(service.Start().ok());
+  const std::string body = Program();
+  std::string req = "POST /run HTTP/1.1\r\nHost: localhost\r\n";
+  req += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  req += body;
+  {
+    // RFC 9112 §2.2: CRLFs before the request line are ignored.
+    Client client(service.port());
+    ASSERT_TRUE(client.connected());
+    client.SendRaw("\r\n\r\n" + req);
+    EXPECT_EQ(StatusOf(client.ReadAll()), 200);
+  }
+  {
+    // A sloppy client's CRLF after the body is outside the message and
+    // must not poison it — even when it arrives in the same burst.
+    Client client(service.port());
+    ASSERT_TRUE(client.connected());
+    client.SendRaw(req + "\r\n");
+    EXPECT_EQ(StatusOf(client.ReadAll()), 200);
+  }
+  service.Stop();
+}
+
 TEST_F(ServeSmokeTest, TargetParsingDecodesQueries) {
   std::string path;
   std::map<std::string, std::string> params;

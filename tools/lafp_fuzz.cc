@@ -38,6 +38,10 @@ void Usage() {
       << "                    also replays with its base tables converted\n"
       << "                    to LFC (zone-map pruning on and off); output\n"
       << "                    must match the CSV reference exactly\n"
+      << "  --shards          add the shared-nothing axis: each program\n"
+      << "                    also runs on the shard backend with 1/2/4\n"
+      << "                    forked worker processes; output must match\n"
+      << "                    the single-process reference exactly\n"
       << "  --trace PATH      enable structured tracing and write a\n"
       << "                    Chrome trace_event JSON to PATH at exit\n"
       << "  --no-shrink       keep failing programs unminimized\n"
@@ -133,6 +137,8 @@ int main(int argc, char** argv) {
       options.cache = true;
     } else if (std::strcmp(arg, "--lfc") == 0) {
       options.lfc = true;
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      options.shards = true;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
       options.shrink = false;
     } else if (std::strcmp(arg, "--shrink-budget") == 0) {
